@@ -1,0 +1,61 @@
+// Command autotune reproduces the §VII-B autotuning case study: the
+// CachedGBWT capacity sweep (Figure 6), the exhaustive tuning cross-product
+// with best-vs-default comparison (Figure 7) and winning parameters
+// (Table VIII), the D-HPRC-on-chi-intel heat map (Figure 8), and the
+// per-factor ANOVA.
+//
+// Usage:
+//
+//	autotune -scale 1.0                     # the full study
+//	autotune -experiment figure6            # one experiment
+//	autotune -experiment figure8 -heatmap heatmap.csv
+package main
+
+import (
+	"flag"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/autotune"
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("autotune: ")
+	scale := flag.Float64("scale", 1.0, "read-count scale factor")
+	threads := flag.Int("threads", 0, "local measurement threads (0 = all CPUs)")
+	repeats := flag.Int("repeats", 1, "repeats per combo")
+	experiment := flag.String("experiment", "all", "figure6, figure7, figure8, or all")
+	heatmap := flag.String("heatmap", "", "write the Figure 8 heat map CSV here")
+	flag.Parse()
+
+	s := experiments.NewSuite(experiments.Config{
+		Scale: *scale, Threads: *threads, Repeats: *repeats, Out: os.Stdout,
+	})
+	space := autotune.DefaultSpace()
+	run := func(name string, f func() error) {
+		if *experiment != "all" && *experiment != name {
+			return
+		}
+		if err := f(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+	}
+	run("figure6", func() error { _, err := s.Figure6(); return err })
+	run("figure7", func() error { _, err := s.Figure7AndTable8(space); return err })
+	run("figure8", func() error {
+		var w io.Writer
+		if *heatmap != "" {
+			file, err := os.Create(*heatmap)
+			if err != nil {
+				return err
+			}
+			defer file.Close()
+			w = file
+		}
+		_, err := s.Figure8(space, w)
+		return err
+	})
+}

@@ -1,0 +1,131 @@
+// Command benchreport regenerates every table and figure of the paper's
+// evaluation in one run: Tables I, IV, V, VI, VII, VIII and Figures 2-8,
+// plus the §VI-a functional validation and the §VII-B ANOVA. Raw CSV
+// artefacts (timeline, heat map) are written to -outdir.
+//
+// Usage:
+//
+//	benchreport -scale 1.0 -outdir results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/autotune"
+	"repro/internal/experiments"
+	"repro/internal/plot"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchreport: ")
+	scale := flag.Float64("scale", 1.0, "read-count scale factor")
+	threads := flag.Int("threads", 0, "local measurement threads (0 = all CPUs)")
+	repeats := flag.Int("repeats", 1, "repeats per measured point")
+	outdir := flag.String("outdir", "results", "directory for CSV artefacts")
+	only := flag.String("only", "", "run a single experiment (table1, figure2, ... anova)")
+	flag.Parse()
+
+	if err := os.MkdirAll(*outdir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	s := experiments.NewSuite(experiments.Config{
+		Scale: *scale, Threads: *threads, Repeats: *repeats, Out: os.Stdout,
+	})
+	space := autotune.DefaultSpace()
+
+	type step struct {
+		name string
+		fn   func() error
+	}
+	steps := []step{
+		{"table1", func() error { _, err := s.Table1(""); return err }},
+		{"validation", func() error { _, err := s.FunctionalValidationAll(); return err }},
+		{"figure2", func() error {
+			f, err := os.Create(filepath.Join(*outdir, "figure2-timeline.csv"))
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			rec, err := s.Figure2(f)
+			if err != nil {
+				return err
+			}
+			svg, err := os.Create(filepath.Join(*outdir, "figure2.svg"))
+			if err != nil {
+				return err
+			}
+			defer svg.Close()
+			return plot.WriteTimelineSVG(svg, rec, "Figure 2: Giraffe 16-thread timeline (A-human)")
+		}},
+		{"figure3", func() error { _, err := s.Figure3(); return err }},
+		{"figure4", func() error { _, err := s.Figure4(nil); return err }},
+		{"table4", func() error { _, err := s.Table4(); return err }},
+		{"table5", func() error { _, err := s.Table5(); return err }},
+		{"table6", func() error { _, err := s.Table6(); return err }},
+		{"figure5", func() error {
+			points, err := s.Figure5()
+			if err != nil {
+				return err
+			}
+			f, err := os.Create(filepath.Join(*outdir, "figure5.svg"))
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			return experiments.Figure5SVG(points, "B-yeast", f)
+		}},
+		{"table7", func() error { _, err := s.Table7(); return err }},
+		{"figure6", func() error {
+			points, err := s.Figure6()
+			if err != nil {
+				return err
+			}
+			f, err := os.Create(filepath.Join(*outdir, "figure6.svg"))
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			return experiments.Figure6SVG(points, f)
+		}},
+		{"figure7", func() error {
+			cells, err := s.Figure7AndTable8(space)
+			if err != nil {
+				return err
+			}
+			f, err := os.Create(filepath.Join(*outdir, "figure7.svg"))
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			return experiments.Figure7SVG(cells, f)
+		}},
+		{"figure8", func() error {
+			f, err := os.Create(filepath.Join(*outdir, "figure8-heatmap.csv"))
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			_, err = s.Figure8(space, f)
+			return err
+		}},
+	}
+	start := time.Now()
+	for _, st := range steps {
+		if *only != "" && *only != st.name {
+			continue
+		}
+		t0 := time.Now()
+		if err := st.fn(); err != nil {
+			log.Fatalf("%s: %v", st.name, err)
+		}
+		fmt.Printf("[%s done in %v]\n", st.name, time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Printf("\nbenchreport complete in %v; CSV artefacts in %s/\n",
+		time.Since(start).Round(time.Millisecond), *outdir)
+}

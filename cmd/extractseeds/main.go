@@ -1,0 +1,61 @@
+// Command extractseeds performs Giraffe's preprocessing only — minimizer
+// lookup and seed creation — and writes the result as the proxy's
+// sequence-seeds.bin. This is the capture step of §V: the proxy's inputs
+// are extracted from the parent right before the critical functions run.
+//
+// Usage:
+//
+//	extractseeds -gbz A-human.gbz -reads A-human.fq -out A-human-seeds.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/fastq"
+	"repro/internal/gbz"
+	"repro/internal/giraffe"
+	"repro/internal/seeds"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("extractseeds: ")
+	gbzPath := flag.String("gbz", "", "pangenome .gbz file (required)")
+	readsPath := flag.String("reads", "", "FASTQ reads (required)")
+	out := flag.String("out", "sequence-seeds.bin", "output .bin file")
+	flag.Parse()
+	if *gbzPath == "" || *readsPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := gbz.Load(*gbzPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reads, err := fastq.ReadFile(*readsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ix, err := giraffe.BuildIndexes(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	recs := make([]seeds.ReadSeeds, len(reads))
+	totalSeeds := 0
+	for i := range reads {
+		ss, err := seeds.Extract(ix.MinIx, &reads[i])
+		if err != nil {
+			log.Fatalf("read %s: %v", reads[i].Name, err)
+		}
+		recs[i] = seeds.ReadSeeds{Read: reads[i], Seeds: ss}
+		totalSeeds += len(ss)
+	}
+	if err := seeds.WriteFile(*out, recs); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("extracted %d seeds from %d reads -> %s\n", totalSeeds, len(reads), *out)
+}

@@ -1,0 +1,71 @@
+// Command genworkload generates a synthetic input set (Table III stand-in):
+// the pangenome reference as a .gbz container, the reads as FASTQ, and the
+// captured seeds as the proxy's sequence-seeds.bin.
+//
+// Usage:
+//
+//	genworkload -input A-human -scale 1.0 -outdir data/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/fastq"
+	"repro/internal/gbz"
+	"repro/internal/seeds"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("genworkload: ")
+	input := flag.String("input", "A-human", "input set: A-human, B-yeast, C-HPRC, D-HPRC")
+	scale := flag.Float64("scale", 1.0, "read-count scale factor")
+	outdir := flag.String("outdir", ".", "output directory")
+	flag.Parse()
+
+	spec, err := workload.ByName(*input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec = spec.Scaled(*scale)
+	fmt.Printf("generating %s: %d reads (%s), reference %d bp, %d haplotypes\n",
+		spec.Name, spec.Reads, spec.Workflow, spec.RefLen, spec.Haplotypes)
+	b, err := workload.Generate(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.MkdirAll(*outdir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	gbzPath := filepath.Join(*outdir, spec.Name+".gbz")
+	if err := gbz.Save(gbzPath, b.GBZ()); err != nil {
+		log.Fatal(err)
+	}
+	fqPath := filepath.Join(*outdir, spec.Name+".fq")
+	if err := fastq.WriteFile(fqPath, b.Reads); err != nil {
+		log.Fatal(err)
+	}
+	faPath := filepath.Join(*outdir, spec.Name+".fa")
+	if err := fastq.WriteFastaFile(faPath, []fastq.FastaRecord{
+		{Name: spec.Name + " linear reference", Seq: b.Pangenome.Reference()},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	recs, err := b.CaptureSeeds()
+	if err != nil {
+		log.Fatal(err)
+	}
+	binPath := filepath.Join(*outdir, spec.Name+"-seeds.bin")
+	if err := seeds.WriteFile(binPath, recs); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s, %s, %s, %s\n", gbzPath, fqPath, faPath, binPath)
+	fmt.Printf("graph: %d nodes, %d edges, %d bp; GBWT: %d paths, %d compressed bytes\n",
+		b.Pangenome.NumNodes(), b.Pangenome.NumEdges(), b.Pangenome.TotalSeqLen(),
+		b.Index.NumPaths(), b.Index.CompressedSize())
+}

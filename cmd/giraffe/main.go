@@ -1,0 +1,150 @@
+// Command giraffe runs the parent-emulator pipeline: the full Giraffe-like
+// mapping flow (preprocessing, the two critical functions, post-processing)
+// under the VG-style batch scheduler. It can capture the proxy's inputs
+// (-capture) and export the raw extensions expected by validation
+// (-expected).
+//
+// Usage:
+//
+//	giraffe -gbz A-human.gbz -reads A-human.fq -threads 16 -out out.tsv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/fastq"
+	"repro/internal/gaf"
+	"repro/internal/gbz"
+	"repro/internal/giraffe"
+	"repro/internal/seeds"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("giraffe: ")
+	gbzPath := flag.String("gbz", "", "pangenome .gbz file (required)")
+	readsPath := flag.String("reads", "", "FASTQ reads (required)")
+	threads := flag.Int("threads", 1, "worker threads")
+	batch := flag.Int("batch", 512, "scheduler batch size")
+	capacity := flag.Int("capacity", 256, "initial CachedGBWT capacity")
+	out := flag.String("out", "", "alignment TSV output (default stdout)")
+	capture := flag.String("capture", "", "write captured seeds (the proxy input) to this .bin file")
+	timeline := flag.String("timeline", "", "write the per-thread region timeline CSV here")
+	rescue := flag.Int("rescue", 0, "paired-end rescue with this fragment length (0 disables)")
+	gafPath := flag.String("gaf", "", "also write alignments in Graph Alignment Format here")
+	flag.Parse()
+	if *gbzPath == "" || *readsPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := gbz.Load(*gbzPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reads, err := fastq.ReadFile(*readsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ix, err := giraffe.BuildIndexes(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rec *trace.Recorder
+	if *timeline != "" {
+		rec = trace.NewRecorder(*threads)
+	}
+	res, err := giraffe.Map(ix, reads, giraffe.Options{
+		Threads:       *threads,
+		BatchSize:     *batch,
+		CacheCapacity: *capacity,
+		Trace:         rec,
+		CaptureSeeds:  *capture != "",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *rescue > 0 {
+		stats, err := giraffe.RescuePairs(ix, reads, res, giraffe.RescueParams{FragmentLen: *rescue}, giraffe.Options{
+			Threads: *threads, BatchSize: *batch, CacheCapacity: *capacity,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pair rescue: %d pairs, %d both-mapped, %d attempted, %d rescued\n",
+			stats.Pairs, stats.BothMapped, stats.Attempted, stats.Rescued)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		file, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer file.Close()
+		w = file
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "read\tmapped\tnode\toffset\tstrand\tscore\tmapq")
+	mapped := 0
+	for _, al := range res.Alignments {
+		if !al.Mapped {
+			fmt.Fprintf(bw, "%s\tfalse\t.\t.\t.\t.\t0\n", al.ReadName)
+			continue
+		}
+		mapped++
+		strand := "+"
+		if al.Best.Rev {
+			strand = "-"
+		}
+		fmt.Fprintf(bw, "%s\ttrue\t%d\t%d\t%s\t%d\t%d\n",
+			al.ReadName, al.Best.StartPos.Node, al.Best.StartPos.Off, strand, al.Best.Score, al.MappingQuality)
+	}
+	if err := bw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "mapped %d/%d reads in %v (%d threads)\n",
+		mapped, len(reads), res.Makespan, *threads)
+
+	if *capture != "" {
+		if err := seeds.WriteFile(*capture, res.Captured); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "captured seeds -> %s\n", *capture)
+	}
+	if *gafPath != "" {
+		file, err := os.Create(*gafPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lens := make([]int, len(reads))
+		for i := range reads {
+			lens[i] = reads[i].Len()
+		}
+		if err := gaf.Write(file, f.Graph, res.Alignments, lens); err != nil {
+			log.Fatal(err)
+		}
+		if err := file.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "GAF -> %s\n", *gafPath)
+	}
+	if rec != nil {
+		file, err := os.Create(*timeline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rec.WriteTimelineCSV(file); err != nil {
+			log.Fatal(err)
+		}
+		if err := file.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "timeline -> %s\n", *timeline)
+	}
+}

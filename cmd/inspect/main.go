@@ -1,0 +1,107 @@
+// Command inspect reports the contents of a GBZ container: graph shape,
+// GBWT statistics, the snarl decomposition, and per-haplotype summaries. It
+// can also export the graph as GFA for use with standard pangenome tooling.
+//
+// Usage:
+//
+//	inspect -gbz data/A-human.gbz
+//	inspect -gbz data/A-human.gbz -gfa graph.gfa
+//	inspect -gbz data/A-human.gbz -haplotype 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/gbz"
+	"repro/internal/snarl"
+	"repro/internal/vgraph"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("inspect: ")
+	gbzPath := flag.String("gbz", "", "pangenome .gbz file (required)")
+	gfaPath := flag.String("gfa", "", "export the graph as GFA to this path")
+	haplotype := flag.Int("haplotype", -1, "print this haplotype's node path")
+	flag.Parse()
+	if *gbzPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := gbz.Load(*gbzPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := f.Graph
+	fmt.Printf("graph:  %d nodes, %d edges, %d bp total sequence\n",
+		g.NumNodes(), g.NumEdges(), g.TotalSeqLen())
+	fmt.Printf("paths:  %d embedded haplotypes\n", g.NumPaths())
+	fmt.Printf("gbwt:   %d paths, max node %d, %d bytes compressed\n",
+		f.Index.NumPaths(), f.Index.MaxNode(), f.Index.CompressedSize())
+
+	if tree, err := snarl.Decompose(g); err == nil {
+		links := tree.Links()
+		trivial := len(links) - tree.NumSnarls()
+		var maxSpan int32
+		for i := range links {
+			if links[i].Max > maxSpan {
+				maxSpan = links[i].Max
+			}
+		}
+		fmt.Printf("snarls: %d (plus %d trivial chain links, %d boundaries, widest interior %d bp)\n",
+			tree.NumSnarls(), trivial, len(tree.Boundaries()), maxSpan)
+	} else {
+		fmt.Printf("snarls: not decomposable (%v)\n", err)
+	}
+
+	// Degree histogram.
+	deg := map[int]int{}
+	for id := vgraph.NodeID(1); int(id) <= g.NumNodes(); id++ {
+		deg[len(g.Successors(id))]++
+	}
+	fmt.Printf("out-degree histogram:")
+	for d := 0; d <= 4; d++ {
+		if deg[d] > 0 {
+			fmt.Printf(" %d:%d", d, deg[d])
+		}
+	}
+	fmt.Println()
+
+	if *haplotype >= 0 {
+		path, err := f.Index.ExtractPath(*haplotype)
+		if err != nil {
+			log.Fatal(err)
+		}
+		total := 0
+		for _, v := range path {
+			total += g.SeqLen(v)
+		}
+		fmt.Printf("haplotype %d: %d nodes, %d bp\n", *haplotype, len(path), total)
+		fmt.Printf("  first nodes: %v\n", path[:min(10, len(path))])
+	}
+
+	if *gfaPath != "" {
+		out, err := os.Create(*gfaPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := g.WriteGFA(out); err != nil {
+			log.Fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("GFA -> %s\n", *gfaPath)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,145 @@
+// Command minigiraffe is the proxy application: it loads the pangenome
+// reference from a .gbz file and the captured reads+seeds from a
+// sequence-seeds.bin, runs the two critical functions under the selected
+// scheduler, and writes the raw mapping output as CSV — miniGiraffe's
+// command-line contract (§V of the paper), with the three tuning parameters
+// (-sched, -batch, -capacity) exposed.
+//
+// Usage:
+//
+//	minigiraffe -gbz A-human.gbz -seeds A-human-seeds.bin \
+//	    -threads 16 -batch 512 -capacity 256 -sched dynamic -out out.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"repro/internal/core"
+	"repro/internal/gbz"
+	"repro/internal/sched"
+	"repro/internal/seeds"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("minigiraffe: ")
+	gbzPath := flag.String("gbz", "", "pangenome .gbz file (required)")
+	seedsPath := flag.String("seeds", "", "captured sequence-seeds .bin file (required)")
+	threads := flag.Int("threads", 0, "worker threads (0 = all CPUs)")
+	batch := flag.Int("batch", 512, "batch size")
+	capacity := flag.Int("capacity", 256, "initial CachedGBWT capacity (-1 disables caching)")
+	schedName := flag.String("sched", "dynamic", "scheduler: dynamic, work-stealing, static")
+	out := flag.String("out", "", "extension CSV output (default stdout)")
+	timeline := flag.String("timeline", "", "write the region timeline CSV here")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile here")
+	memprofile := flag.String("memprofile", "", "write a heap profile here")
+	flag.Parse()
+	if *gbzPath == "" || *seedsPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	kind, err := sched.ParseKind(*schedName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	f, err := gbz.Load(*gbzPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	recs, err := seeds.ReadFile(*seedsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rec *trace.Recorder
+	if *timeline != "" {
+		n := *threads
+		if n <= 0 {
+			n = 64
+		}
+		rec = trace.NewRecorder(n)
+	}
+	res, err := core.Run(f, recs, core.Options{
+		Threads:       *threads,
+		BatchSize:     *batch,
+		CacheCapacity: *capacity,
+		Scheduler:     kind,
+		Trace:         rec,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		file, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer file.Close()
+		w = file
+	}
+	if err := core.WriteCSV(w, recs, res); err != nil {
+		log.Fatal(err)
+	}
+	total := 0
+	for _, exts := range res.Extensions {
+		total += len(exts)
+	}
+	fmt.Fprintf(os.Stderr,
+		"makespan %v: %d reads, %d extensions, scheduler %s, cache hits %d/%d (%.1f%%), %d rehashes, imbalance %.2f\n",
+		res.Makespan, len(recs), total, kind,
+		res.Cache.Hits, res.Cache.Accesses,
+		100*float64(res.Cache.Hits)/float64(max64(res.Cache.Accesses, 1)),
+		res.Cache.Rehashes, res.Sched.Imbalance())
+
+	if *memprofile != "" {
+		pf, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(pf); err != nil {
+			log.Fatal(err)
+		}
+		if err := pf.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if rec != nil {
+		file, err := os.Create(*timeline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rec.WriteTimelineCSV(file); err != nil {
+			log.Fatal(err)
+		}
+		if err := file.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

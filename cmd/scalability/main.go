@@ -1,0 +1,43 @@
+// Command scalability reproduces the scaling experiments: the parent's
+// strong scaling of the extension (Figure 4), the proxy's scalability on
+// the four modelled systems (Figure 5), and the fastest-time table
+// (Table VII).
+//
+// Usage:
+//
+//	scalability -scale 1.0 -threads 4             # Figures 4 and 5, Table VII
+//	scalability -experiment figure4               # one experiment only
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("scalability: ")
+	scale := flag.Float64("scale", 1.0, "read-count scale factor")
+	threads := flag.Int("threads", 0, "local measurement threads (0 = all CPUs)")
+	repeats := flag.Int("repeats", 1, "repeats per measured point")
+	experiment := flag.String("experiment", "all", "figure4, figure5, table7, or all")
+	flag.Parse()
+
+	s := experiments.NewSuite(experiments.Config{
+		Scale: *scale, Threads: *threads, Repeats: *repeats, Out: os.Stdout,
+	})
+	run := func(name string, f func() error) {
+		if *experiment != "all" && *experiment != name {
+			return
+		}
+		if err := f(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+	}
+	run("figure4", func() error { _, err := s.Figure4(nil); return err })
+	run("figure5", func() error { _, err := s.Figure5(); return err })
+	run("table7", func() error { _, err := s.Table7(); return err })
+}

@@ -1,0 +1,14 @@
+// Package repro is a from-scratch Go reproduction of "miniGiraffe: A
+// Pangenomic Mapping Proxy App" (IISWC 2025): the proxy application for the
+// vg Giraffe pangenome mapper, together with every substrate it depends on —
+// variation graphs, the Graph BWT and its GBZ container, minimizer and
+// distance indexes, the seed-and-extend kernels, parallel schedulers, the
+// parent-pipeline emulator, hardware-counter and machine models, workload
+// generators, and the full experiment harness regenerating every table and
+// figure of the paper's evaluation.
+//
+// See README.md for the tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-versus-measured
+// results. The root-level bench_test.go holds one benchmark per table and
+// figure.
+package repro

@@ -1,0 +1,79 @@
+// Pairedend: the paired-end HPRC-style workflow — generate a C-HPRC-like
+// input set, map both ends of every fragment, and check pair consistency:
+// the two ends should land on opposite strands at roughly the fragment
+// length apart on the backbone, which is how real pipelines sanity-check
+// paired mappings.
+//
+//	go run ./examples/pairedend
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/distindex"
+	"repro/internal/extend"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	spec := workload.CHPRC().Scaled(0.2)
+	fmt.Printf("generating %s: %d paired-end reads (%d fragments of %d bp)\n",
+		spec.Name, spec.Reads, spec.Reads/2, spec.FragmentLen)
+	bundle, err := workload.Generate(spec)
+	if err != nil {
+		return err
+	}
+	records, err := bundle.CaptureSeeds()
+	if err != nil {
+		return err
+	}
+	res, err := core.Run(bundle.GBZ(), records, core.Options{Threads: 4, BatchSize: 64})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mapped %d reads in %v\n", len(records), res.Makespan)
+
+	// Pair consistency: opposite strands, backbone gap near the fragment
+	// length.
+	dist := distindex.New(bundle.Pangenome.Graph)
+	best := func(exts []extend.Extension) *extend.Extension {
+		if len(exts) == 0 {
+			return nil
+		}
+		return &exts[0]
+	}
+	pairs, consistent := 0, 0
+	var gapSum float64
+	for i := 0; i+1 < len(records); i += 2 {
+		e1 := best(res.Extensions[i])
+		e2 := best(res.Extensions[i+1])
+		if e1 == nil || e2 == nil {
+			continue
+		}
+		pairs++
+		if e1.Rev == e2.Rev {
+			continue // ends must map to opposite strands
+		}
+		gap := dist.BackboneDistance(e1.StartPos, e2.StartPos)
+		gapSum += float64(gap)
+		if gap > spec.FragmentLen/2 && gap < spec.FragmentLen*2 {
+			consistent++
+		}
+	}
+	fmt.Printf("pairs with both ends mapped: %d\n", pairs)
+	fmt.Printf("strand+distance consistent:  %d (%.1f%%), mean backbone gap %.0f bp (fragment %d)\n",
+		consistent, 100*float64(consistent)/float64(pairs), gapSum/float64(pairs), spec.FragmentLen)
+	if float64(consistent) < 0.8*float64(pairs) {
+		return fmt.Errorf("pair consistency too low")
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+// Yeastpipeline: the complete single-end workflow on the B-yeast input set —
+// generate the synthetic pangenome and reads, run the parent emulator (full
+// Giraffe-like pipeline, capturing the proxy inputs), run the proxy, and
+// validate that both produce identical extensions (§VI-a of the paper).
+//
+//	go run ./examples/yeastpipeline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/giraffe"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	spec := workload.BYeast().Scaled(0.2) // keep the example quick
+	fmt.Printf("generating %s: %d single-end reads of %d bp\n", spec.Name, spec.Reads, spec.ReadLen)
+	bundle, err := workload.Generate(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pangenome: %d nodes / %d bp, %d haplotypes\n",
+		bundle.Pangenome.NumNodes(), bundle.Pangenome.TotalSeqLen(), spec.Haplotypes)
+
+	// Parent: full pipeline with region instrumentation.
+	const threads = 4
+	rec := trace.NewRecorder(threads)
+	ix, err := giraffe.BuildIndexes(bundle.GBZ())
+	if err != nil {
+		return err
+	}
+	parent, err := giraffe.Map(ix, bundle.Reads, giraffe.Options{
+		Threads: threads, BatchSize: 128, Trace: rec, CaptureSeeds: true,
+	})
+	if err != nil {
+		return err
+	}
+	mapped := 0
+	for _, al := range parent.Alignments {
+		if al.Mapped {
+			mapped++
+		}
+	}
+	fmt.Printf("parent mapped %d/%d reads in %v; region shares:\n", mapped, len(bundle.Reads), parent.Makespan)
+	for _, sh := range rec.Shares(trace.RegionIO, trace.RegionParse) {
+		fmt.Printf("  %-28s %5.1f%%\n", sh.Region, sh.Percent)
+	}
+
+	// Proxy on the captured inputs.
+	proxy, err := core.Run(bundle.GBZ(), parent.Captured, core.Options{Threads: threads, BatchSize: 128})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("proxy makespan %v, cache hit rate %.1f%%\n", proxy.Makespan,
+		100*float64(proxy.Cache.Hits)/float64(proxy.Cache.Accesses))
+
+	// Functional validation, both directions.
+	rep, err := core.Validate(parent.Extensions, proxy.Extensions)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	if !rep.Match() {
+		return fmt.Errorf("proxy output diverged from parent")
+	}
+	return nil
+}

@@ -1,0 +1,244 @@
+// Package align implements banded gapped alignment, the refinement phase
+// that follows gapless extension in Giraffe's pipeline (§IV-B: "the
+// application then continues to the alignment phase, which generates the
+// mapping output"): read tails that the seed-and-extend kernel could not
+// cover gaplessly are aligned against the haplotype sequence with
+// affine-gap dynamic programming, recovering alignments that span small
+// insertions and deletions.
+package align
+
+import (
+	"fmt"
+
+	"repro/internal/dna"
+)
+
+// Params are affine-gap alignment scores. Giraffe's defaults (from its
+// scoring model): match +1, mismatch -4, gap open -6, gap extend -1.
+type Params struct {
+	Match     int32
+	Mismatch  int32 // penalty, negative
+	GapOpen   int32 // penalty for the first gapped base, negative
+	GapExtend int32 // penalty per additional gapped base, negative
+	// Band limits |i-j| in the DP to keep cost linear; ≤0 means max(16,
+	// length difference + 8).
+	Band int
+}
+
+// DefaultParams returns Giraffe's scoring defaults.
+func DefaultParams() Params {
+	return Params{Match: 1, Mismatch: -4, GapOpen: -6, GapExtend: -1}
+}
+
+// OpKind is a CIGAR operation kind.
+type OpKind byte
+
+// CIGAR operation kinds.
+const (
+	OpMatch  OpKind = 'M' // match or mismatch (alignment column)
+	OpInsert OpKind = 'I' // base present in the read, absent in the ref
+	OpDelete OpKind = 'D' // base present in the ref, absent in the read
+)
+
+// Op is one run-length CIGAR operation.
+type Op struct {
+	Kind OpKind
+	Len  int
+}
+
+// Result is a completed global alignment of a read segment against a
+// reference segment.
+type Result struct {
+	Score int32
+	CIGAR []Op
+	// Matches and Mismatches count alignment columns; Gaps counts gapped
+	// bases (I+D total).
+	Matches, Mismatches, Gaps int
+}
+
+// CIGARString renders the standard compact form, e.g. "87M1I60M".
+func (r *Result) CIGARString() string {
+	var out []byte
+	for _, op := range r.CIGAR {
+		out = append(out, []byte(fmt.Sprintf("%d%c", op.Len, op.Kind))...)
+	}
+	if len(out) == 0 {
+		return "*"
+	}
+	return string(out)
+}
+
+const negInf = int32(-1 << 29)
+
+// Global computes a banded global affine-gap alignment of read against ref.
+// Both sequences must be non-empty unless both are empty (score 0).
+func Global(read, ref dna.Sequence, p Params) Result {
+	n, m := len(read), len(ref)
+	if n == 0 && m == 0 {
+		return Result{}
+	}
+	band := p.Band
+	diff := n - m
+	if diff < 0 {
+		diff = -diff
+	}
+	if band <= 0 {
+		band = diff + 8
+		if band < 16 {
+			band = 16
+		}
+	}
+	if band < diff {
+		band = diff // a narrower band cannot reach the corner
+	}
+	// Affine DP with three matrices (M: in-column, X: gap-in-read (delete),
+	// Y: gap-in-ref (insert)), band-restricted. Rows are read positions.
+	width := 2*band + 1
+	idx := func(j, i int) int { return j*width + (i - (j - band)) }
+	inBand := func(j, i int) bool { return i >= j-band && i <= j+band && i >= 0 && i <= n }
+	size := (m + 1) * width
+	M := make([]int32, size)
+	X := make([]int32, size)
+	Y := make([]int32, size)
+	// ptr packs the traceback: 2 bits per matrix cell.
+	type bt struct{ m, x, y uint8 }
+	ptr := make([]bt, size)
+	for i := range M {
+		M[i], X[i], Y[i] = negInf, negInf, negInf
+	}
+	// Initialise (0,0) and the first row/column inside the band.
+	M[idx(0, 0)] = 0
+	for i := 1; inBand(0, i); i++ { // read-only prefix: insertions
+		Y[idx(0, i)] = p.GapOpen + p.GapExtend*int32(i-1)
+		ptr[idx(0, i)].y = 2 // extend
+	}
+	for j := 1; j <= m; j++ {
+		if inBand(j, 0) {
+			X[idx(j, 0)] = p.GapOpen + p.GapExtend*int32(j-1)
+			ptr[idx(j, 0)].x = 2
+		}
+		lo := j - band
+		if lo < 1 {
+			lo = 1
+		}
+		hi := j + band
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i <= hi; i++ {
+			cur := idx(j, i)
+			// M: diagonal step consuming read[i-1] vs ref[j-1].
+			if inBand(j-1, i-1) {
+				prev := idx(j-1, i-1)
+				best := M[prev]
+				from := uint8(0)
+				if X[prev] > best {
+					best, from = X[prev], 1
+				}
+				if Y[prev] > best {
+					best, from = Y[prev], 2
+				}
+				if best > negInf {
+					sub := p.Mismatch
+					if read[i-1] == ref[j-1] {
+						sub = p.Match
+					}
+					M[cur] = best + sub
+					ptr[cur].m = from
+				}
+			}
+			// X (delete): consume ref[j-1] only.
+			if inBand(j-1, i) {
+				prev := idx(j-1, i)
+				open := M[prev] + p.GapOpen
+				ext := X[prev] + p.GapExtend
+				if open >= ext {
+					if M[prev] > negInf {
+						X[cur] = open
+						ptr[cur].x = 0
+					}
+				} else if X[prev] > negInf {
+					X[cur] = ext
+					ptr[cur].x = 2
+				}
+			}
+			// Y (insert): consume read[i-1] only.
+			if inBand(j, i-1) {
+				prev := idx(j, i-1)
+				open := M[prev] + p.GapOpen
+				ext := Y[prev] + p.GapExtend
+				if open >= ext {
+					if M[prev] > negInf {
+						Y[cur] = open
+						ptr[cur].y = 0
+					}
+				} else if Y[prev] > negInf {
+					Y[cur] = ext
+					ptr[cur].y = 2
+				}
+			}
+		}
+	}
+	// Terminal cell.
+	end := idx(m, n)
+	if !inBand(m, n) {
+		return Result{Score: negInf}
+	}
+	state := 0 // 0=M 1=X 2=Y
+	score := M[end]
+	if X[end] > score {
+		score, state = X[end], 1
+	}
+	if Y[end] > score {
+		score, state = Y[end], 2
+	}
+	res := Result{Score: score}
+	if score <= negInf {
+		return res
+	}
+	// Traceback.
+	var ops []Op
+	push := func(k OpKind) {
+		if len(ops) > 0 && ops[len(ops)-1].Kind == k {
+			ops[len(ops)-1].Len++
+			return
+		}
+		ops = append(ops, Op{Kind: k, Len: 1})
+	}
+	i, j := n, m
+	for i > 0 || j > 0 {
+		cur := idx(j, i)
+		switch state {
+		case 0: // M consumed both
+			push(OpMatch)
+			if read[i-1] == ref[j-1] {
+				res.Matches++
+			} else {
+				res.Mismatches++
+			}
+			state = int(ptr[cur].m)
+			i--
+			j--
+		case 1: // X consumed ref
+			push(OpDelete)
+			res.Gaps++
+			if ptr[cur].x == 0 {
+				state = 0
+			}
+			j--
+		case 2: // Y consumed read
+			push(OpInsert)
+			res.Gaps++
+			if ptr[cur].y == 0 {
+				state = 0
+			}
+			i--
+		}
+	}
+	// ops were collected end-to-start; reverse.
+	for a, b := 0, len(ops)-1; a < b; a, b = a+1, b-1 {
+		ops[a], ops[b] = ops[b], ops[a]
+	}
+	res.CIGAR = ops
+	return res
+}

@@ -1,0 +1,242 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dna"
+)
+
+func randSeq(n int, seed int64) dna.Sequence {
+	rng := rand.New(rand.NewSource(seed))
+	s := make(dna.Sequence, n)
+	for i := range s {
+		s[i] = dna.Base(rng.Intn(4))
+	}
+	return s
+}
+
+func TestGlobalIdentical(t *testing.T) {
+	s := dna.MustParse("ACGTACGTAC")
+	r := Global(s, s, DefaultParams())
+	if r.Score != int32(len(s)) {
+		t.Errorf("score = %d, want %d", r.Score, len(s))
+	}
+	if r.Mismatches != 0 || r.Gaps != 0 || r.Matches != len(s) {
+		t.Errorf("counts: %d/%d/%d", r.Matches, r.Mismatches, r.Gaps)
+	}
+	if r.CIGARString() != "10M" {
+		t.Errorf("CIGAR = %s", r.CIGARString())
+	}
+}
+
+func TestGlobalSingleMismatch(t *testing.T) {
+	a := dna.MustParse("ACGTACGTAC")
+	b := a.Clone()
+	b[4] = (b[4] + 1) & 3
+	r := Global(a, b, DefaultParams())
+	if r.Score != 9-4 {
+		t.Errorf("score = %d, want 5", r.Score)
+	}
+	if r.Mismatches != 1 {
+		t.Errorf("mismatches = %d", r.Mismatches)
+	}
+	if r.CIGARString() != "10M" {
+		t.Errorf("CIGAR = %s", r.CIGARString())
+	}
+}
+
+func TestGlobalSingleInsertion(t *testing.T) {
+	ref := dna.MustParse("ACGTACGTACGTACGT")
+	read := append(append(ref[:8].Clone(), dna.T), ref[8:]...)
+	r := Global(read, ref, DefaultParams())
+	// 16 matches + one inserted base: 16*1 - 6.
+	if r.Score != 10 {
+		t.Errorf("score = %d, want 10", r.Score)
+	}
+	if r.Gaps != 1 {
+		t.Errorf("gaps = %d", r.Gaps)
+	}
+	// CIGAR must contain exactly one 1I.
+	found := false
+	for _, op := range r.CIGAR {
+		if op.Kind == OpInsert {
+			if op.Len != 1 || found {
+				t.Fatalf("bad insert ops: %s", r.CIGARString())
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no insertion in CIGAR %s", r.CIGARString())
+	}
+}
+
+func TestGlobalDeletion(t *testing.T) {
+	ref := dna.MustParse("ACGTACGTACGTACGT")
+	read := append(ref[:6].Clone(), ref[9:]...) // 3-base deletion
+	r := Global(read, ref, DefaultParams())
+	// 13 matches - (6 + 1 + 1) affine for a 3-gap.
+	if r.Score != 13-8 {
+		t.Errorf("score = %d, want 5", r.Score)
+	}
+	wantGaps := 3
+	if r.Gaps != wantGaps {
+		t.Errorf("gaps = %d, want %d", r.Gaps, wantGaps)
+	}
+}
+
+func TestGlobalEmpty(t *testing.T) {
+	r := Global(nil, nil, DefaultParams())
+	if r.Score != 0 || len(r.CIGAR) != 0 {
+		t.Errorf("empty alignment: %+v", r)
+	}
+	if r.CIGARString() != "*" {
+		t.Errorf("CIGAR = %s", r.CIGARString())
+	}
+	// One side empty: pure gap.
+	ref := dna.MustParse("ACGT")
+	r = Global(nil, ref, DefaultParams())
+	if r.Score != -6-3*1 {
+		t.Errorf("all-delete score = %d, want -9", r.Score)
+	}
+	if r.CIGARString() != "4D" {
+		t.Errorf("CIGAR = %s", r.CIGARString())
+	}
+}
+
+// naiveGlobal is an unbanded affine-gap reference implementation.
+func naiveGlobal(read, ref dna.Sequence, p Params) int32 {
+	n, m := len(read), len(ref)
+	M := make([][]int32, m+1)
+	X := make([][]int32, m+1)
+	Y := make([][]int32, m+1)
+	for j := range M {
+		M[j] = make([]int32, n+1)
+		X[j] = make([]int32, n+1)
+		Y[j] = make([]int32, n+1)
+		for i := range M[j] {
+			M[j][i], X[j][i], Y[j][i] = negInf, negInf, negInf
+		}
+	}
+	M[0][0] = 0
+	for i := 1; i <= n; i++ {
+		Y[0][i] = p.GapOpen + p.GapExtend*int32(i-1)
+	}
+	for j := 1; j <= m; j++ {
+		X[j][0] = p.GapOpen + p.GapExtend*int32(j-1)
+	}
+	max3 := func(a, b, c int32) int32 {
+		if b > a {
+			a = b
+		}
+		if c > a {
+			a = c
+		}
+		return a
+	}
+	for j := 1; j <= m; j++ {
+		for i := 1; i <= n; i++ {
+			sub := p.Mismatch
+			if read[i-1] == ref[j-1] {
+				sub = p.Match
+			}
+			if d := max3(M[j-1][i-1], X[j-1][i-1], Y[j-1][i-1]); d > negInf {
+				M[j][i] = d + sub
+			}
+			xo, xe := M[j-1][i]+p.GapOpen, X[j-1][i]+p.GapExtend
+			if M[j-1][i] == negInf {
+				xo = negInf
+			}
+			if X[j-1][i] == negInf {
+				xe = negInf
+			}
+			if xo > xe {
+				X[j][i] = xo
+			} else {
+				X[j][i] = xe
+			}
+			yo, ye := M[j][i-1]+p.GapOpen, Y[j][i-1]+p.GapExtend
+			if M[j][i-1] == negInf {
+				yo = negInf
+			}
+			if Y[j][i-1] == negInf {
+				ye = negInf
+			}
+			if yo > ye {
+				Y[j][i] = yo
+			} else {
+				Y[j][i] = ye
+			}
+		}
+	}
+	return max3(M[m][n], X[m][n], Y[m][n])
+}
+
+func TestGlobalMatchesNaive(t *testing.T) {
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		ref := randSeq(30+rng.Intn(40), int64(trial))
+		// Derive the read by mutating the ref: substitutions + indels.
+		read := ref.Clone()
+		for k := 0; k < rng.Intn(4); k++ {
+			p := rng.Intn(len(read))
+			read[p] = (read[p] + 1) & 3
+		}
+		if rng.Intn(2) == 0 && len(read) > 12 {
+			cut := 1 + rng.Intn(3)
+			at := rng.Intn(len(read) - cut)
+			read = append(read[:at].Clone(), read[at+cut:]...)
+		}
+		got := Global(read, ref, p)
+		want := naiveGlobal(read, ref, p)
+		if got.Score != want {
+			t.Fatalf("trial %d: banded %d != naive %d", trial, got.Score, want)
+		}
+		// CIGAR consistency: consumed lengths match inputs, column counts
+		// match the tallies.
+		ri, fj := 0, 0
+		for _, op := range got.CIGAR {
+			switch op.Kind {
+			case OpMatch:
+				ri += op.Len
+				fj += op.Len
+			case OpInsert:
+				ri += op.Len
+			case OpDelete:
+				fj += op.Len
+			}
+		}
+		if ri != len(read) || fj != len(ref) {
+			t.Fatalf("trial %d: CIGAR consumes %d/%d of %d/%d", trial, ri, fj, len(read), len(ref))
+		}
+		if got.Matches+got.Mismatches+got.Gaps != ri+fj-got.Matches-got.Mismatches {
+			// columns consume 2 bases; gaps 1: total bases = 2*(cols) + gaps
+			t.Fatalf("trial %d: inconsistent tallies", trial)
+		}
+	}
+}
+
+func TestBandTooNarrowStillTerminates(t *testing.T) {
+	// A read much longer than the ref forces the band to widen to the
+	// length difference.
+	ref := dna.MustParse("ACGT")
+	read := randSeq(60, 9)
+	r := Global(read, ref, Params{Match: 1, Mismatch: -4, GapOpen: -6, GapExtend: -1, Band: 2})
+	if r.Score <= negInf {
+		t.Error("alignment unreachable despite widened band")
+	}
+}
+
+func BenchmarkGlobal150(b *testing.B) {
+	ref := randSeq(150, 1)
+	read := ref.Clone()
+	read[40] = (read[40] + 1) & 3
+	read = append(read[:100].Clone(), read[101:]...)
+	p := DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Global(read, ref, p)
+	}
+}

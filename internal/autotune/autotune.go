@@ -1,0 +1,324 @@
+// Package autotune implements the paper's second case study (§VII-B): an
+// exhaustive cross-product sweep over the proxy's three tuning parameters —
+// scheduler, batch size, and initial CachedGBWT capacity — measuring the
+// makespan of each combination, identifying the best configuration per
+// input set and platform, and quantifying per-parameter significance with
+// ANOVA. Cross-platform results project real local measurements through the
+// machine models of package machine (the substitution DESIGN.md documents).
+package autotune
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gbwt"
+	"repro/internal/gbz"
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/seeds"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Combo is one point of the tuning cross-product.
+type Combo struct {
+	Scheduler sched.Kind
+	BatchSize int
+	Capacity  int
+}
+
+// String renders "scheduler/BS/CC".
+func (c Combo) String() string {
+	return fmt.Sprintf("%s/bs%d/cc%d", c.Scheduler, c.BatchSize, c.Capacity)
+}
+
+// DefaultCombo is Giraffe's default configuration (OpenMP dynamic, batch
+// 512, capacity 256).
+func DefaultCombo() Combo {
+	return Combo{Scheduler: sched.Dynamic, BatchSize: sched.DefaultBatchSize, Capacity: gbwt.DefaultCacheCapacity}
+}
+
+// Space is the searched parameter grid.
+type Space struct {
+	Schedulers []sched.Kind
+	BatchSizes []int
+	Capacities []int
+}
+
+// DefaultSpace mirrors the paper's grid: both schedulers, batch sizes in
+// powers of two from 128 to 2048, and capacities up to the 4096 the
+// preliminary study (Fig. 6) identified as the useful ceiling.
+func DefaultSpace() Space {
+	return Space{
+		Schedulers: []sched.Kind{sched.Dynamic, sched.WorkStealing},
+		BatchSizes: []int{128, 256, 512, 1024, 2048},
+		Capacities: []int{256, 512, 1024, 2048, 4096},
+	}
+}
+
+// Combos enumerates the cross-product, including the default combo if the
+// grid does not already contain it.
+func (s Space) Combos() []Combo {
+	var out []Combo
+	seen := map[Combo]bool{}
+	for _, sc := range s.Schedulers {
+		for _, bs := range s.BatchSizes {
+			for _, cc := range s.Capacities {
+				c := Combo{Scheduler: sc, BatchSize: bs, Capacity: cc}
+				out = append(out, c)
+				seen[c] = true
+			}
+		}
+	}
+	if d := DefaultCombo(); !seen[d] {
+		out = append(out, d)
+	}
+	return out
+}
+
+// Measurement is one measured grid point.
+type Measurement struct {
+	Combo
+	// Makespan is the best (minimum) wall time across repeats — the paper's
+	// end-to-end tuning metric.
+	Makespan time.Duration
+	// Cache aggregates the run's CachedGBWT statistics.
+	Cache gbwt.CacheStats
+	// Imbalance is max/mean worker load.
+	Imbalance float64
+}
+
+// Grid is a completed sweep for one input set.
+type Grid struct {
+	Input        string
+	Threads      int
+	Reads        int
+	Measurements []Measurement
+}
+
+// Progress receives a note per completed combo; may be nil.
+type Progress func(done, total int, m Measurement)
+
+// RunGrid measures every combo on the local machine. repeats ≥ 1 runs each
+// combo multiple times keeping the minimum makespan (the paper averaged
+// over factorial repetitions; minimum is the standard noise-robust choice
+// for makespans).
+func RunGrid(f *gbz.File, recs []seeds.ReadSeeds, threads int, space Space, repeats int, progress Progress) (*Grid, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	combos := space.Combos()
+	g := &Grid{Threads: threads, Reads: len(recs), Measurements: make([]Measurement, 0, len(combos))}
+	for ci, c := range combos {
+		var best Measurement
+		for rep := 0; rep < repeats; rep++ {
+			res, err := core.Run(f, recs, core.Options{
+				Threads:       threads,
+				BatchSize:     c.BatchSize,
+				CacheCapacity: c.Capacity,
+				Scheduler:     c.Scheduler,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("autotune: combo %s: %w", c, err)
+			}
+			m := Measurement{
+				Combo:     c,
+				Makespan:  res.Makespan,
+				Cache:     res.Cache,
+				Imbalance: res.Sched.Imbalance(),
+			}
+			if rep == 0 || m.Makespan < best.Makespan {
+				best = m
+			}
+		}
+		g.Measurements = append(g.Measurements, best)
+		if progress != nil {
+			progress(ci+1, len(combos), best)
+		}
+	}
+	return g, nil
+}
+
+// Best returns the minimum-makespan measurement.
+func (g *Grid) Best() (Measurement, error) {
+	if len(g.Measurements) == 0 {
+		return Measurement{}, errors.New("autotune: empty grid")
+	}
+	best := g.Measurements[0]
+	for _, m := range g.Measurements[1:] {
+		if m.Makespan < best.Makespan {
+			best = m
+		}
+	}
+	return best, nil
+}
+
+// Default returns the default-combo measurement.
+func (g *Grid) Default() (Measurement, error) {
+	d := DefaultCombo()
+	for _, m := range g.Measurements {
+		if m.Combo == d {
+			return m, nil
+		}
+	}
+	return Measurement{}, errors.New("autotune: grid lacks the default combo")
+}
+
+// Speedup returns default makespan / best makespan — the per-cell value of
+// Figure 7's comparison.
+func (g *Grid) Speedup() (float64, error) {
+	best, err := g.Best()
+	if err != nil {
+		return 0, err
+	}
+	def, err := g.Default()
+	if err != nil {
+		return 0, err
+	}
+	if best.Makespan <= 0 {
+		return 0, errors.New("autotune: degenerate best makespan")
+	}
+	return float64(def.Makespan) / float64(best.Makespan), nil
+}
+
+// ANOVAByFactor runs the §VII-B analysis on the grid: a one-way ANOVA per
+// tuning factor with all other factors treated as replicates. Values are
+// makespans in seconds.
+func (g *Grid) ANOVAByFactor() (map[string]stats.ANOVA, error) {
+	obs := make([]stats.Observation, 0, len(g.Measurements))
+	for _, m := range g.Measurements {
+		obs = append(obs, stats.Observation{
+			Levels: map[string]string{
+				"scheduler": m.Scheduler.String(),
+				"batch":     fmt.Sprint(m.BatchSize),
+				"capacity":  fmt.Sprint(m.Capacity),
+			},
+			Value: m.Makespan.Seconds(),
+		})
+	}
+	out := make(map[string]stats.ANOVA, 3)
+	for _, factor := range []string{"scheduler", "batch", "capacity"} {
+		a, err := stats.FactorANOVA(obs, factor)
+		if err != nil {
+			return nil, fmt.Errorf("autotune: ANOVA on %s: %w", factor, err)
+		}
+		out[factor] = a
+	}
+	return out, nil
+}
+
+// Projection carries a grid's makespans projected onto one modelled
+// platform.
+type Projection struct {
+	Machine machine.Machine
+	Input   string
+	// Seconds[i] is the projected makespan of Grid.Measurements[i].
+	Seconds []float64
+	// OOM is true when the workload does not fit the machine's DRAM.
+	OOM bool
+}
+
+// Project maps locally measured makespans onto a modelled machine: the local
+// measurement is converted to a serial reference (multiplying by the
+// effective local parallelism), then re-divided by the target machine's
+// speedup curve with its cache factor applied to the combo's working set.
+func Project(g *Grid, b *workload.Bundle, m machine.Machine, localSpeedup float64) (*Projection, error) {
+	if localSpeedup <= 0 {
+		return nil, errors.New("autotune: local speedup must be positive")
+	}
+	p := &Projection{Machine: m, Input: g.Input, Seconds: make([]float64, len(g.Measurements))}
+	if !m.CanHold(b.Spec.MemGB) {
+		p.OOM = true
+		return p, nil
+	}
+	for i, meas := range g.Measurements {
+		serialRef := meas.Makespan.Seconds() * localSpeedup
+		w := machine.Workload{
+			SerialRefSec: serialRef,
+			Reads:        g.Reads,
+			WorkingSetMB: b.WorkingSetMB(meas.Capacity, m.MaxThreads()),
+			MemGB:        b.Spec.MemGB,
+		}
+		t, err := m.SimTime(w, m.MaxThreads())
+		if err != nil {
+			return nil, err
+		}
+		p.Seconds[i] = t
+	}
+	return p, nil
+}
+
+// BestIndex returns the index of the fastest projected combo.
+func (p *Projection) BestIndex() (int, error) {
+	if p.OOM || len(p.Seconds) == 0 {
+		return 0, errors.New("autotune: projection has no data")
+	}
+	best := 0
+	for i, s := range p.Seconds {
+		if s < p.Seconds[best] {
+			best = i
+		}
+	}
+	return best, nil
+}
+
+// DefaultIndex returns the index of the default combo in the grid.
+func (g *Grid) DefaultIndex() (int, error) {
+	d := DefaultCombo()
+	for i, m := range g.Measurements {
+		if m.Combo == d {
+			return i, nil
+		}
+	}
+	return 0, errors.New("autotune: grid lacks the default combo")
+}
+
+// WriteHeatmapCSV emits the Figure 8 data: one row per (scheduler, batch),
+// one column per capacity, cell = makespan seconds from the projection (or
+// the local grid when proj is nil).
+func WriteHeatmapCSV(w io.Writer, g *Grid, proj *Projection, space Space) error {
+	value := func(i int) float64 {
+		if proj != nil {
+			return proj.Seconds[i]
+		}
+		return g.Measurements[i].Makespan.Seconds()
+	}
+	index := make(map[Combo]int, len(g.Measurements))
+	for i, m := range g.Measurements {
+		index[m.Combo] = i
+	}
+	if _, err := fmt.Fprint(w, "scheduler,batch"); err != nil {
+		return err
+	}
+	for _, cc := range space.Capacities {
+		if _, err := fmt.Fprintf(w, ",cc%d", cc); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for _, sc := range space.Schedulers {
+		for _, bs := range space.BatchSizes {
+			if _, err := fmt.Fprintf(w, "%s,%d", sc, bs); err != nil {
+				return err
+			}
+			for _, cc := range space.Capacities {
+				i, ok := index[Combo{Scheduler: sc, BatchSize: bs, Capacity: cc}]
+				if !ok {
+					return fmt.Errorf("autotune: grid missing combo %s/%d/%d", sc, bs, cc)
+				}
+				if _, err := fmt.Fprintf(w, ",%.4f", value(i)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

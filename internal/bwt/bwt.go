@@ -1,0 +1,146 @@
+// Package bwt implements the Burrows-Wheeler Transform and an FM-index over
+// byte strings. The BWT permutes a string to make it more compressible
+// (Manzini, JACM 2001) and, combined with rank structures, yields the
+// Full-text Minute-space (FM) index of Ferragina & Manzini — the text-index
+// machinery that the Graph BWT (package gbwt) generalises to paths in a
+// variation graph.
+package bwt
+
+import (
+	"errors"
+	"sort"
+)
+
+// sentinel terminates the text inside the index. Input text must not contain
+// it.
+const sentinel byte = 0
+
+// ErrSentinelInText reports a 0x00 byte in the input text.
+var ErrSentinelInText = errors.New("bwt: text contains the 0x00 sentinel byte")
+
+// SuffixArray computes the suffix array of text (no sentinel) using prefix
+// doubling: O(n log^2 n) with deterministic output. sa[i] is the start of the
+// i-th smallest suffix.
+func SuffixArray(text []byte) []int {
+	n := len(text)
+	if n == 0 {
+		return nil
+	}
+	sa := make([]int, n)
+	rank := make([]int, n)
+	tmp := make([]int, n)
+	for i := 0; i < n; i++ {
+		sa[i] = i
+		rank[i] = int(text[i])
+	}
+	for k := 1; ; k *= 2 {
+		key := func(i int) (int, int) {
+			second := -1
+			if i+k < n {
+				second = rank[i+k]
+			}
+			return rank[i], second
+		}
+		sort.Slice(sa, func(a, b int) bool {
+			r1a, r2a := key(sa[a])
+			r1b, r2b := key(sa[b])
+			if r1a != r1b {
+				return r1a < r1b
+			}
+			return r2a < r2b
+		})
+		tmp[sa[0]] = 0
+		for i := 1; i < n; i++ {
+			r1p, r2p := key(sa[i-1])
+			r1c, r2c := key(sa[i])
+			tmp[sa[i]] = tmp[sa[i-1]]
+			if r1p != r1c || r2p != r2c {
+				tmp[sa[i]]++
+			}
+		}
+		copy(rank, tmp)
+		if rank[sa[n-1]] == n-1 {
+			break
+		}
+	}
+	return sa
+}
+
+// Transform returns the Burrows-Wheeler Transform of text||sentinel, together
+// with the position of the sentinel in the output (the "primary index"
+// needed for inversion).
+func Transform(text []byte) (bwt []byte, primary int, err error) {
+	for _, c := range text {
+		if c == sentinel {
+			return nil, 0, ErrSentinelInText
+		}
+	}
+	// SA of text+sentinel: the sentinel suffix is the smallest, so it sorts
+	// first; compute the SA of the text alone and prepend the sentinel
+	// position.
+	n := len(text)
+	sa := SuffixArray(text)
+	bwt = make([]byte, n+1)
+	// Row 0 corresponds to the suffix starting at the sentinel (position n);
+	// its preceding character is text[n-1] (or sentinel if text is empty).
+	if n == 0 {
+		return []byte{sentinel}, 0, nil
+	}
+	bwt[0] = text[n-1]
+	primary = -1
+	for i, s := range sa {
+		if s == 0 {
+			bwt[i+1] = sentinel
+			primary = i + 1
+		} else {
+			bwt[i+1] = text[s-1]
+		}
+	}
+	return bwt, primary, nil
+}
+
+// Invert reconstructs the original text from its BWT and primary index,
+// inverting Transform.
+func Invert(bwt []byte, primary int) ([]byte, error) {
+	n := len(bwt)
+	if n == 0 {
+		return nil, errors.New("bwt: empty transform")
+	}
+	if primary < 0 || primary >= n {
+		return nil, errors.New("bwt: primary index out of range")
+	}
+	// LF mapping via counting sort.
+	var counts [256]int
+	for _, c := range bwt {
+		counts[c]++
+	}
+	var cum [256]int
+	total := 0
+	for c := 0; c < 256; c++ {
+		cum[c] = total
+		total += counts[c]
+	}
+	lf := make([]int, n)
+	var seen [256]int
+	for i, c := range bwt {
+		lf[i] = cum[c] + seen[c]
+		seen[c]++
+	}
+	// Row 0 is always the rotation beginning with the sentinel; its BWT
+	// character is the last text character, and following LF walks the text
+	// right-to-left, ending at the primary (sentinel-carrying) row.
+	out := make([]byte, n-1)
+	row := 0
+	for i := n - 2; i >= 0; i-- {
+		c := bwt[row]
+		if c == sentinel {
+			return nil, errors.New("bwt: unexpected interior sentinel")
+		}
+		out[i] = c
+		row = lf[row]
+	}
+	if row != primary {
+		return nil, errors.New("bwt: inversion did not terminate at the primary row")
+	}
+	return out, nil
+}

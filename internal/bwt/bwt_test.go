@@ -1,0 +1,273 @@
+package bwt
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSuffixArraySmall(t *testing.T) {
+	text := []byte("banana")
+	sa := SuffixArray(text)
+	want := []int{5, 3, 1, 0, 4, 2} // a, ana, anana, banana, na, nana
+	for i := range want {
+		if sa[i] != want[i] {
+			t.Fatalf("sa = %v, want %v", sa, want)
+		}
+	}
+}
+
+func TestSuffixArraySortedProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		// Map to a small alphabet to force ties.
+		text := make([]byte, len(raw))
+		for i, b := range raw {
+			text[i] = 'a' + b%3
+		}
+		sa := SuffixArray(text)
+		if len(sa) != len(text) {
+			return false
+		}
+		seen := make([]bool, len(text))
+		for _, s := range sa {
+			if s < 0 || s >= len(text) || seen[s] {
+				return false
+			}
+			seen[s] = true
+		}
+		for i := 1; i < len(sa); i++ {
+			if bytes.Compare(text[sa[i-1]:], text[sa[i]:]) > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransformKnown(t *testing.T) {
+	bw, primary, err := Transform([]byte("abc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(bw) != "c\x00ab" || primary != 1 {
+		t.Errorf("Transform(abc) = %q primary %d", bw, primary)
+	}
+}
+
+func TestTransformRejectsSentinel(t *testing.T) {
+	if _, _, err := Transform([]byte{'a', 0, 'b'}); err == nil {
+		t.Error("want error for text containing 0x00")
+	}
+}
+
+func TestInvertRoundTrip(t *testing.T) {
+	f := func(raw []byte) bool {
+		text := make([]byte, len(raw))
+		for i, b := range raw {
+			text[i] = 'A' + b%4
+		}
+		bw, primary, err := Transform(text)
+		if err != nil {
+			return false
+		}
+		back, err := Invert(bw, primary)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(back, text)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvertErrors(t *testing.T) {
+	if _, err := Invert(nil, 0); err == nil {
+		t.Error("empty bwt accepted")
+	}
+	if _, err := Invert([]byte{0}, 5); err == nil {
+		t.Error("bad primary accepted")
+	}
+}
+
+func naiveCount(text, pattern string) int {
+	if pattern == "" {
+		return len(text) + 1
+	}
+	n := 0
+	for i := 0; i+len(pattern) <= len(text); i++ {
+		if text[i:i+len(pattern)] == pattern {
+			n++
+		}
+	}
+	return n
+}
+
+func TestFMIndexCountMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var sb strings.Builder
+	for i := 0; i < 700; i++ {
+		sb.WriteByte("ACGT"[rng.Intn(4)])
+	}
+	text := sb.String()
+	idx, err := NewFMIndex([]byte(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Check(); err != nil {
+		t.Fatal(err)
+	}
+	patterns := []string{"A", "AC", "ACGT", "TTTT", "GCGC", "", "N", text[100:120], text[:40]}
+	for trial := 0; trial < 50; trial++ {
+		p := rng.Intn(len(text) - 12)
+		patterns = append(patterns, text[p:p+3+rng.Intn(9)])
+	}
+	for _, p := range patterns {
+		want := naiveCount(text, p)
+		if got := idx.Count([]byte(p)); got != want {
+			t.Errorf("Count(%q) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestFMIndexLocate(t *testing.T) {
+	text := []byte("abracadabra")
+	idx, err := NewFMIndex(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := idx.Locate([]byte("abra"))
+	want := []int{0, 7}
+	if len(got) != len(want) {
+		t.Fatalf("Locate = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Locate = %v, want %v", got, want)
+		}
+	}
+	if locs := idx.Locate([]byte("zzz")); locs != nil {
+		t.Errorf("Locate(zzz) = %v, want nil", locs)
+	}
+	if locs := idx.Locate(nil); locs != nil {
+		t.Errorf("Locate(empty) = %v, want nil", locs)
+	}
+}
+
+func TestFMIndexLocateRandomised(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	text := make([]byte, 513)
+	for i := range text {
+		text[i] = "ab"[rng.Intn(2)]
+	}
+	idx, err := NewFMIndex(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		plen := 1 + rng.Intn(7)
+		start := rng.Intn(len(text) - plen)
+		p := text[start : start+plen]
+		got := idx.Locate(p)
+		var want []int
+		for i := 0; i+len(p) <= len(text); i++ {
+			if bytes.Equal(text[i:i+len(p)], p) {
+				want = append(want, i)
+			}
+		}
+		sort.Ints(want)
+		if len(got) != len(want) {
+			t.Fatalf("Locate(%q): %d hits, want %d", p, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Locate(%q) = %v, want %v", p, got, want)
+			}
+		}
+	}
+}
+
+func TestFMIndexExtract(t *testing.T) {
+	text := []byte("the quick brown fox")
+	idx, err := NewFMIndex(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := idx.Extract(4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "quick" {
+		t.Errorf("Extract = %q, want quick", got)
+	}
+	if _, err := idx.Extract(-1, 3); err == nil {
+		t.Error("negative start accepted")
+	}
+	if _, err := idx.Extract(3, 100); err == nil {
+		t.Error("overlong end accepted")
+	}
+}
+
+func TestFMIndexEmptyText(t *testing.T) {
+	idx, err := NewFMIndex(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != 0 {
+		t.Errorf("Len = %d", idx.Len())
+	}
+	if idx.Contains([]byte("a")) {
+		t.Error("empty text contains 'a'")
+	}
+}
+
+func TestFMIndexLargeAlphabet(t *testing.T) {
+	text := []byte("m\xffi\x80x\x01e\x02d bytes \xfe\xfd")
+	idx, err := NewFMIndex(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idx.Contains([]byte{0xfe, 0xfd}) {
+		t.Error("missing high-byte pattern")
+	}
+	if idx.Count([]byte{0xff}) != 1 {
+		t.Error("wrong count for 0xff")
+	}
+}
+
+func BenchmarkFMIndexBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	text := make([]byte, 1<<14)
+	for i := range text {
+		text[i] = "ACGT"[rng.Intn(4)]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewFMIndex(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFMIndexCount(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	text := make([]byte, 1<<15)
+	for i := range text {
+		text[i] = "ACGT"[rng.Intn(4)]
+	}
+	idx, err := NewFMIndex(text)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pattern := text[1024:1056]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Count(pattern)
+	}
+}

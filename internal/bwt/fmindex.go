@@ -1,0 +1,222 @@
+package bwt
+
+import (
+	"errors"
+	"fmt"
+)
+
+// occSampleRate is the spacing of occurrence-table checkpoints; rank queries
+// scan at most this many BWT bytes past a checkpoint.
+const occSampleRate = 128
+
+// saSampleRate is the spacing of suffix-array samples used by Locate.
+const saSampleRate = 32
+
+// FMIndex is a Full-text Minute-space index over a byte string: the BWT plus
+// cumulative character counts and sampled occurrence/suffix-array tables.
+// It supports backward-search Count and Locate.
+type FMIndex struct {
+	bwt     []byte
+	primary int
+	// c[ch] = number of characters in the BWT strictly smaller than ch.
+	c [257]int
+	// occ checkpoints: occ[(i/occSampleRate)][ch] = occurrences of ch in
+	// bwt[0:i-i%occSampleRate). Stored per present character via a dense map
+	// keyed by the alphabet slice to keep memory modest for small alphabets.
+	alphabet []byte
+	chIdx    [256]int16 // -1 when absent
+	occ      [][]int32
+	// Sampled SA: samples[j] = SA value at BWT row r when r%saSampleRate==0,
+	// taken over text+sentinel coordinates.
+	samples []int32
+	n       int // len(text), excludes sentinel
+}
+
+// NewFMIndex builds the index for text. Text must not contain 0x00.
+func NewFMIndex(text []byte) (*FMIndex, error) {
+	bw, primary, err := Transform(text)
+	if err != nil {
+		return nil, err
+	}
+	idx := &FMIndex{bwt: bw, primary: primary, n: len(text)}
+	var counts [256]int
+	for _, ch := range bw {
+		counts[ch]++
+	}
+	total := 0
+	for ch := 0; ch < 256; ch++ {
+		idx.c[ch] = total
+		total += counts[ch]
+	}
+	idx.c[256] = total
+	for i := range idx.chIdx {
+		idx.chIdx[i] = -1
+	}
+	for ch := 0; ch < 256; ch++ {
+		if counts[ch] > 0 {
+			idx.chIdx[ch] = int16(len(idx.alphabet))
+			idx.alphabet = append(idx.alphabet, byte(ch))
+		}
+	}
+	// Occurrence checkpoints.
+	nCk := len(bw)/occSampleRate + 1
+	idx.occ = make([][]int32, nCk)
+	running := make([]int32, len(idx.alphabet))
+	for i := 0; i <= len(bw); i++ {
+		if i%occSampleRate == 0 {
+			ck := make([]int32, len(running))
+			copy(ck, running)
+			idx.occ[i/occSampleRate] = ck
+		}
+		if i < len(bw) {
+			running[idx.chIdx[bw[i]]]++
+		}
+	}
+	// SA samples: recompute SA (Transform discarded it). For the sentinel
+	// row ordering used by Transform, row 0 ↦ position n (the sentinel) and
+	// row i+1 ↦ sa[i].
+	sa := SuffixArray(text)
+	for row := 0; row < len(bw); row += saSampleRate {
+		var pos int
+		if row == 0 {
+			pos = len(text)
+		} else {
+			pos = sa[row-1]
+		}
+		idx.samples = append(idx.samples, int32(pos))
+	}
+	return idx, nil
+}
+
+// Len returns the indexed text length (excluding the sentinel).
+func (f *FMIndex) Len() int { return f.n }
+
+// rank returns the number of occurrences of ch in bwt[0:i).
+func (f *FMIndex) rank(ch byte, i int) int {
+	ci := f.chIdx[ch]
+	if ci < 0 {
+		return 0
+	}
+	ck := i / occSampleRate
+	cnt := int(f.occ[ck][ci])
+	for j := ck * occSampleRate; j < i; j++ {
+		if f.bwt[j] == ch {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// lf computes the LF mapping of BWT row i.
+func (f *FMIndex) lf(i int) int {
+	ch := f.bwt[i]
+	return f.c[ch] + f.rank(ch, i)
+}
+
+// Count returns the number of occurrences of pattern in the text using
+// backward search. The empty pattern yields the full search interval, n+1.
+func (f *FMIndex) Count(pattern []byte) int {
+	lo, hi, ok := f.interval(pattern)
+	if !ok {
+		return 0
+	}
+	return hi - lo
+}
+
+// Contains reports whether the pattern occurs in the text.
+func (f *FMIndex) Contains(pattern []byte) bool { return f.Count(pattern) > 0 }
+
+// interval performs backward search, returning the BWT row interval [lo,hi)
+// of suffixes prefixed by pattern.
+func (f *FMIndex) interval(pattern []byte) (lo, hi int, ok bool) {
+	lo, hi = 0, len(f.bwt)
+	for i := len(pattern) - 1; i >= 0; i-- {
+		ch := pattern[i]
+		if f.chIdx[ch] < 0 {
+			return 0, 0, false
+		}
+		lo = f.c[ch] + f.rank(ch, lo)
+		hi = f.c[ch] + f.rank(ch, hi)
+		if lo >= hi {
+			return 0, 0, false
+		}
+	}
+	return lo, hi, true
+}
+
+// Locate returns the sorted text positions of all occurrences of pattern.
+func (f *FMIndex) Locate(pattern []byte) []int {
+	lo, hi, ok := f.interval(pattern)
+	if !ok || len(pattern) == 0 {
+		return nil
+	}
+	out := make([]int, 0, hi-lo)
+	for row := lo; row < hi; row++ {
+		out = append(out, f.position(row))
+	}
+	insertionSortInts(out)
+	return out
+}
+
+// position resolves BWT row → text position by LF-walking to a sample.
+func (f *FMIndex) position(row int) int {
+	steps := 0
+	for row%saSampleRate != 0 {
+		row = f.lf(row)
+		steps++
+	}
+	pos := int(f.samples[row/saSampleRate]) + steps
+	total := f.n + 1
+	if pos >= total {
+		pos -= total
+	}
+	return pos
+}
+
+func insertionSortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Extract reconstructs text[start:end) from the index (used to verify the
+// index is self-contained).
+func (f *FMIndex) Extract(start, end int) ([]byte, error) {
+	if start < 0 || end > f.n || start > end {
+		return nil, fmt.Errorf("bwt: Extract range [%d,%d) outside [0,%d)", start, end, f.n)
+	}
+	// Reconstruct the whole text by inversion, then slice. The FM-index is a
+	// reference/validation structure in this codebase, not the hot path, so
+	// simplicity wins over a sampled-extract.
+	text, err := Invert(f.bwt, f.primary)
+	if err != nil {
+		return nil, err
+	}
+	return text[start:end], nil
+}
+
+// ErrCorrupt reports structural corruption detected by Check.
+var ErrCorrupt = errors.New("bwt: corrupt index")
+
+// Check verifies internal invariants: exactly one sentinel, C-array totals,
+// checkpoint monotonicity.
+func (f *FMIndex) Check() error {
+	sentinels := 0
+	for _, ch := range f.bwt {
+		if ch == sentinel {
+			sentinels++
+		}
+	}
+	if sentinels != 1 {
+		return fmt.Errorf("%w: %d sentinels", ErrCorrupt, sentinels)
+	}
+	if f.c[256] != len(f.bwt) {
+		return fmt.Errorf("%w: C total %d != %d", ErrCorrupt, f.c[256], len(f.bwt))
+	}
+	if f.bwt[f.primary] != sentinel {
+		return fmt.Errorf("%w: primary row %d is not the sentinel", ErrCorrupt, f.primary)
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+// Package cluster implements cluster_seeds, the second most expensive
+// critical function in Giraffe's mapping pipeline (11.6%–21% of runtime in
+// the paper's characterisation, §IV-A): it groups a read's seeds by minimum
+// graph distance and scores each group so the extension stage can
+// concentrate on the most promising regions of the pangenome.
+package cluster
+
+import (
+	"sort"
+
+	"repro/internal/counters"
+	"repro/internal/distindex"
+	"repro/internal/seeds"
+)
+
+// Params tunes the clustering kernel.
+type Params struct {
+	// DistanceLimit is the maximum graph distance (bases) between two seeds
+	// in the same cluster. Giraffe derives it from the read length; the
+	// synthetic workloads default to 200.
+	DistanceLimit int
+	// CheckWindow bounds how many backbone-sorted neighbours each seed is
+	// compared against; seeds further apart in backbone order than this are
+	// connected transitively if at all.
+	CheckWindow int
+}
+
+// DefaultParams mirrors Giraffe's short-read defaults at this scale.
+func DefaultParams() Params { return Params{DistanceLimit: 200, CheckWindow: 6} }
+
+// normalize fills zero fields with defaults so a zero Params means "Giraffe
+// defaults", matching extend.Params behaviour.
+func (p Params) normalize() Params {
+	d := DefaultParams()
+	if p.DistanceLimit == 0 {
+		p.DistanceLimit = d.DistanceLimit
+	}
+	if p.CheckWindow == 0 {
+		p.CheckWindow = d.CheckWindow
+	}
+	return p
+}
+
+// Cluster is one group of distance-consistent seeds.
+type Cluster struct {
+	// SeedIdx are indices into the read's seed slice, ascending.
+	SeedIdx []int
+	// Score is the sum, over distinct read offsets in the cluster, of the
+	// best minimizer score at that offset — Giraffe's cluster score.
+	Score float64
+}
+
+// unionFind is a standard path-halving union-find.
+type unionFind struct {
+	parent []int
+}
+
+func newUnionFind(n int) *unionFind {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		u.parent[rb] = ra
+	}
+}
+
+// ClusterSeeds groups the seeds of one read. readIdx identifies the read for
+// the instrumentation address map; probe may be nil.
+//
+// The algorithm sorts seeds by orientation and projected backbone
+// coordinate, then unions each seed with its nearby neighbours whenever
+// their exact graph distance is within the limit. Same-orientation seeds
+// only: a forward and a reverse seed never share a cluster.
+func ClusterSeeds(ix *distindex.Index, ss []seeds.Seed, p Params, probe counters.Probe, readIdx int) []Cluster {
+	p = p.normalize()
+	if len(ss) == 0 {
+		return nil
+	}
+	g := ix.Graph()
+	// Sort seed indices by (orientation, backbone coordinate).
+	order := make([]int, len(ss))
+	coord := make([]int, len(ss))
+	for i := range ss {
+		order[i] = i
+		coord[i] = int(g.Backbone(ss[i].Pos.Node)) + int(ss[i].Pos.Off)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if ss[ia].Rev != ss[ib].Rev {
+			return !ss[ia].Rev
+		}
+		if coord[ia] != coord[ib] {
+			return coord[ia] < coord[ib]
+		}
+		return ia < ib
+	})
+	if probe != nil {
+		// Sorting cost and one touch per seed record.
+		probe.Instr(int64(len(ss)) * 24)
+		for i := range ss {
+			probe.Access(counters.SeedAddr(readIdx, i), counters.SeedSize)
+		}
+	}
+
+	uf := newUnionFind(len(ss))
+	for a := 0; a < len(order); a++ {
+		i := order[a]
+		for b := a + 1; b < len(order) && b <= a+p.CheckWindow; b++ {
+			j := order[b]
+			if ss[i].Rev != ss[j].Rev {
+				break // orientation groups are contiguous in the sort
+			}
+			if coord[j]-coord[i] > p.DistanceLimit {
+				break // sorted by coordinate: later neighbours only farther
+			}
+			if probe != nil {
+				probe.Instr(40)
+				probe.Access(counters.NodeSeqAddr(uint32(ss[i].Pos.Node), 0), 8)
+				probe.Access(counters.NodeSeqAddr(uint32(ss[j].Pos.Node), 0), 8)
+			}
+			d := ix.MinDistance(ss[i].Pos, ss[j].Pos, p.DistanceLimit)
+			if d != distindex.Unreachable {
+				uf.union(i, j)
+			}
+		}
+	}
+
+	// Collect clusters and score them.
+	groups := make(map[int][]int)
+	for i := range ss {
+		r := uf.find(i)
+		groups[r] = append(groups[r], i)
+	}
+	out := make([]Cluster, 0, len(groups))
+	for _, idxs := range groups {
+		sort.Ints(idxs)
+		out = append(out, Cluster{SeedIdx: idxs, Score: scoreCluster(ss, idxs)})
+	}
+	// Deterministic order: score descending, then first seed index.
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].SeedIdx[0] < out[b].SeedIdx[0]
+	})
+	if probe != nil {
+		probe.Instr(int64(len(out)) * 16)
+	}
+	return out
+}
+
+// scoreCluster sums the best minimizer score per distinct read offset.
+func scoreCluster(ss []seeds.Seed, idxs []int) float64 {
+	best := make(map[int32]float64, len(idxs))
+	for _, i := range idxs {
+		if s := float64(ss[i].Score); s > best[ss[i].ReadOff] {
+			best[ss[i].ReadOff] = s
+		}
+	}
+	total := 0.0
+	for _, s := range best {
+		total += s
+	}
+	return total
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/gbz"
+	"repro/internal/sched"
+	"repro/internal/seeds"
+	"repro/internal/workload"
+)
+
+// Ablation benchmarks over the proxy's tuning surface: scheduler policy,
+// batch size, CachedGBWT capacity, and instrumentation overhead.
+
+var (
+	ablOnce sync.Once
+	ablFile *gbz.File
+	ablRecs []seeds.ReadSeeds
+	ablErr  error
+)
+
+func ablationFixture(b *testing.B) (*gbz.File, []seeds.ReadSeeds) {
+	b.Helper()
+	ablOnce.Do(func() {
+		ablFile, ablRecs, ablErr = fixtureShared()
+	})
+	if ablErr != nil {
+		b.Fatal(ablErr)
+	}
+	return ablFile, ablRecs
+}
+
+// fixtureShared builds the shared benchmark input.
+func fixtureShared() (*gbz.File, []seeds.ReadSeeds, error) {
+	bundle, err := workload.Generate(workload.AHuman().Scaled(0.2))
+	if err != nil {
+		return nil, nil, err
+	}
+	recs, err := bundle.CaptureSeeds()
+	if err != nil {
+		return nil, nil, err
+	}
+	return bundle.GBZ(), recs, nil
+}
+
+func BenchmarkAblationScheduler(b *testing.B) {
+	f, recs := ablationFixture(b)
+	for _, kind := range []sched.Kind{sched.Dynamic, sched.WorkStealing, sched.Static} {
+		b.Run(kind.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(f, recs, Options{Threads: 2, BatchSize: 64, Scheduler: kind}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationBatchSize(b *testing.B) {
+	f, recs := ablationFixture(b)
+	for _, bs := range []int{16, 128, 512, 2048} {
+		b.Run(fmt.Sprintf("bs%d", bs), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(f, recs, Options{Threads: 2, BatchSize: bs}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationCacheCapacity(b *testing.B) {
+	f, recs := ablationFixture(b)
+	for _, cc := range []int{-1, 64, 256, 4096} {
+		name := fmt.Sprintf("cc%d", cc)
+		if cc < 0 {
+			name = "disabled"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(f, recs, Options{Threads: 2, CacheCapacity: cc}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

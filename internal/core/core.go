@@ -1,0 +1,285 @@
+// Package core is miniGiraffe: the proxy application for Giraffe's
+// pangenome mapping pipeline (§V of the paper). It consumes the inputs
+// captured from the parent right before the critical functions — the reads
+// with their preprocessed seeds (package seeds' .bin format) and the
+// pangenome reference as a GBZ file — and executes exactly the two critical
+// functions, cluster_seeds and process_until_threshold_c, under a
+// configurable parallel scheduler. Its output is the raw mapping result:
+// the offsets and scores of each match, with no post-processing.
+//
+// The three tuning parameters of the paper's autotuning study (§VII-B) are
+// all exposed: scheduling policy, batch size, and the initial CachedGBWT
+// capacity.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/counters"
+	"repro/internal/distindex"
+	"repro/internal/extend"
+	"repro/internal/gbwt"
+	"repro/internal/gbz"
+	"repro/internal/sched"
+	"repro/internal/seeds"
+	"repro/internal/trace"
+)
+
+// Options configures a proxy run: the paper's tuning parameters plus
+// instrumentation hooks.
+type Options struct {
+	// Threads is the worker count; ≤0 means GOMAXPROCS.
+	Threads int
+	// BatchSize is the scheduler batch size (default 512, as in Giraffe).
+	BatchSize int
+	// CacheCapacity is each worker's initial CachedGBWT capacity; 0 means
+	// the Giraffe default (256), negative disables caching.
+	CacheCapacity int
+	// Scheduler selects the parallel scheduling policy.
+	Scheduler sched.Kind
+	// Trace records per-region spans when non-nil.
+	Trace *trace.Recorder
+	// Probe drives the hardware-counter model; only honoured with
+	// Threads == 1.
+	Probe counters.Probe
+	// Extend and Cluster tune the critical functions.
+	Extend  extend.Params
+	Cluster cluster.Params
+}
+
+func (o Options) normalize() Options {
+	if o.BatchSize <= 0 {
+		o.BatchSize = sched.DefaultBatchSize
+	}
+	switch {
+	case o.CacheCapacity == 0:
+		o.CacheCapacity = gbwt.DefaultCacheCapacity
+	case o.CacheCapacity < 0:
+		o.CacheCapacity = 0
+	}
+	return o
+}
+
+// Result is a completed proxy run.
+type Result struct {
+	// Extensions holds the raw kernel output per input record.
+	Extensions [][]extend.Extension
+	// Makespan is the end-to-end mapping wall time (the paper's tuning
+	// metric, §VII-B).
+	Makespan time.Duration
+	// Sched reports scheduler behaviour.
+	Sched sched.Stats
+	// Cache aggregates every worker's CachedGBWT statistics.
+	Cache gbwt.CacheStats
+}
+
+// Run executes the proxy over the captured records.
+func Run(f *gbz.File, records []seeds.ReadSeeds, opts Options) (*Result, error) {
+	if f == nil || f.Graph == nil || f.Index == nil {
+		return nil, errors.New("core: nil GBZ file")
+	}
+	opts = opts.normalize()
+	dist := distindex.New(f.Graph)
+	// Build the reverse orientation of the haplotype index from the GBZ's
+	// embedded paths so both extension directions are haplotype-constrained.
+	if f.Graph.NumPaths() == 0 {
+		return nil, errors.New("core: GBZ has no embedded haplotype paths")
+	}
+	paths := make([][]gbwt.NodeID, f.Graph.NumPaths())
+	for i := range paths {
+		paths[i] = f.Graph.Path(i)
+	}
+	bi, err := gbwt.FromForward(f.Index, paths)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Extensions: make([][]extend.Extension, len(records))}
+
+	// Worker count resolution mirrors sched.Run's normalisation so the
+	// per-worker reader slice is sized correctly.
+	threads := opts.Threads
+	if threads <= 0 {
+		threads = defaultThreads()
+	}
+	if threads > len(records) && len(records) > 0 {
+		threads = len(records)
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	if threads != 1 {
+		opts.Probe = nil
+	}
+	// Each batch gets a fresh CachedGBWT, as Giraffe does: the cache is
+	// rebuilt per batch of reads, so its *initial* capacity governs how much
+	// rehash-growth every batch pays — the mechanism behind the paper's most
+	// significant tuning parameter (§VII-B).
+	cacheStats := make([]gbwt.CacheStats, threads)
+
+	start := time.Now()
+	stats, err := sched.RunBatches(sched.Config{
+		Kind:      opts.Scheduler,
+		Threads:   threads,
+		BatchSize: opts.BatchSize,
+	}, len(records), func(worker, lo, hi int) {
+		reader := bi.NewBiReader(opts.CacheCapacity)
+		for i := lo; i < hi; i++ {
+			rec := &records[i]
+			var endCl func()
+			if opts.Trace != nil {
+				endCl = opts.Trace.Begin(worker, trace.RegionCluster)
+			}
+			cls := cluster.ClusterSeeds(dist, rec.Seeds, opts.Cluster, opts.Probe, i)
+			if endCl != nil {
+				endCl()
+			}
+			var endTh func()
+			if opts.Trace != nil {
+				endTh = opts.Trace.Begin(worker, trace.RegionThresholdC)
+			}
+			env := &extend.Env{Graph: f.Graph, Bi: reader, Probe: opts.Probe}
+			res.Extensions[i] = extend.ProcessUntilThresholdC(env, &rec.Read, rec.Seeds, cls, opts.Extend, i)
+			if endTh != nil {
+				endTh()
+			}
+		}
+		for _, r := range []gbwt.Reader{reader.Fwd, reader.Rev} {
+			if c, ok := r.(*gbwt.CachedGBWT); ok {
+				s := c.Stats()
+				cacheStats[worker].Accesses += s.Accesses
+				cacheStats[worker].Hits += s.Hits
+				cacheStats[worker].Misses += s.Misses
+				cacheStats[worker].Rehashes += s.Rehashes
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Makespan = time.Since(start)
+	res.Sched = stats
+	for _, s := range cacheStats {
+		res.Cache.Accesses += s.Accesses
+		res.Cache.Hits += s.Hits
+		res.Cache.Misses += s.Misses
+		res.Cache.Rehashes += s.Rehashes
+	}
+	return res, nil
+}
+
+// defaultThreads mirrors sched's default worker count.
+func defaultThreads() int { return runtime.GOMAXPROCS(0) }
+
+// WriteCSV emits the proxy's raw mapping output: one row per extension with
+// the read name, graph position, strand, read interval, score, and mismatch
+// offsets — the .csv output format of the artifact.
+func WriteCSV(w io.Writer, records []seeds.ReadSeeds, res *Result) error {
+	if len(records) != len(res.Extensions) {
+		return fmt.Errorf("core: %d records but %d extension sets", len(records), len(res.Extensions))
+	}
+	if _, err := fmt.Fprintln(w, "read,node,offset,strand,read_start,read_end,score,mismatches"); err != nil {
+		return err
+	}
+	for i, rec := range records {
+		for _, e := range res.Extensions[i] {
+			strand := "+"
+			if e.Rev {
+				strand = "-"
+			}
+			mism := make([]string, len(e.Mismatches))
+			for j, m := range e.Mismatches {
+				mism[j] = fmt.Sprint(m)
+			}
+			if _, err := fmt.Fprintf(w, "%s,%d,%d,%s,%d,%d,%d,%s\n",
+				rec.Read.Name, e.StartPos.Node, e.StartPos.Off, strand,
+				e.ReadStart, e.ReadEnd, e.Score, strings.Join(mism, ";")); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ValidationReport summarises the §VI-a functional validation: property (1)
+// every expected match appears in the proxy output, property (2) the proxy
+// output contains no match absent from the expected output.
+type ValidationReport struct {
+	Reads          int
+	ExpectedTotal  int
+	GotTotal       int
+	MissingInProxy int // expected but absent
+	ExtraInProxy   int // present but unexpected
+}
+
+// Match reports a 100% two-way match.
+func (v ValidationReport) Match() bool { return v.MissingInProxy == 0 && v.ExtraInProxy == 0 }
+
+// String renders the report one line per property.
+func (v ValidationReport) String() string {
+	status := "FAIL"
+	if v.Match() {
+		status = "PASS (100% match)"
+	}
+	return fmt.Sprintf("validation %s: reads=%d expected=%d got=%d missing=%d extra=%d",
+		status, v.Reads, v.ExpectedTotal, v.GotTotal, v.MissingInProxy, v.ExtraInProxy)
+}
+
+// Validate compares the parent's exported extensions against the proxy's,
+// read by read, in both directions.
+func Validate(expected, got [][]extend.Extension) (ValidationReport, error) {
+	if len(expected) != len(got) {
+		return ValidationReport{}, fmt.Errorf("core: %d expected reads vs %d proxy reads", len(expected), len(got))
+	}
+	rep := ValidationReport{Reads: len(expected)}
+	for i := range expected {
+		rep.ExpectedTotal += len(expected[i])
+		rep.GotTotal += len(got[i])
+		exp := keySet(expected[i])
+		act := keySet(got[i])
+		for k := range exp {
+			if !act[k] {
+				rep.MissingInProxy++
+			}
+		}
+		for k := range act {
+			if !exp[k] {
+				rep.ExtraInProxy++
+			}
+		}
+	}
+	return rep, nil
+}
+
+// keySet builds the canonical identity set of an extension list, including
+// the score so a score drift also fails validation.
+func keySet(exts []extend.Extension) map[string]bool {
+	m := make(map[string]bool, len(exts))
+	for _, e := range exts {
+		m[fmt.Sprintf("%s@%d", e.Key(), e.Score)] = true
+	}
+	return m
+}
+
+// SortExtensions orders a read's extensions canonically (already the kernel
+// order); exported for tools that merge outputs.
+func SortExtensions(exts []extend.Extension) {
+	sort.Slice(exts, func(a, b int) bool {
+		if exts[a].Score != exts[b].Score {
+			return exts[a].Score > exts[b].Score
+		}
+		if exts[a].StartPos.Node != exts[b].StartPos.Node {
+			return exts[a].StartPos.Node < exts[b].StartPos.Node
+		}
+		if exts[a].StartPos.Off != exts[b].StartPos.Off {
+			return exts[a].StartPos.Off < exts[b].StartPos.Off
+		}
+		return exts[a].ReadStart < exts[b].ReadStart
+	})
+}

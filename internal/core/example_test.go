@@ -1,0 +1,44 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/giraffe"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// Example_proxyPipeline runs the complete proxy flow on a generated input
+// set and validates it against the parent — the repository's whole purpose
+// in fifteen lines.
+func Example_proxyPipeline() {
+	bundle, err := workload.Generate(workload.AHuman().Scaled(0.02))
+	if err != nil {
+		panic(err)
+	}
+	ix, err := giraffe.BuildIndexes(bundle.GBZ())
+	if err != nil {
+		panic(err)
+	}
+	parent, err := giraffe.Map(ix, bundle.Reads, giraffe.Options{Threads: 2, CaptureSeeds: true})
+	if err != nil {
+		panic(err)
+	}
+	proxy, err := core.Run(bundle.GBZ(), parent.Captured, core.Options{
+		Threads:   2,
+		Scheduler: sched.WorkStealing,
+	})
+	if err != nil {
+		panic(err)
+	}
+	report, err := core.Validate(parent.Extensions, proxy.Extensions)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("match:", report.Match())
+	fmt.Println("reads:", report.Reads)
+	// Output:
+	// match: true
+	// reads: 30
+}

@@ -1,0 +1,61 @@
+package counters
+
+// Virtual-address conventions shared by the instrumented kernels. Each data
+// structure class lives in its own region; within a region, layout follows
+// the real structures' locality (consecutive node ids are adjacent, a read's
+// bases are contiguous) so the cache model sees realistic access streams.
+const (
+	// RegionReads holds read bases: read i's bases start at
+	// RegionReads + i*ReadStride.
+	RegionReads uint64 = 0x1000_0000_0000
+	// RegionSeeds holds seed records: read i's seed j lives at
+	// RegionSeeds + i*SeedRowStride + j*SeedSize.
+	RegionSeeds uint64 = 0x2000_0000_0000
+	// RegionGraph holds node sequences: node v's bases start at
+	// RegionGraph + v*NodeStride.
+	RegionGraph uint64 = 0x3000_0000_0000
+	// RegionGBWT holds decompressed GBWT records at
+	// RegionGBWT + v*RecordStride.
+	RegionGBWT uint64 = 0x4000_0000_0000
+	// RegionCache holds the CachedGBWT hash table.
+	RegionCache uint64 = 0x5000_0000_0000
+)
+
+// Strides within the regions (bytes).
+const (
+	ReadStride    = 256 // max short-read length, rounded
+	SeedRowStride = 1024
+	SeedSize      = 16
+	NodeStride    = 32 // average node label length in the synthetic graphs
+	RecordStride  = 48 // average decompressed record footprint
+)
+
+// ReadAddr returns the virtual address of base `off` of read `read`.
+func ReadAddr(read int, off int32) uint64 {
+	return RegionReads + uint64(read)*ReadStride + uint64(off)
+}
+
+// SeedAddr returns the virtual address of seed `seed` of read `read`.
+func SeedAddr(read, seed int) uint64 {
+	return RegionSeeds + uint64(read)*SeedRowStride + uint64(seed)*SeedSize
+}
+
+// NodeSeqAddr returns the virtual address of base `off` of node v's label.
+func NodeSeqAddr(node uint32, off int32) uint64 {
+	return RegionGraph + uint64(node)*NodeStride + uint64(off)
+}
+
+// RecordAddr returns the virtual address of node v's decompressed record.
+func RecordAddr(node uint32) uint64 {
+	return RegionGBWT + uint64(node)*RecordStride
+}
+
+// RegionGBWTRev holds the reverse-orientation GBWT records (the second half
+// of the bidirectional index).
+const RegionGBWTRev uint64 = 0x6000_0000_0000
+
+// RecordRevAddr returns the virtual address of node v's decompressed
+// reverse-index record.
+func RecordRevAddr(node uint32) uint64 {
+	return RegionGBWTRev + uint64(node)*RecordStride
+}

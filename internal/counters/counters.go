@@ -1,0 +1,279 @@
+// Package counters substitutes for the hardware performance counters (perf /
+// VTune) the miniGiraffe paper uses for validation (Tables IV and V): a
+// set-associative cache-hierarchy simulator plus instruction accounting,
+// driven by probes the mapping kernels fire as they touch reads, graph
+// sequences, and GBWT records. Counter *ratios* — miss rates, proxy-versus-
+// parent deltas, cosine similarity — come from the same access streams the
+// real kernels generate, which is what the validation compares.
+package counters
+
+// Probe receives kernel events. Kernels accept a nil Probe and skip
+// accounting entirely, keeping the fast path unburdened.
+type Probe interface {
+	// Instr records n retired instructions (a model proxy: base comparisons,
+	// rank computations, and bookkeeping all convert to instruction counts).
+	Instr(n int64)
+	// Access records a sequential data read of size bytes at virtual
+	// address addr.
+	Access(addr uint64, size int)
+}
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	Size     int // total bytes
+	LineSize int // bytes per line
+	Ways     int // associativity
+}
+
+// Valid reports whether the configuration is internally consistent.
+func (c CacheConfig) Valid() bool {
+	if c.Size <= 0 || c.LineSize <= 0 || c.Ways <= 0 {
+		return false
+	}
+	lines := c.Size / c.LineSize
+	return lines >= c.Ways && lines%c.Ways == 0
+}
+
+// cacheLevel is an LRU set-associative cache.
+type cacheLevel struct {
+	cfg      CacheConfig
+	sets     int
+	lineBits uint
+	// tags[set*ways + way]; 0 means empty (tags stored as line addr + 1).
+	tags []uint64
+	// age[set*ways+way] for LRU; a global tick counter provides ordering.
+	age      []uint64
+	tick     uint64
+	accesses int64
+	misses   int64
+}
+
+func newCacheLevel(cfg CacheConfig) *cacheLevel {
+	lines := cfg.Size / cfg.LineSize
+	sets := lines / cfg.Ways
+	bits := uint(0)
+	for 1<<bits < cfg.LineSize {
+		bits++
+	}
+	return &cacheLevel{
+		cfg:      cfg,
+		sets:     sets,
+		lineBits: bits,
+		tags:     make([]uint64, lines),
+		age:      make([]uint64, lines),
+	}
+}
+
+// access looks up one line address; returns true on hit and updates LRU.
+func (c *cacheLevel) access(lineAddr uint64) bool {
+	c.accesses++
+	c.tick++
+	set := int(lineAddr % uint64(c.sets))
+	base := set * c.cfg.Ways
+	key := lineAddr + 1
+	victim := base
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.tags[i] == key {
+			c.age[i] = c.tick
+			return true
+		}
+		if c.age[i] < c.age[victim] {
+			victim = i
+		}
+	}
+	c.misses++
+	c.tags[victim] = key
+	c.age[victim] = c.tick
+	return false
+}
+
+// Hierarchy is a two-level (L1D + LLC) data-cache model with instruction
+// accounting. It implements Probe. Not safe for concurrent use: the mapper
+// instruments single-threaded runs, as the paper does for Table V.
+type Hierarchy struct {
+	l1  *cacheLevel
+	llc *cacheLevel
+	// instr counts modelled retired instructions.
+	instr int64
+}
+
+// Default cache geometries follow local-intel (Xeon 8260, Table II): 32 KB
+// 8-way L1D and a 35.75 MB LLC modelled at 36 MB 12-way, 64 B lines.
+var (
+	DefaultL1  = CacheConfig{Size: 32 << 10, LineSize: 64, Ways: 8}
+	DefaultLLC = CacheConfig{Size: 36 << 20, LineSize: 64, Ways: 12}
+)
+
+// NewHierarchy builds a hierarchy with the given level configurations.
+func NewHierarchy(l1, llc CacheConfig) *Hierarchy {
+	if !l1.Valid() || !llc.Valid() {
+		panic("counters: invalid cache configuration")
+	}
+	return &Hierarchy{l1: newCacheLevel(l1), llc: newCacheLevel(llc)}
+}
+
+// NewDefaultHierarchy builds the local-intel model.
+func NewDefaultHierarchy() *Hierarchy { return NewHierarchy(DefaultL1, DefaultLLC) }
+
+// Instr implements Probe.
+func (h *Hierarchy) Instr(n int64) { h.instr += n }
+
+// Access implements Probe: the read is split into cache lines; each line is
+// looked up in L1D and, on miss, in the LLC.
+func (h *Hierarchy) Access(addr uint64, size int) {
+	if size <= 0 {
+		return
+	}
+	first := addr >> h.l1.lineBits
+	last := (addr + uint64(size) - 1) >> h.l1.lineBits
+	for line := first; line <= last; line++ {
+		if !h.l1.access(line) {
+			h.llc.access(line)
+		}
+	}
+}
+
+// Counters is the measured counter set of Table V.
+type Counters struct {
+	Instr  int64 // retired instructions (model)
+	Cycles int64 // modelled cycles (see CycleModel)
+	IPC    float64
+	L1DA   int64 // L1D accesses
+	L1DM   int64 // L1D misses
+	LLDA   int64 // LLC data accesses
+	LLDM   int64 // LLC data misses
+}
+
+// CycleModel converts counters to cycles: a superscalar ideal IPC plus
+// per-miss penalties. Constants approximate a Cascade Lake core.
+type CycleModel struct {
+	IdealIPC      float64
+	L1MissCycles  float64 // L1 miss, LLC hit
+	LLCMissCycles float64 // full memory access
+	FrontEndFrac  float64 // front-end stall share (of retiring slots)
+	BadSpecFrac   float64 // bad-speculation share (of retiring slots)
+	CoreBoundFrac float64 // non-memory back-end share (ports, dividers)
+}
+
+// DefaultCycleModel is calibrated so the A-human workload reproduces the
+// Table IV top-down split (≈23.5/22.8/10.2/43.4).
+var DefaultCycleModel = CycleModel{
+	IdealIPC:      2.4,
+	L1MissCycles:  14,
+	LLCMissCycles: 120,
+	FrontEndFrac:  0.225,
+	BadSpecFrac:   0.098,
+	CoreBoundFrac: 0.10,
+}
+
+// Snapshot computes the counter set under the given cycle model.
+func (h *Hierarchy) Snapshot(m CycleModel) Counters {
+	c := Counters{
+		Instr: h.instr,
+		L1DA:  h.l1.accesses,
+		L1DM:  h.l1.misses,
+		LLDA:  h.llc.accesses,
+		LLDM:  h.llc.misses,
+	}
+	ideal := float64(c.Instr) / m.IdealIPC
+	stalls := float64(c.L1DM)*m.L1MissCycles + float64(c.LLDM)*m.LLCMissCycles
+	fe := ideal * m.FrontEndFrac / 0.434
+	bs := ideal * m.BadSpecFrac / 0.434
+	core := ideal * m.CoreBoundFrac / 0.434
+	c.Cycles = int64(ideal + stalls + fe + bs + core)
+	if c.Cycles > 0 {
+		c.IPC = float64(c.Instr) / float64(c.Cycles)
+	}
+	return c
+}
+
+// L1MissRate returns L1DM/L1DA.
+func (c Counters) L1MissRate() float64 {
+	if c.L1DA == 0 {
+		return 0
+	}
+	return float64(c.L1DM) / float64(c.L1DA)
+}
+
+// LLCMissRate returns LLDM/LLDA.
+func (c Counters) LLCMissRate() float64 {
+	if c.LLDA == 0 {
+		return 0
+	}
+	return float64(c.LLDM) / float64(c.LLDA)
+}
+
+// Vector flattens the counters for cosine-similarity comparison, the metric
+// the paper borrows from Richards et al. to quantify proxy fidelity.
+func (c Counters) Vector() []float64 {
+	return []float64{
+		float64(c.Instr), c.IPC,
+		float64(c.L1DA), float64(c.L1DM),
+		float64(c.LLDA), float64(c.LLDM),
+	}
+}
+
+// TopDown is the four-bucket Top-Down Microarchitecture Analysis split
+// (Table IV), as fractions of pipeline slots.
+type TopDown struct {
+	FrontEnd      float64
+	BackEnd       float64
+	BackEndMemory float64 // second-level: memory-bound share of back-end
+	BadSpec       float64
+	Retiring      float64
+}
+
+// TopDownSplit derives the top-down buckets from the counters under the
+// cycle model: retiring = ideal cycles / total, back-end from miss stalls,
+// front-end and bad-speculation from the model's per-instruction fractions.
+func (c Counters) TopDownSplit(m CycleModel) TopDown {
+	if c.Cycles == 0 {
+		return TopDown{}
+	}
+	total := float64(c.Cycles)
+	ideal := float64(c.Instr) / m.IdealIPC
+	mem := float64(c.L1DM)*m.L1MissCycles + float64(c.LLDM)*m.LLCMissCycles
+	fe := ideal * m.FrontEndFrac / 0.434
+	bs := ideal * m.BadSpecFrac / 0.434
+	// The core-bound share lands in BackEnd via the remainder below.
+	td := TopDown{
+		FrontEnd: fe / total,
+		BadSpec:  bs / total,
+		Retiring: ideal / total,
+	}
+	td.BackEnd = 1 - td.FrontEnd - td.BadSpec - td.Retiring
+	if td.BackEnd < 0 {
+		td.BackEnd = 0
+	}
+	if td.BackEnd > 0 {
+		memFrac := mem / total
+		if memFrac > td.BackEnd {
+			memFrac = td.BackEnd
+		}
+		td.BackEndMemory = memFrac
+	}
+	return td
+}
+
+// AddressSpace hands out virtual address ranges so kernels can give the
+// cache model realistic, stable addresses for reads, node sequences, and
+// GBWT records.
+type AddressSpace struct {
+	next uint64
+}
+
+// NewAddressSpace starts allocation at a non-zero base.
+func NewAddressSpace() *AddressSpace { return &AddressSpace{next: 0x10000} }
+
+// Alloc reserves size bytes aligned to align (a power of two) and returns
+// the base address.
+func (a *AddressSpace) Alloc(size int, align int) uint64 {
+	if align > 0 {
+		mask := uint64(align - 1)
+		a.next = (a.next + mask) &^ mask
+	}
+	base := a.next
+	a.next += uint64(size)
+	return base
+}

@@ -1,0 +1,190 @@
+package counters
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCacheConfigValid(t *testing.T) {
+	good := []CacheConfig{DefaultL1, DefaultLLC, {Size: 1024, LineSize: 64, Ways: 4}}
+	for _, c := range good {
+		if !c.Valid() {
+			t.Errorf("config %+v reported invalid", c)
+		}
+	}
+	bad := []CacheConfig{
+		{},
+		{Size: 100, LineSize: 64, Ways: 4}, // lines < ways
+		{Size: -1, LineSize: 64, Ways: 1},
+	}
+	for _, c := range bad {
+		if c.Valid() {
+			t.Errorf("config %+v reported valid", c)
+		}
+	}
+}
+
+func TestHierarchyHitsAfterWarm(t *testing.T) {
+	h := NewHierarchy(CacheConfig{Size: 4096, LineSize: 64, Ways: 4}, DefaultLLC)
+	// Touch one line twice: first access misses, second hits.
+	h.Access(0x1000, 8)
+	h.Access(0x1000, 8)
+	c := h.Snapshot(DefaultCycleModel)
+	if c.L1DA != 2 {
+		t.Errorf("L1DA = %d, want 2", c.L1DA)
+	}
+	if c.L1DM != 1 {
+		t.Errorf("L1DM = %d, want 1", c.L1DM)
+	}
+}
+
+func TestAccessSpansLines(t *testing.T) {
+	h := NewDefaultHierarchy()
+	// A 130-byte read starting mid-line touches 3 lines.
+	h.Access(0x1020, 130)
+	c := h.Snapshot(DefaultCycleModel)
+	if c.L1DA != 3 {
+		t.Errorf("L1DA = %d, want 3", c.L1DA)
+	}
+}
+
+func TestAccessZeroSize(t *testing.T) {
+	h := NewDefaultHierarchy()
+	h.Access(0x1000, 0)
+	if c := h.Snapshot(DefaultCycleModel); c.L1DA != 0 {
+		t.Errorf("zero-size access counted: %d", c.L1DA)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Tiny direct-ish cache: 2 sets × 2 ways of 64B lines = 256 B.
+	cfg := CacheConfig{Size: 256, LineSize: 64, Ways: 2}
+	h := NewHierarchy(cfg, DefaultLLC)
+	// Three lines mapping to the same set (stride = sets*linesize = 128).
+	h.Access(0, 1)   // miss, set 0 way A
+	h.Access(128, 1) // miss, set 0 way B
+	h.Access(0, 1)   // hit (LRU now 128)
+	h.Access(256, 1) // miss, evicts 128
+	h.Access(128, 1) // miss again (was evicted)
+	c := h.Snapshot(DefaultCycleModel)
+	if c.L1DM != 4 {
+		t.Errorf("L1DM = %d, want 4", c.L1DM)
+	}
+	if c.L1DA != 5 {
+		t.Errorf("L1DA = %d, want 5", c.L1DA)
+	}
+}
+
+func TestLLCOnlySeesL1Misses(t *testing.T) {
+	h := NewDefaultHierarchy()
+	for i := 0; i < 100; i++ {
+		h.Access(0x2000, 8) // same line: 1 miss then hits
+	}
+	c := h.Snapshot(DefaultCycleModel)
+	if c.LLDA != 1 {
+		t.Errorf("LLDA = %d, want 1 (only the L1 miss)", c.LLDA)
+	}
+}
+
+func TestWorkingSetMissRates(t *testing.T) {
+	// A working set far larger than L1 but inside LLC must show a high L1
+	// miss rate on random access and a low LLC miss rate after warm-up.
+	l1 := CacheConfig{Size: 32 << 10, LineSize: 64, Ways: 8}
+	llc := CacheConfig{Size: 4 << 20, LineSize: 64, Ways: 8}
+	h := NewHierarchy(l1, llc)
+	rng := rand.New(rand.NewSource(1))
+	const ws = 2 << 20
+	// Warm.
+	for a := 0; a < ws; a += 64 {
+		h.Access(uint64(a), 1)
+	}
+	warm := h.Snapshot(DefaultCycleModel)
+	for i := 0; i < 200000; i++ {
+		h.Access(uint64(rng.Intn(ws)), 1)
+	}
+	c := h.Snapshot(DefaultCycleModel)
+	l1Rate := float64(c.L1DM-warm.L1DM) / float64(c.L1DA-warm.L1DA)
+	llcRate := float64(c.LLDM-warm.LLDM) / float64(c.LLDA-warm.LLDA+1)
+	if l1Rate < 0.9 {
+		t.Errorf("random-access L1 miss rate = %.3f, want near 1", l1Rate)
+	}
+	if llcRate > 0.05 {
+		t.Errorf("in-LLC working set LLC miss rate = %.3f, want near 0", llcRate)
+	}
+}
+
+func TestSnapshotIPC(t *testing.T) {
+	h := NewDefaultHierarchy()
+	h.Instr(1000)
+	c := h.Snapshot(DefaultCycleModel)
+	if c.Instr != 1000 {
+		t.Errorf("Instr = %d", c.Instr)
+	}
+	if c.IPC <= 0 || c.IPC > DefaultCycleModel.IdealIPC {
+		t.Errorf("IPC = %f outside (0, ideal]", c.IPC)
+	}
+}
+
+func TestTopDownSumsToOne(t *testing.T) {
+	h := NewDefaultHierarchy()
+	rng := rand.New(rand.NewSource(2))
+	h.Instr(5_000_000)
+	for i := 0; i < 100000; i++ {
+		h.Access(uint64(rng.Intn(64<<20)), 16)
+	}
+	c := h.Snapshot(DefaultCycleModel)
+	td := c.TopDownSplit(DefaultCycleModel)
+	sum := td.FrontEnd + td.BackEnd + td.BadSpec + td.Retiring
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("top-down sums to %f", sum)
+	}
+	if td.Retiring <= 0 || td.BackEnd < 0 {
+		t.Errorf("degenerate split: %+v", td)
+	}
+	if td.BackEndMemory > td.BackEnd {
+		t.Errorf("memory-bound %f exceeds back-end %f", td.BackEndMemory, td.BackEnd)
+	}
+}
+
+func TestMissRateHelpers(t *testing.T) {
+	c := Counters{L1DA: 100, L1DM: 10, LLDA: 10, LLDM: 5}
+	if got := c.L1MissRate(); got != 0.1 {
+		t.Errorf("L1MissRate = %f", got)
+	}
+	if got := c.LLCMissRate(); got != 0.5 {
+		t.Errorf("LLCMissRate = %f", got)
+	}
+	var zero Counters
+	if zero.L1MissRate() != 0 || zero.LLCMissRate() != 0 {
+		t.Error("zero counters produced nonzero rates")
+	}
+}
+
+func TestVectorLength(t *testing.T) {
+	c := Counters{Instr: 1, IPC: 2, L1DA: 3, L1DM: 4, LLDA: 5, LLDM: 6}
+	v := c.Vector()
+	if len(v) != 6 {
+		t.Fatalf("Vector length = %d", len(v))
+	}
+}
+
+func TestAddressSpace(t *testing.T) {
+	as := NewAddressSpace()
+	a := as.Alloc(100, 64)
+	b := as.Alloc(10, 64)
+	if a%64 != 0 || b%64 != 0 {
+		t.Errorf("allocations unaligned: %x %x", a, b)
+	}
+	if b <= a || b < a+100 {
+		t.Errorf("allocations overlap: %x %x", a, b)
+	}
+}
+
+func TestNewHierarchyPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad config did not panic")
+		}
+	}()
+	NewHierarchy(CacheConfig{}, DefaultLLC)
+}

@@ -1,0 +1,421 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+
+	"repro/internal/autotune"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// serialProxySeconds measures (and caches) the proxy's single-thread
+// makespan for an input set — the serial reference the machine models scale.
+func (s *Suite) serialProxySeconds(spec workload.Spec) (float64, error) {
+	if t, ok := s.serial[spec.Name]; ok {
+		return t, nil
+	}
+	b, recs, err := s.Captured(spec)
+	if err != nil {
+		return 0, err
+	}
+	best := math.Inf(1)
+	for rep := 0; rep < s.cfg.Repeats; rep++ {
+		res, err := core.Run(b.GBZ(), recs, core.Options{Threads: 1})
+		if err != nil {
+			return 0, err
+		}
+		if t := secs(res.Makespan); t < best {
+			best = t
+		}
+	}
+	s.serial[spec.Name] = best
+	return best, nil
+}
+
+// Figure5Point is one (input, machine, threads) scalability sample.
+type Figure5Point struct {
+	Input   string
+	Machine string
+	Threads int
+	Seconds float64
+	Speedup float64
+	OOM     bool
+}
+
+// Figure5 reproduces the proxy's parallel scalability on the four modelled
+// systems: serial proxy time measured locally, thread sweeps projected per
+// machine. chi-arm and chi-intel report OOM for D-HPRC, as in the paper.
+func (s *Suite) Figure5() ([]Figure5Point, error) {
+	var out []Figure5Point
+	s.section("Figure 5: miniGiraffe parallel scalability on four systems")
+	for _, spec := range workload.AllSpecs() {
+		serial, err := s.serialProxySeconds(spec)
+		if err != nil {
+			return nil, err
+		}
+		b, err := s.Bundle(spec)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range machine.All() {
+			if !m.CanHold(spec.MemGB) {
+				out = append(out, Figure5Point{Input: spec.Name, Machine: m.Name, OOM: true})
+				s.printf("%-8s %-12s OOM (needs %.0f GB, has %d GB)\n", spec.Name, m.Name, spec.MemGB, m.DRAMGB)
+				continue
+			}
+			w := machine.Workload{
+				SerialRefSec: serial,
+				Reads:        len(b.Reads),
+				WorkingSetMB: b.WorkingSetMB(256, m.MaxThreads()),
+				MemGB:        spec.MemGB,
+			}
+			base, err := m.SimTime(w, 1)
+			if err != nil {
+				return nil, err
+			}
+			s.printf("%-8s %-12s", spec.Name, m.Name)
+			for th := 1; th <= m.MaxThreads(); th *= 2 {
+				t, err := m.SimTime(w, th)
+				if err != nil {
+					return nil, err
+				}
+				p := Figure5Point{
+					Input: spec.Name, Machine: m.Name, Threads: th,
+					Seconds: t, Speedup: base / t,
+				}
+				out = append(out, p)
+				s.printf(" %d:%.1fx", th, p.Speedup)
+			}
+			s.printf("\n")
+		}
+	}
+	return out, nil
+}
+
+// Table7Row is one input set's fastest projected time per system.
+type Table7Row struct {
+	Input   string
+	Seconds map[string]float64 // machine name → fastest seconds; absent = OOM
+}
+
+// Table7 reproduces the fastest-execution-time table. The paper's ordering
+// to reproduce: local-amd fastest everywhere, chi-arm slowest, the 256 GB
+// machines missing D-HPRC.
+func (s *Suite) Table7() ([]Table7Row, error) {
+	var rows []Table7Row
+	s.section("Table VII: fastest execution times (seconds) per system")
+	s.printf("%-8s", "input")
+	for _, m := range machine.All() {
+		s.printf(" %12s", m.Name)
+	}
+	s.printf("\n")
+	for _, spec := range workload.AllSpecs() {
+		serial, err := s.serialProxySeconds(spec)
+		if err != nil {
+			return nil, err
+		}
+		b, err := s.Bundle(spec)
+		if err != nil {
+			return nil, err
+		}
+		row := Table7Row{Input: spec.Name, Seconds: map[string]float64{}}
+		s.printf("%-8s", spec.Name)
+		for _, m := range machine.All() {
+			if !m.CanHold(spec.MemGB) {
+				s.printf(" %12s", "—")
+				continue
+			}
+			w := machine.Workload{
+				SerialRefSec: serial,
+				Reads:        len(b.Reads),
+				WorkingSetMB: b.WorkingSetMB(256, m.MaxThreads()),
+				MemGB:        spec.MemGB,
+			}
+			best := math.Inf(1)
+			for th := 1; th <= m.MaxThreads(); th++ {
+				t, err := m.SimTime(w, th)
+				if err != nil {
+					return nil, err
+				}
+				if t < best {
+					best = t
+				}
+			}
+			row.Seconds[m.Name] = best
+			s.printf(" %12.3f", best)
+		}
+		s.printf("\n")
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Figure6Point is one capacity-sweep sample.
+type Figure6Point struct {
+	Scheduler sched.Kind
+	Capacity  int
+	Seconds   float64
+	Speedup   float64 // vs capacity 0 (no caching), same scheduler
+}
+
+// Figure6 reproduces the preliminary CachedGBWT-capacity study: C-HPRC on
+// the local-intel model, capacities 0..16384, both schedulers, speedup
+// relative to no caching. The paper found maxima at ≤4096 with degradation
+// beyond.
+func (s *Suite) Figure6() ([]Figure6Point, error) {
+	spec := workload.CHPRC()
+	b, recs, err := s.Captured(spec)
+	if err != nil {
+		return nil, err
+	}
+	m := machine.LocalIntel
+	capacities := []int{0, 256, 512, 1024, 2048, 4096, 8192, 16384}
+	var out []Figure6Point
+	s.section("Figure 6: speedup vs initial CachedGBWT capacity (C-HPRC, local-intel model)")
+	for _, kind := range []sched.Kind{sched.Dynamic, sched.WorkStealing} {
+		var baseline float64
+		s.printf("%-16s", kind)
+		for _, capacity := range capacities {
+			cc := capacity
+			if cc == 0 {
+				cc = -1 // core: negative disables caching
+			}
+			best := math.Inf(1)
+			for rep := 0; rep < s.cfg.Repeats; rep++ {
+				res, err := core.Run(b.GBZ(), recs, core.Options{
+					Threads: s.cfg.Threads, Scheduler: kind, CacheCapacity: cc,
+				})
+				if err != nil {
+					return nil, err
+				}
+				if t := secs(res.Makespan); t < best {
+					best = t
+				}
+			}
+			// Project onto local-intel with the capacity's working set so
+			// oversized caches pay the L3 penalty, as observed on the real
+			// machine.
+			w := machine.Workload{
+				SerialRefSec: best * localParallelism(s.cfg.Threads),
+				Reads:        len(recs),
+				WorkingSetMB: b.WorkingSetMB(capacity, m.MaxThreads()),
+				MemGB:        spec.MemGB,
+			}
+			t, err := m.SimTime(w, m.MaxThreads())
+			if err != nil {
+				return nil, err
+			}
+			p := Figure6Point{Scheduler: kind, Capacity: capacity, Seconds: t}
+			if capacity == 0 {
+				baseline = t
+				p.Speedup = 1
+			} else if t > 0 {
+				p.Speedup = baseline / t
+			}
+			out = append(out, p)
+			s.printf(" cc%d:%.2fx", capacity, p.Speedup)
+		}
+		s.printf("\n")
+	}
+	return out, nil
+}
+
+// localParallelism estimates the effective speedup of the local measured
+// run, converting a parallel measurement back to a serial reference. Worker
+// goroutines beyond the OS-visible CPU count add no real parallelism.
+func localParallelism(threads int) float64 {
+	n := runtime.NumCPU()
+	if threads < n {
+		n = threads
+	}
+	if n < 1 {
+		n = 1
+	}
+	return float64(n)
+}
+
+// TuningResult bundles one input set's grid and its per-machine projections.
+type TuningResult struct {
+	Input string
+	Grid  *autotune.Grid
+	// PerMachine maps machine name → projection.
+	PerMachine map[string]*autotune.Projection
+}
+
+// RunTuning executes the §VII-B autotuning sweep for one input set on its
+// 10% subsample (as the paper does) and projects it onto all four machines.
+func (s *Suite) RunTuning(spec workload.Spec, space autotune.Space) (*TuningResult, error) {
+	b, recs, err := s.Captured(spec)
+	if err != nil {
+		return nil, err
+	}
+	sub := recs
+	if n := len(recs) / 10; n > 0 {
+		sub = recs[:n]
+	}
+	grid, err := autotune.RunGrid(b.GBZ(), sub, s.cfg.Threads, space, s.cfg.Repeats, nil)
+	if err != nil {
+		return nil, err
+	}
+	grid.Input = spec.Name
+	tr := &TuningResult{Input: spec.Name, Grid: grid, PerMachine: map[string]*autotune.Projection{}}
+	for _, m := range machine.All() {
+		// The 10% subsample fits everywhere, as in the paper.
+		subBundle := *b
+		subBundle.Spec.MemGB = spec.MemGB / 10
+		p, err := autotune.Project(grid, &subBundle, m, localParallelism(s.cfg.Threads))
+		if err != nil {
+			return nil, err
+		}
+		tr.PerMachine[m.Name] = p
+	}
+	return tr, nil
+}
+
+// Figure7Cell is the tuned-vs-default comparison for one (input, machine).
+type Figure7Cell struct {
+	Input, Machine string
+	BestSeconds    float64
+	DefaultSeconds float64
+	Speedup        float64
+	BestCombo      autotune.Combo
+}
+
+// Figure7AndTable8 reproduces the headline tuning study: for every input set
+// and machine, the best configuration versus the defaults (Fig. 7) and the
+// winning parameters (Table VIII), plus per-input geometric means and the
+// overall headline (paper: up to 3.32×, geomean 1.15×).
+func (s *Suite) Figure7AndTable8(space autotune.Space) ([]Figure7Cell, error) {
+	var cells []Figure7Cell
+	s.section("Figure 7 / Table VIII: best tuning vs defaults per input × machine")
+	s.printf("%-8s %-12s %12s %12s %8s   %s\n", "input", "machine", "default(s)", "best(s)", "speedup", "best parameters")
+	for _, spec := range workload.AllSpecs() {
+		tr, err := s.RunTuning(spec, space)
+		if err != nil {
+			return nil, err
+		}
+		defIdx, err := tr.Grid.DefaultIndex()
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range machine.All() {
+			p := tr.PerMachine[m.Name]
+			if p.OOM {
+				// The paper's 10% subsample shrank D to fit everywhere; an
+				// OOM here would mean the subsample logic broke.
+				return nil, fmt.Errorf("experiments: unexpected OOM for %s on %s", spec.Name, m.Name)
+			}
+			bestIdx, err := p.BestIndex()
+			if err != nil {
+				return nil, err
+			}
+			cell := Figure7Cell{
+				Input: spec.Name, Machine: m.Name,
+				BestSeconds:    p.Seconds[bestIdx],
+				DefaultSeconds: p.Seconds[defIdx],
+				BestCombo:      tr.Grid.Measurements[bestIdx].Combo,
+			}
+			if cell.BestSeconds > 0 {
+				cell.Speedup = cell.DefaultSeconds / cell.BestSeconds
+			}
+			cells = append(cells, cell)
+			s.printf("%-8s %-12s %12.3f %12.3f %7.2fx   %s\n",
+				cell.Input, cell.Machine, cell.DefaultSeconds, cell.BestSeconds, cell.Speedup, cell.BestCombo)
+		}
+	}
+	// Per-input geomeans and the overall headline.
+	s.printf("\nper-input geometric-mean speedups (paper: 1.36, 1.07, 1.10, 1.11):\n")
+	var all []float64
+	maxSp := 0.0
+	for _, spec := range workload.AllSpecs() {
+		var sp []float64
+		for _, c := range cells {
+			if c.Input == spec.Name {
+				sp = append(sp, c.Speedup)
+				all = append(all, c.Speedup)
+				if c.Speedup > maxSp {
+					maxSp = c.Speedup
+				}
+			}
+		}
+		g, err := stats.GeoMean(sp)
+		if err != nil {
+			return nil, err
+		}
+		s.printf("  %-8s %.2fx\n", spec.Name, g)
+	}
+	overall, err := stats.GeoMean(all)
+	if err != nil {
+		return nil, err
+	}
+	s.printf("overall: geomean %.2fx, max %.2fx (paper: 1.15x geomean, 3.32x max)\n", overall, maxSp)
+	return cells, nil
+}
+
+// Figure8 reproduces the makespan heat map over every parameter combination
+// for D-HPRC on the chi-intel model, and the §VII-B ANOVA over the same
+// grid. It writes the heat map CSV to w when non-nil.
+func (s *Suite) Figure8(space autotune.Space, w io.Writer) (map[string]stats.ANOVA, error) {
+	spec := workload.DHPRC()
+	tr, err := s.RunTuning(spec, space)
+	if err != nil {
+		return nil, err
+	}
+	proj := tr.PerMachine[machine.ChiIntel.Name]
+	s.section("Figure 8: makespan heat map, D-HPRC on chi-intel")
+	if w != nil {
+		if err := autotune.WriteHeatmapCSV(w, tr.Grid, proj, space); err != nil {
+			return nil, err
+		}
+	}
+	// Best/worst spread and default-vs-worst, the paper's observations.
+	bestIdx, err := proj.BestIndex()
+	if err != nil {
+		return nil, err
+	}
+	worst := bestIdx
+	for i, sec := range proj.Seconds {
+		if sec > proj.Seconds[worst] {
+			worst = i
+		}
+	}
+	defIdx, err := tr.Grid.DefaultIndex()
+	if err != nil {
+		return nil, err
+	}
+	s.printf("best=%.3fs (%s) worst=%.3fs (%s) default=%.3fs; choosing best avoids a %.2fx slowdown (paper: 1.76x)\n",
+		proj.Seconds[bestIdx], tr.Grid.Measurements[bestIdx].Combo,
+		proj.Seconds[worst], tr.Grid.Measurements[worst].Combo,
+		proj.Seconds[defIdx],
+		proj.Seconds[worst]/proj.Seconds[bestIdx])
+
+	// ANOVA on the projected grid.
+	obs := make([]stats.Observation, 0, len(tr.Grid.Measurements))
+	for i, m := range tr.Grid.Measurements {
+		obs = append(obs, stats.Observation{
+			Levels: map[string]string{
+				"scheduler": m.Scheduler.String(),
+				"batch":     fmt.Sprint(m.BatchSize),
+				"capacity":  fmt.Sprint(m.Capacity),
+			},
+			Value: proj.Seconds[i],
+		})
+	}
+	out := map[string]stats.ANOVA{}
+	s.printf("ANOVA on the D-HPRC @ chi-intel grid (paper: capacity p=0.047, batch p=0.878, scheduler p=0.859):\n")
+	for _, factor := range []string{"capacity", "batch", "scheduler"} {
+		a, err := stats.FactorANOVA(obs, factor)
+		if err != nil {
+			return nil, err
+		}
+		out[factor] = a
+		s.printf("  %-10s F=%.3f p=%.3f\n", factor, a.F, a.P)
+	}
+	return out, nil
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/plot"
+)
+
+// Figure5SVG renders the Figure 5 scalability curves of one input set (all
+// four machines plus the ideal line) as SVG.
+func Figure5SVG(points []Figure5Point, input string, w io.Writer) error {
+	byMachine := map[string]*plot.Series{}
+	var order []string
+	maxThreads := 0.0
+	for _, p := range points {
+		if p.Input != input || p.OOM {
+			continue
+		}
+		s, ok := byMachine[p.Machine]
+		if !ok {
+			s = &plot.Series{Name: p.Machine}
+			byMachine[p.Machine] = s
+			order = append(order, p.Machine)
+		}
+		s.X = append(s.X, float64(p.Threads))
+		s.Y = append(s.Y, p.Speedup)
+		if float64(p.Threads) > maxThreads {
+			maxThreads = float64(p.Threads)
+		}
+	}
+	if len(order) == 0 {
+		return fmt.Errorf("experiments: no Figure 5 points for %s", input)
+	}
+	chart := plot.Chart{
+		Title:  fmt.Sprintf("Figure 5: %s scalability", input),
+		XLabel: "threads",
+		YLabel: "speedup",
+	}
+	for _, name := range order {
+		chart.Series = append(chart.Series, *byMachine[name])
+	}
+	// Ideal line, as in the paper's dotted diagonal.
+	chart.Series = append(chart.Series, plot.Series{
+		Name: "ideal", Dashed: true,
+		X: []float64{1, maxThreads}, Y: []float64{1, maxThreads},
+	})
+	return chart.WriteLineSVG(w)
+}
+
+// Figure6SVG renders the capacity sweep as SVG.
+func Figure6SVG(points []Figure6Point, w io.Writer) error {
+	bySched := map[string]*plot.Series{}
+	var order []string
+	for _, p := range points {
+		name := p.Scheduler.String()
+		s, ok := bySched[name]
+		if !ok {
+			s = &plot.Series{Name: name}
+			bySched[name] = s
+			order = append(order, name)
+		}
+		s.X = append(s.X, float64(p.Capacity))
+		s.Y = append(s.Y, p.Speedup)
+	}
+	if len(order) == 0 {
+		return fmt.Errorf("experiments: no Figure 6 points")
+	}
+	chart := plot.Chart{
+		Title:  "Figure 6: speedup vs initial CachedGBWT capacity (C-HPRC)",
+		XLabel: "initial capacity",
+		YLabel: "speedup vs no cache",
+	}
+	for _, name := range order {
+		chart.Series = append(chart.Series, *bySched[name])
+	}
+	return chart.WriteLineSVG(w)
+}
+
+// Figure7SVG renders the tuned-vs-default makespan bars, one group per
+// (input, machine) cell, as SVG.
+func Figure7SVG(cells []Figure7Cell, w io.Writer) error {
+	if len(cells) == 0 {
+		return fmt.Errorf("experiments: no Figure 7 cells")
+	}
+	chart := plot.Chart{
+		Title:  "Figure 7: best tuning vs defaults",
+		XLabel: "input × machine",
+		YLabel: "makespan (s)",
+		Width:  960,
+	}
+	for i, c := range cells {
+		bar := plot.Bar{
+			Label:  fmt.Sprintf("%s@%s", shortInput(c.Input), shortMachine(c.Machine)),
+			Values: []float64{c.DefaultSeconds, c.BestSeconds},
+		}
+		if i == 0 {
+			bar.Groups = []string{"default", "tuned"}
+		}
+		chart.Bars = append(chart.Bars, bar)
+	}
+	return chart.WriteBarSVG(w)
+}
+
+func shortInput(s string) string {
+	if len(s) > 0 {
+		return s[:1]
+	}
+	return s
+}
+
+func shortMachine(s string) string {
+	switch s {
+	case "local-intel":
+		return "li"
+	case "local-amd":
+		return "la"
+	case "chi-arm":
+		return "ca"
+	case "chi-intel":
+		return "ci"
+	}
+	return s
+}

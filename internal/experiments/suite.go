@@ -1,0 +1,133 @@
+// Package experiments regenerates every table and figure of the miniGiraffe
+// paper's evaluation (the per-experiment index lives in DESIGN.md). Each
+// experiment prints the same rows/series the paper reports and returns its
+// data for tests and benchmarks. Absolute numbers differ from the paper —
+// the substrate here is a synthetic scaled-down workload and the four
+// servers are analytic models — but the shapes (who wins, by what rough
+// factor, where crossovers and plateaus fall) are the reproduction target.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/gbz"
+	"repro/internal/giraffe"
+	"repro/internal/seeds"
+	"repro/internal/workload"
+)
+
+// Config parameterises a suite run.
+type Config struct {
+	// Scale multiplies every input set's read count (1.0 = the scaled
+	// defaults of package workload, which already stand in for the paper's
+	// full datasets).
+	Scale float64
+	// Threads used for locally measured parallel runs.
+	Threads int
+	// Repeats per measured point (the paper ran three).
+	Repeats int
+	// Out receives the printed tables; defaults to io.Discard when nil.
+	Out io.Writer
+}
+
+func (c Config) normalize() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.Threads <= 0 {
+		c.Threads = runtime.GOMAXPROCS(0)
+	}
+	if c.Repeats < 1 {
+		c.Repeats = 1
+	}
+	if c.Out == nil {
+		c.Out = io.Discard
+	}
+	return c
+}
+
+// Suite caches generated bundles and captured seeds across experiments so a
+// full report run generates each input set once.
+type Suite struct {
+	cfg      Config
+	bundles  map[string]*workload.Bundle
+	captured map[string][]seeds.ReadSeeds
+	serial   map[string]float64 // measured serial proxy seconds per input
+}
+
+// NewSuite creates a suite.
+func NewSuite(cfg Config) *Suite {
+	return &Suite{
+		cfg:      cfg.normalize(),
+		bundles:  make(map[string]*workload.Bundle),
+		captured: make(map[string][]seeds.ReadSeeds),
+		serial:   make(map[string]float64),
+	}
+}
+
+// Config returns the normalised configuration.
+func (s *Suite) Config() Config { return s.cfg }
+
+// Bundle generates (or returns the cached) input set.
+func (s *Suite) Bundle(spec workload.Spec) (*workload.Bundle, error) {
+	if b, ok := s.bundles[spec.Name]; ok {
+		return b, nil
+	}
+	b, err := workload.Generate(spec.Scaled(s.cfg.Scale))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generating %s: %w", spec.Name, err)
+	}
+	s.bundles[spec.Name] = b
+	return b, nil
+}
+
+// Captured returns the cached captured-seed records for the input set.
+func (s *Suite) Captured(spec workload.Spec) (*workload.Bundle, []seeds.ReadSeeds, error) {
+	b, err := s.Bundle(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	if recs, ok := s.captured[spec.Name]; ok {
+		return b, recs, nil
+	}
+	recs, err := b.CaptureSeeds()
+	if err != nil {
+		return nil, nil, err
+	}
+	s.captured[spec.Name] = recs
+	return b, recs, nil
+}
+
+// GBZ returns the input set's container file value.
+func (s *Suite) GBZ(spec workload.Spec) (*gbz.File, error) {
+	b, err := s.Bundle(spec)
+	if err != nil {
+		return nil, err
+	}
+	return b.GBZ(), nil
+}
+
+// Indexes builds the parent's query indexes for the input set.
+func (s *Suite) Indexes(spec workload.Spec) (*giraffe.Indexes, error) {
+	f, err := s.GBZ(spec)
+	if err != nil {
+		return nil, err
+	}
+	return giraffe.BuildIndexes(f)
+}
+
+// printf writes to the configured output.
+func (s *Suite) printf(format string, args ...interface{}) {
+	fmt.Fprintf(s.cfg.Out, format, args...)
+}
+
+// section prints an experiment header.
+func (s *Suite) section(title string) {
+	s.printf("\n== %s ==\n", title)
+}
+
+// secs formats a duration in seconds.
+func secs(d time.Duration) float64 { return d.Seconds() }

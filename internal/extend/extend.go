@@ -1,0 +1,496 @@
+// Package extend implements process_until_threshold_c, the most expensive
+// critical function in Giraffe's mapping pipeline (up to 52% of computation
+// time in the paper's characterisation, §IV-A): clusters are processed in
+// descending score order until a score-fraction threshold stops the walk,
+// and each processed cluster's seeds are extended into maximal gapless local
+// alignments by walking the variation graph along GBWT haplotypes and
+// comparing graph bases against the read — the seed-and-extend core where
+// the actual read-to-pangenome comparison happens.
+//
+// Both the parent emulator (package giraffe) and the proxy (package core)
+// call this same kernel; the paper's proxy was built by extracting exactly
+// these functions, which is why its outputs match Giraffe's bit-for-bit.
+package extend
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/counters"
+	"repro/internal/dna"
+	"repro/internal/gbwt"
+	"repro/internal/seeds"
+	"repro/internal/vgraph"
+)
+
+// Params tunes the extension kernel. Zero values are replaced by defaults
+// mirroring Giraffe's short-read configuration at this scale.
+type Params struct {
+	// MaxMismatches bounds mismatches per extension (Giraffe default 4).
+	MaxMismatches int
+	// ScoreFraction is the threshold c: clusters scoring below
+	// ScoreFraction × best-cluster-score are not processed.
+	ScoreFraction float64
+	// MinClusters are always processed regardless of the threshold.
+	MinClusters int
+	// MaxClusters caps the clusters processed per read.
+	MaxClusters int
+	// MaxSeedsPerCluster caps extension starts per cluster.
+	MaxSeedsPerCluster int
+	// Scoring constants: match bonus, mismatch penalty (positive), and the
+	// bonus awarded per read end reached.
+	MatchScore      int32
+	MismatchPenalty int32
+	FullLengthBonus int32
+}
+
+// DefaultParams returns the kernel defaults.
+func DefaultParams() Params {
+	return Params{
+		MaxMismatches:      4,
+		ScoreFraction:      0.6,
+		MinClusters:        2,
+		MaxClusters:        16,
+		MaxSeedsPerCluster: 4,
+		MatchScore:         1,
+		MismatchPenalty:    4,
+		FullLengthBonus:    5,
+	}
+}
+
+// normalize fills zero fields with defaults.
+func (p Params) normalize() Params {
+	d := DefaultParams()
+	if p.MaxMismatches == 0 {
+		p.MaxMismatches = d.MaxMismatches
+	}
+	if p.ScoreFraction == 0 {
+		p.ScoreFraction = d.ScoreFraction
+	}
+	if p.MinClusters == 0 {
+		p.MinClusters = d.MinClusters
+	}
+	if p.MaxClusters == 0 {
+		p.MaxClusters = d.MaxClusters
+	}
+	if p.MaxSeedsPerCluster == 0 {
+		p.MaxSeedsPerCluster = d.MaxSeedsPerCluster
+	}
+	if p.MatchScore == 0 {
+		p.MatchScore = d.MatchScore
+	}
+	if p.MismatchPenalty == 0 {
+		p.MismatchPenalty = d.MismatchPenalty
+	}
+	if p.FullLengthBonus == 0 {
+		p.FullLengthBonus = d.FullLengthBonus
+	}
+	return p
+}
+
+// Extension is one maximal gapless local alignment: the proxy's raw output
+// (§V: "offsets and scores of each match").
+type Extension struct {
+	// StartPos is the graph position aligned to the oriented read's
+	// ReadStart base.
+	StartPos vgraph.Position
+	// Path is the node walk the extension covers, in order.
+	Path []vgraph.NodeID
+	// ReadStart/ReadEnd delimit the matched interval of the oriented read
+	// (the reverse complement when Rev).
+	ReadStart, ReadEnd int32
+	// Mismatches lists the oriented-read offsets that mismatch the graph.
+	Mismatches []int32
+	// Score under the kernel's scoring constants.
+	Score int32
+	// Rev marks reverse-strand mappings.
+	Rev bool
+}
+
+// Len returns the matched read length.
+func (e *Extension) Len() int32 { return e.ReadEnd - e.ReadStart }
+
+// Key returns a canonical identity string (used for deduplication and
+// output validation).
+func (e *Extension) Key() string {
+	strand := '+'
+	if e.Rev {
+		strand = '-'
+	}
+	return fmt.Sprintf("%d:%d%c:%d-%d", e.StartPos.Node, e.StartPos.Off, strand, e.ReadStart, e.ReadEnd)
+}
+
+// Env bundles the immutable structures the kernel walks plus the per-worker
+// bidirectional GBWT readers and instrumentation probe (both may differ
+// across workers). The bidirectional readers let both extension directions
+// stay haplotype-constrained, as Giraffe's extender does (§IV-B: "Giraffe
+// will try to extend seed alignments in both directions").
+type Env struct {
+	Graph *vgraph.Graph
+	Bi    gbwt.BiReader
+	Probe counters.Probe // nil disables accounting
+}
+
+// ProcessUntilThresholdC runs the extension stage for one read: clusters
+// (score-descending, as produced by cluster.ClusterSeeds) are processed
+// until the score threshold or the cluster cap stops the loop; every
+// processed cluster's best seeds are extended and the deduplicated
+// extensions are returned sorted by descending score (ties broken by
+// position for determinism). readIdx identifies the read for the probe's
+// address map.
+func ProcessUntilThresholdC(env *Env, read *dna.Read, ss []seeds.Seed, clusters []cluster.Cluster, p Params, readIdx int) []Extension {
+	p = p.normalize()
+	if len(clusters) == 0 {
+		return nil
+	}
+	best := clusters[0].Score
+	var fwd, rev dna.Sequence
+	fwd = read.Seq
+	seen := make(map[string]bool)
+	var out []Extension
+
+	processed := 0
+	for _, cl := range clusters {
+		if processed >= p.MaxClusters {
+			break
+		}
+		if processed >= p.MinClusters && cl.Score < p.ScoreFraction*best {
+			break
+		}
+		processed++
+		if env.Probe != nil {
+			env.Probe.Instr(32)
+		}
+		for _, si := range pickSeeds(ss, cl.SeedIdx, p.MaxSeedsPerCluster) {
+			seed := ss[si]
+			oriented := fwd
+			if seed.Rev {
+				if rev == nil {
+					rev = fwd.RevComp()
+					if env.Probe != nil {
+						env.Probe.Instr(int64(len(fwd)) * 2)
+					}
+				}
+				oriented = rev
+			}
+			ext, ok := extendSeed(env, oriented, seed, p, readIdx)
+			if !ok {
+				continue
+			}
+			key := ext.Key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, ext)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		if out[a].StartPos.Node != out[b].StartPos.Node {
+			return out[a].StartPos.Node < out[b].StartPos.Node
+		}
+		if out[a].StartPos.Off != out[b].StartPos.Off {
+			return out[a].StartPos.Off < out[b].StartPos.Off
+		}
+		return out[a].ReadStart < out[b].ReadStart
+	})
+	return out
+}
+
+// pickSeeds selects up to max seed indices from the cluster, preferring
+// higher scores then lower read offsets (deterministic).
+func pickSeeds(ss []seeds.Seed, idxs []int, max int) []int {
+	sorted := make([]int, len(idxs))
+	copy(sorted, idxs)
+	sort.Slice(sorted, func(a, b int) bool {
+		sa, sb := ss[sorted[a]], ss[sorted[b]]
+		if sa.Score != sb.Score {
+			return sa.Score > sb.Score
+		}
+		if sa.ReadOff != sb.ReadOff {
+			return sa.ReadOff < sb.ReadOff
+		}
+		return sorted[a] < sorted[b]
+	})
+	if len(sorted) > max {
+		sorted = sorted[:max]
+	}
+	return sorted
+}
+
+// walkResult carries one direction's outcome.
+type walkResult struct {
+	readPos int32           // exclusive end (right) / inclusive start (left)
+	mism    []int32         // mismatch read offsets, walk order
+	path    []vgraph.NodeID // nodes entered during the walk, walk order
+	pos     vgraph.Position // final boundary position (left only)
+	reached bool            // read end/start reached
+}
+
+// extendSeed extends a single seed bidirectionally. Returns false if the
+// anchor itself is invalid (position outside the node).
+func extendSeed(env *Env, r dna.Sequence, seed seeds.Seed, p Params, readIdx int) (Extension, bool) {
+	g := env.Graph
+	node := seed.Pos.Node
+	if !g.Has(node) || int(seed.Pos.Off) >= g.SeqLen(node) {
+		return Extension{}, false
+	}
+	if int(seed.ReadOff) >= len(r) || seed.ReadOff < 0 {
+		return Extension{}, false
+	}
+
+	// The seed's single-node match anchors a bidirectional search state.
+	state := gbwt.BiState{
+		Fwd: env.Bi.Fwd.Base().FullState(node),
+		Rev: env.Bi.Rev.Base().FullState(node),
+	}
+	if state.Empty() {
+		return Extension{}, false
+	}
+	// Right: from the anchor base forward, haplotype-constrained.
+	right := extendRight(env, r, seed.ReadOff, node, seed.Pos.Off, state, 0, p, readIdx)
+
+	// Left: from the base before the anchor backward, haplotype-constrained
+	// through the reverse index. The left walk restricts the same seed
+	// state (its haplotypes are a superset of the right walk's survivors,
+	// which is what Giraffe's extender tracks per direction).
+	left := extendLeft(env, r, seed.ReadOff-1, node, seed.Pos.Off-1, state, p.MaxMismatches-len(right.mism), p, readIdx)
+
+	ext := Extension{
+		StartPos:  left.pos,
+		ReadStart: left.readPos,
+		ReadEnd:   right.readPos,
+		Rev:       seed.Rev,
+	}
+	// Assemble mismatches: left's are collected walking backward.
+	for i := len(left.mism) - 1; i >= 0; i-- {
+		ext.Mismatches = append(ext.Mismatches, left.mism[i])
+	}
+	ext.Mismatches = append(ext.Mismatches, right.mism...)
+	// Path: left path is collected walking backward (excluding seed node);
+	// right path starts with the seed node.
+	for i := len(left.path) - 1; i >= 0; i-- {
+		ext.Path = append(ext.Path, left.path[i])
+	}
+	ext.Path = append(ext.Path, right.path...)
+
+	matched := ext.Len() - int32(len(ext.Mismatches))
+	ext.Score = matched*p.MatchScore - int32(len(ext.Mismatches))*p.MismatchPenalty
+	if left.reached {
+		ext.Score += p.FullLengthBonus
+	}
+	if right.reached {
+		ext.Score += p.FullLengthBonus
+	}
+	return ext, true
+}
+
+// extendRight walks the graph forward from (node, off) matching r[i:],
+// following GBWT haplotypes, branching at node boundaries and keeping the
+// best-scoring completion. The returned path includes the starting node.
+func extendRight(env *Env, r dna.Sequence, i int32, node vgraph.NodeID, off int32, state gbwt.BiState, mismUsed int, p Params, readIdx int) walkResult {
+	g := env.Graph
+	label := g.Seq(node)
+	var mism []int32
+	if env.Probe != nil {
+		n := int32(len(label)) - off
+		if rem := int32(len(r)) - i; rem < n {
+			n = rem
+		}
+		if n > 0 {
+			env.Probe.Access(counters.NodeSeqAddr(uint32(node), off), int(n))
+			env.Probe.Access(counters.ReadAddr(readIdx, i), int(n))
+			env.Probe.Instr(int64(n) * 6)
+		}
+	}
+	for int(off) < len(label) && int(i) < len(r) {
+		if label[off] != r[i] {
+			if mismUsed+len(mism)+1 > p.MaxMismatches {
+				// Stop before consuming the over-budget mismatch.
+				return walkResult{readPos: i, mism: mism, path: []vgraph.NodeID{node}}
+			}
+			mism = append(mism, i)
+		}
+		off++
+		i++
+	}
+	if int(i) >= len(r) {
+		return walkResult{readPos: i, mism: mism, path: []vgraph.NodeID{node}, reached: true}
+	}
+	// Node exhausted: branch along haplotype-consistent successors.
+	rec := env.Bi.Fwd.Record(state.Fwd.Node)
+	if env.Probe != nil {
+		env.Probe.Access(counters.RecordAddr(uint32(state.Fwd.Node)), counters.RecordStride)
+		env.Probe.Instr(20)
+	}
+	var best walkResult
+	haveBest := false
+	if rec != nil {
+		for _, e := range rec.Edges {
+			if e.To == gbwt.Endmarker {
+				continue
+			}
+			next := gbwt.ExtendRightWith(env.Bi, state, e.To)
+			if next.Empty() {
+				continue
+			}
+			sub := extendRight(env, r, i, e.To, 0, next, mismUsed+len(mism), p, readIdx)
+			if !haveBest || betterRight(sub, best, p) {
+				best = sub
+				haveBest = true
+			}
+		}
+	}
+	if !haveBest {
+		// Dead end: the extension stops at the node boundary.
+		return walkResult{readPos: i, mism: mism, path: []vgraph.NodeID{node}}
+	}
+	merged := walkResult{
+		readPos: best.readPos,
+		mism:    append(mism, best.mism...),
+		path:    append([]vgraph.NodeID{node}, best.path...),
+		reached: best.reached,
+	}
+	return merged
+}
+
+// betterRight compares right-walk completions by score.
+func betterRight(a, b walkResult, p Params) bool {
+	sa := score1(a.readPos, int32(len(a.mism)), p)
+	sb := score1(b.readPos, int32(len(b.mism)), p)
+	if sa != sb {
+		return sa > sb
+	}
+	// Deterministic tie-break: longer reach, then lexicographically smaller
+	// first path node.
+	if a.readPos != b.readPos {
+		return a.readPos > b.readPos
+	}
+	if len(a.path) > 0 && len(b.path) > 0 && a.path[0] != b.path[0] {
+		return a.path[0] < b.path[0]
+	}
+	return false
+}
+
+func score1(reach, mism int32, p Params) int32 {
+	return (reach-mism)*p.MatchScore - mism*p.MismatchPenalty
+}
+
+// extendLeft walks the graph backward from (node, off) matching r[..i]
+// leftward. Predecessor steps are fully haplotype-constrained: the
+// bidirectional state is extended left through the reverse index, so only
+// walks some indexed haplotype actually takes survive. The returned pos is
+// the graph position of the leftmost matched base; readPos is the inclusive
+// read start; path lists nodes *before* the seed node, in walk
+// (right-to-left) order.
+func extendLeft(env *Env, r dna.Sequence, i int32, node vgraph.NodeID, off int32, state gbwt.BiState, mismBudget int, p Params, readIdx int) walkResult {
+	g := env.Graph
+	var mism []int32
+	var path []vgraph.NodeID
+	curNode, curOff := node, off
+	for {
+		label := g.Seq(curNode)
+		if env.Probe != nil && curOff >= 0 && i >= 0 {
+			n := curOff + 1
+			if i+1 < n {
+				n = i + 1
+			}
+			if n > 0 {
+				env.Probe.Access(counters.NodeSeqAddr(uint32(curNode), curOff-n+1), int(n))
+				env.Probe.Access(counters.ReadAddr(readIdx, i-n+1), int(n))
+				env.Probe.Instr(int64(n) * 6)
+			}
+		}
+		for curOff >= 0 && i >= 0 {
+			if label[curOff] != r[i] {
+				if len(mism)+1 > mismBudget {
+					return walkResult{
+						readPos: i + 1,
+						mism:    mism,
+						path:    path,
+						pos:     vgraph.Position{Node: curNode, Off: curOff + 1},
+					}
+				}
+				mism = append(mism, i)
+			}
+			curOff--
+			i--
+		}
+		if i < 0 {
+			return walkResult{
+				readPos: 0,
+				mism:    mism,
+				path:    path,
+				pos:     vgraph.Position{Node: curNode, Off: curOff + 1},
+				reached: true,
+			}
+		}
+		// Node start reached: step to the best haplotype-consistent
+		// predecessor. Greedy: choose the predecessor whose tail matches the
+		// read furthest (deterministic by node id on ties).
+		pred, next := bestPredecessor(env, r, i, state, p)
+		if pred == vgraph.Invalid {
+			return walkResult{
+				readPos: i + 1,
+				mism:    mism,
+				path:    path,
+				pos:     vgraph.Position{Node: curNode, Off: 0},
+			}
+		}
+		path = append(path, pred)
+		state = next
+		curNode = pred
+		curOff = int32(g.SeqLen(pred)) - 1
+	}
+}
+
+// bestPredecessor returns the haplotype-consistent predecessor of the
+// state's first node whose label tail best matches the read ending at i,
+// together with the left-extended state, or Invalid when no haplotype
+// continues leftward.
+func bestPredecessor(env *Env, r dna.Sequence, i int32, state gbwt.BiState, p Params) (vgraph.NodeID, gbwt.BiState) {
+	g := env.Graph
+	rec := env.Bi.Rev.Record(state.Rev.Node)
+	if env.Probe != nil {
+		env.Probe.Access(counters.RecordRevAddr(uint32(state.Rev.Node)), counters.RecordStride)
+		env.Probe.Instr(20)
+	}
+	if rec == nil {
+		return vgraph.Invalid, state
+	}
+	best := vgraph.Invalid
+	var bestState gbwt.BiState
+	bestMatch := int32(-1)
+	for _, e := range rec.Edges {
+		u := e.To
+		if u == gbwt.Endmarker {
+			continue
+		}
+		next := gbwt.ExtendLeftWith(env.Bi, state, u)
+		if next.Empty() {
+			continue
+		}
+		// Count matching tail bases (up to 8) for the greedy choice.
+		label := g.Seq(u)
+		m := int32(0)
+		ri, li := i, int32(len(label))-1
+		for m < 8 && ri >= 0 && li >= 0 && label[li] == r[ri] {
+			m++
+			ri--
+			li--
+		}
+		if env.Probe != nil {
+			env.Probe.Instr(int64(m+1) * 6)
+		}
+		if m > bestMatch {
+			bestMatch = m
+			best = u
+			bestState = next
+		}
+	}
+	return best, bestState
+}

@@ -1,0 +1,379 @@
+package extend
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/counters"
+	"repro/internal/distindex"
+	"repro/internal/dna"
+	"repro/internal/gbwt"
+	"repro/internal/minimizer"
+	"repro/internal/seeds"
+	"repro/internal/vgraph"
+)
+
+// fixture bundles a pangenome, its GBWT, minimizer and distance indices.
+type fixture struct {
+	pg    *vgraph.Pangenome
+	index *gbwt.GBWT
+	bi    *gbwt.Bidirectional
+	minIx *minimizer.Index
+	dist  *distindex.Index
+	haps  [][]vgraph.NodeID
+	seqs  []dna.Sequence
+}
+
+func buildFixture(t testing.TB, seed int64, refLen, nHaps int) *fixture {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ref := make(dna.Sequence, refLen)
+	for i := range ref {
+		ref[i] = dna.Base(rng.Intn(4))
+	}
+	var vs []vgraph.Variant
+	for pos := 60; pos < refLen-60; pos += 70 + rng.Intn(70) {
+		switch rng.Intn(3) {
+		case 0:
+			vs = append(vs, vgraph.Variant{Pos: pos, Kind: vgraph.SNP, Alt: dna.Sequence{(ref[pos] + 1) & 3}})
+		case 1:
+			ins := make(dna.Sequence, 1+rng.Intn(5))
+			for i := range ins {
+				ins[i] = dna.Base(rng.Intn(4))
+			}
+			vs = append(vs, vgraph.Variant{Pos: pos, Kind: vgraph.Insertion, Alt: ins})
+		case 2:
+			vs = append(vs, vgraph.Variant{Pos: pos, Kind: vgraph.Deletion, DelLen: 1 + rng.Intn(6)})
+		}
+	}
+	pg, err := vgraph.BuildPangenome(ref, vs, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fixture{pg: pg}
+	for h := 0; h < nHaps; h++ {
+		alleles := make([]int, pg.NumSites())
+		for i := range alleles {
+			alleles[i] = rng.Intn(pg.NumAlleles(i))
+		}
+		path, err := pg.HaplotypePath(alleles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.haps = append(f.haps, path)
+		seq, err := pg.HaplotypeSeq(alleles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.seqs = append(f.seqs, seq)
+	}
+	f.index, err = gbwt.New(f.haps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.bi, err = gbwt.FromForward(f.index, f.haps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.minIx, err = minimizer.Build(pg.Graph, f.haps, minimizer.Config{K: 15, W: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.dist = distindex.New(pg.Graph)
+	return f
+}
+
+// mapRead runs the full kernel pipeline for a read.
+func (f *fixture) mapRead(t testing.TB, read *dna.Read, capacity int, probe counters.Probe) []Extension {
+	t.Helper()
+	ss, err := seeds.Extract(f.minIx, read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := cluster.ClusterSeeds(f.dist, ss, cluster.DefaultParams(), probe, 0)
+	env := &Env{
+		Graph: f.pg.Graph,
+		Bi:    f.bi.NewBiReader(capacity),
+		Probe: probe,
+	}
+	return ProcessUntilThresholdC(env, read, ss, cls, Params{}, 0)
+}
+
+// spellExtension walks the extension's path from StartPos, returning the
+// graph bases it covers.
+func (f *fixture) spellExtension(t *testing.T, e *Extension) dna.Sequence {
+	t.Helper()
+	g := f.pg.Graph
+	var out dna.Sequence
+	need := int(e.Len())
+	for pi, node := range e.Path {
+		label := g.Seq(node)
+		start := 0
+		if pi == 0 {
+			if node != e.StartPos.Node {
+				t.Fatalf("path[0]=%d but StartPos.Node=%d", node, e.StartPos.Node)
+			}
+			start = int(e.StartPos.Off)
+		}
+		for o := start; o < len(label) && len(out) < need; o++ {
+			out = append(out, label[o])
+		}
+		if len(out) >= need {
+			break
+		}
+	}
+	return out
+}
+
+func TestExactReadFullExtension(t *testing.T) {
+	f := buildFixture(t, 1, 4000, 6)
+	hap := 2
+	read := &dna.Read{Name: "r0", Seq: f.seqs[hap][500:620].Clone(), Fragment: -1}
+	exts := f.mapRead(t, read, 256, nil)
+	if len(exts) == 0 {
+		t.Fatal("no extensions for exact read")
+	}
+	best := exts[0]
+	if best.ReadStart != 0 || best.ReadEnd != int32(len(read.Seq)) {
+		t.Errorf("best extension covers [%d,%d), want full read [0,%d)", best.ReadStart, best.ReadEnd, len(read.Seq))
+	}
+	if len(best.Mismatches) != 0 {
+		t.Errorf("exact read has %d mismatches: %v", len(best.Mismatches), best.Mismatches)
+	}
+	wantScore := int32(len(read.Seq)) + 2*5 // all matches + both full-length bonuses
+	if best.Score != wantScore {
+		t.Errorf("Score = %d, want %d", best.Score, wantScore)
+	}
+	if best.Rev {
+		t.Error("forward read mapped as reverse")
+	}
+}
+
+func TestReadWithOneError(t *testing.T) {
+	f := buildFixture(t, 2, 4000, 6)
+	read := &dna.Read{Name: "r1", Seq: f.seqs[0][1000:1120].Clone(), Fragment: -1}
+	read.Seq[60] = (read.Seq[60] + 1) & 3 // plant one error mid-read
+	exts := f.mapRead(t, read, 256, nil)
+	if len(exts) == 0 {
+		t.Fatal("no extensions")
+	}
+	best := exts[0]
+	if best.ReadStart != 0 || best.ReadEnd != int32(len(read.Seq)) {
+		t.Fatalf("extension covers [%d,%d), want full", best.ReadStart, best.ReadEnd)
+	}
+	if len(best.Mismatches) != 1 || best.Mismatches[0] != 60 {
+		t.Errorf("Mismatches = %v, want [60]", best.Mismatches)
+	}
+	wantScore := int32(len(read.Seq)-1) - 4 + 10
+	if best.Score != wantScore {
+		t.Errorf("Score = %d, want %d", best.Score, wantScore)
+	}
+}
+
+func TestReverseStrandRead(t *testing.T) {
+	f := buildFixture(t, 3, 4000, 6)
+	fwd := &dna.Read{Name: "f", Seq: f.seqs[1][700:820].Clone(), Fragment: -1}
+	rev := &dna.Read{Name: "r", Seq: f.seqs[1][700:820].RevComp(), Fragment: -1}
+	fe := f.mapRead(t, fwd, 256, nil)
+	re := f.mapRead(t, rev, 256, nil)
+	if len(fe) == 0 || len(re) == 0 {
+		t.Fatal("missing extensions")
+	}
+	if fe[0].Rev {
+		t.Error("forward read marked Rev")
+	}
+	if !re[0].Rev {
+		t.Error("reverse read not marked Rev")
+	}
+	// Both strands anchor the same graph region with the same score.
+	if fe[0].StartPos != re[0].StartPos {
+		t.Errorf("start positions differ: %v vs %v", fe[0].StartPos, re[0].StartPos)
+	}
+	if fe[0].Score != re[0].Score {
+		t.Errorf("scores differ: %d vs %d", fe[0].Score, re[0].Score)
+	}
+}
+
+func TestExtensionSpellsRead(t *testing.T) {
+	f := buildFixture(t, 4, 5000, 8)
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 20; trial++ {
+		hap := rng.Intn(len(f.seqs))
+		start := rng.Intn(len(f.seqs[hap]) - 130)
+		seq := f.seqs[hap][start : start+120].Clone()
+		nErr := rng.Intn(3)
+		for e := 0; e < nErr; e++ {
+			p := rng.Intn(len(seq))
+			seq[p] = (seq[p] + 1 + dna.Base(rng.Intn(3))) & 3
+		}
+		read := &dna.Read{Name: "t", Seq: seq, Fragment: -1}
+		exts := f.mapRead(t, read, 256, nil)
+		for _, e := range exts {
+			oriented := read.Seq
+			if e.Rev {
+				oriented = read.Seq.RevComp()
+			}
+			spelled := f.spellExtension(t, &e)
+			if int32(len(spelled)) != e.Len() {
+				t.Fatalf("trial %d: spelled %d bases for extension of length %d", trial, len(spelled), e.Len())
+			}
+			mismSet := map[int32]bool{}
+			for _, m := range e.Mismatches {
+				mismSet[m] = true
+			}
+			for j := int32(0); j < e.Len(); j++ {
+				ro := e.ReadStart + j
+				if mismSet[ro] {
+					if spelled[j] == oriented[ro] {
+						t.Fatalf("trial %d: offset %d reported mismatch but matches", trial, ro)
+					}
+				} else if spelled[j] != oriented[ro] {
+					t.Fatalf("trial %d: offset %d mismatches but not reported", trial, ro)
+				}
+			}
+			// Score formula holds.
+			want := (e.Len()-int32(len(e.Mismatches)))*1 - int32(len(e.Mismatches))*4
+			if e.ReadStart == 0 {
+				want += 5
+			}
+			if e.ReadEnd == int32(len(oriented)) {
+				want += 5
+			}
+			if e.Score != want {
+				t.Fatalf("trial %d: score %d, want %d", trial, e.Score, want)
+			}
+		}
+	}
+}
+
+func TestCacheCapacityDoesNotChangeOutput(t *testing.T) {
+	f := buildFixture(t, 5, 4000, 6)
+	read := &dna.Read{Name: "r", Seq: f.seqs[3][2000:2120].Clone(), Fragment: -1}
+	var results [][]Extension
+	for _, capacity := range []int{0, 2, 64, 1024} {
+		results = append(results, f.mapRead(t, read, capacity, nil))
+	}
+	for i := 1; i < len(results); i++ {
+		if !reflect.DeepEqual(results[0], results[i]) {
+			t.Fatalf("capacity variant %d changed the mapping output", i)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	f := buildFixture(t, 6, 4000, 6)
+	read := &dna.Read{Name: "r", Seq: f.seqs[0][100:220].Clone(), Fragment: -1}
+	a := f.mapRead(t, read, 256, nil)
+	b := f.mapRead(t, read, 256, nil)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("kernel output not deterministic")
+	}
+}
+
+func TestThresholdCStopsLowClusters(t *testing.T) {
+	f := buildFixture(t, 7, 4000, 6)
+	read := &dna.Read{Name: "r", Seq: f.seqs[0][300:420].Clone(), Fragment: -1}
+	ss, err := seeds.Extract(f.minIx, read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := cluster.ClusterSeeds(f.dist, ss, cluster.DefaultParams(), nil, 0)
+	if len(cls) == 0 {
+		t.Skip("read produced a single cluster")
+	}
+	env := &Env{Graph: f.pg.Graph, Bi: f.bi.NewBiReader(256)}
+	// With MaxClusters=1 only the top cluster is extended.
+	one := ProcessUntilThresholdC(env, read, ss, cls, Params{MaxClusters: 1, MinClusters: 1}, 0)
+	all := ProcessUntilThresholdC(env, read, ss, cls, Params{MaxClusters: 1000, MinClusters: 1000}, 0)
+	if len(one) > len(all) {
+		t.Errorf("restricted run produced more extensions (%d) than full (%d)", len(one), len(all))
+	}
+}
+
+func TestMaxMismatchBudget(t *testing.T) {
+	f := buildFixture(t, 8, 4000, 6)
+	seq := f.seqs[0][1500:1620].Clone()
+	// Plant many errors in the right half: extension must stop early.
+	for p := 70; p < 110; p += 4 {
+		seq[p] = (seq[p] + 1) & 3
+	}
+	read := &dna.Read{Name: "r", Seq: seq, Fragment: -1}
+	exts := f.mapRead(t, read, 256, nil)
+	for _, e := range exts {
+		if len(e.Mismatches) > 4 {
+			t.Fatalf("extension has %d mismatches, budget is 4", len(e.Mismatches))
+		}
+	}
+}
+
+func TestEmptyClusterList(t *testing.T) {
+	f := buildFixture(t, 9, 4000, 4)
+	env := &Env{Graph: f.pg.Graph, Bi: f.bi.NewBiReader(256)}
+	read := &dna.Read{Name: "r", Seq: f.seqs[0][:120].Clone(), Fragment: -1}
+	if out := ProcessUntilThresholdC(env, read, nil, nil, Params{}, 0); out != nil {
+		t.Errorf("extensions from no clusters: %v", out)
+	}
+}
+
+func TestProbeCountsWork(t *testing.T) {
+	f := buildFixture(t, 10, 4000, 6)
+	read := &dna.Read{Name: "r", Seq: f.seqs[2][900:1020].Clone(), Fragment: -1}
+	h := counters.NewDefaultHierarchy()
+	f.mapRead(t, read, 256, h)
+	c := h.Snapshot(counters.DefaultCycleModel)
+	if c.Instr == 0 || c.L1DA == 0 {
+		t.Errorf("probe recorded nothing: %+v", c)
+	}
+}
+
+func TestExtensionKey(t *testing.T) {
+	e := Extension{StartPos: vgraph.Position{Node: 5, Off: 3}, ReadStart: 0, ReadEnd: 100}
+	if e.Key() != "5:3+:0-100" {
+		t.Errorf("Key = %q", e.Key())
+	}
+	e.Rev = true
+	if e.Key() != "5:3-:0-100" {
+		t.Errorf("Key = %q", e.Key())
+	}
+}
+
+func TestParamsNormalize(t *testing.T) {
+	p := Params{}.normalize()
+	if !reflect.DeepEqual(p, DefaultParams()) {
+		t.Errorf("normalize(zero) = %+v, want defaults", p)
+	}
+	custom := Params{MaxMismatches: 2}.normalize()
+	if custom.MaxMismatches != 2 || custom.MaxClusters != DefaultParams().MaxClusters {
+		t.Errorf("partial normalize wrong: %+v", custom)
+	}
+}
+
+func BenchmarkProcessUntilThresholdC(b *testing.B) {
+	f := buildFixture(b, 11, 8000, 8)
+	rng := rand.New(rand.NewSource(12))
+	type work struct {
+		read *dna.Read
+		ss   []seeds.Seed
+		cls  []cluster.Cluster
+	}
+	var items []work
+	for i := 0; i < 50; i++ {
+		hap := rng.Intn(len(f.seqs))
+		start := rng.Intn(len(f.seqs[hap]) - 130)
+		read := &dna.Read{Name: "b", Seq: f.seqs[hap][start : start+120].Clone(), Fragment: -1}
+		ss, err := seeds.Extract(f.minIx, read)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cls := cluster.ClusterSeeds(f.dist, ss, cluster.DefaultParams(), nil, 0)
+		items = append(items, work{read, ss, cls})
+	}
+	env := &Env{Graph: f.pg.Graph, Bi: f.bi.NewBiReader(256)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := items[i%len(items)]
+		ProcessUntilThresholdC(env, w.read, w.ss, w.cls, Params{}, 0)
+	}
+}

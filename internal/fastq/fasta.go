@@ -1,0 +1,100 @@
+package fastq
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/dna"
+)
+
+// FASTA support for reference sequences (the linear references the
+// pangenomes are built from). Sequences wrap at the conventional 70 columns.
+
+// FastaRecord is one named sequence.
+type FastaRecord struct {
+	Name string
+	Seq  dna.Sequence
+}
+
+// fastaLineWidth is the wrap column.
+const fastaLineWidth = 70
+
+// WriteFasta emits records in FASTA format.
+func WriteFasta(w io.Writer, records []FastaRecord) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range records {
+		if _, err := fmt.Fprintf(bw, ">%s\n", r.Name); err != nil {
+			return err
+		}
+		s := r.Seq.String()
+		for i := 0; i < len(s); i += fastaLineWidth {
+			end := i + fastaLineWidth
+			if end > len(s) {
+				end = len(s)
+			}
+			if _, err := fmt.Fprintln(bw, s[i:end]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFasta parses FASTA records.
+func ReadFasta(r io.Reader) ([]FastaRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []FastaRecord
+	var cur *FastaRecord
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, ";") {
+			continue
+		}
+		if strings.HasPrefix(text, ">") {
+			out = append(out, FastaRecord{Name: strings.TrimSpace(text[1:])})
+			cur = &out[len(out)-1]
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("fastq: FASTA line %d: sequence before header", line)
+		}
+		seq, err := dna.Parse(text)
+		if err != nil {
+			return nil, fmt.Errorf("fastq: FASTA record %q line %d: %w", cur.Name, line, err)
+		}
+		cur.Seq = append(cur.Seq, seq...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteFastaFile saves records to a .fa file.
+func WriteFastaFile(path string, records []FastaRecord) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteFasta(f, records); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFastaFile loads a .fa file.
+func ReadFastaFile(path string) ([]FastaRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFasta(f)
+}

@@ -1,0 +1,106 @@
+// Package fastq reads and writes short reads in FASTQ format, the standard
+// sequencer output the paper's input sets arrive in (Table III). Quality
+// strings are synthesised (the mapper does not use them) and paired-end
+// identity is carried in the conventional "/1"-"/2" name suffixes.
+package fastq
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/dna"
+)
+
+// Write emits reads in FASTQ.
+func Write(w io.Writer, reads []dna.Read) error {
+	bw := bufio.NewWriter(w)
+	for i := range reads {
+		r := &reads[i]
+		qual := strings.Repeat("I", len(r.Seq))
+		if _, err := fmt.Fprintf(bw, "@%s\n%s\n+\n%s\n", r.Name, r.Seq.String(), qual); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile saves reads to a FASTQ file.
+func WriteFile(path string, reads []dna.Read) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, reads); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read parses FASTQ records. Names ending in "/1" or "/2" are paired:
+// consecutive /1-/2 records form a fragment, numbered in file order.
+func Read(r io.Reader) ([]dna.Read, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []dna.Read
+	fragment := 0
+	line := 0
+	for sc.Scan() {
+		header := sc.Text()
+		line++
+		if header == "" {
+			continue
+		}
+		if !strings.HasPrefix(header, "@") {
+			return nil, fmt.Errorf("fastq: line %d: expected @header, got %q", line, header)
+		}
+		if !sc.Scan() {
+			return nil, fmt.Errorf("fastq: record %q truncated before sequence", header)
+		}
+		line++
+		seq, err := dna.Parse(sc.Text())
+		if err != nil {
+			return nil, fmt.Errorf("fastq: record %q: %w", header, err)
+		}
+		if !sc.Scan() || !strings.HasPrefix(sc.Text(), "+") {
+			return nil, fmt.Errorf("fastq: record %q missing separator line", header)
+		}
+		line++
+		if !sc.Scan() {
+			return nil, fmt.Errorf("fastq: record %q truncated before quality", header)
+		}
+		line++
+		if len(sc.Text()) != len(seq) {
+			return nil, fmt.Errorf("fastq: record %q quality length %d != sequence %d", header, len(sc.Text()), len(seq))
+		}
+		name := strings.TrimPrefix(header, "@")
+		read := dna.Read{Name: name, Seq: seq, Fragment: -1}
+		switch {
+		case strings.HasSuffix(name, "/1"):
+			read.Fragment = fragment
+			read.End = 0
+		case strings.HasSuffix(name, "/2"):
+			read.Fragment = fragment
+			read.End = 1
+			fragment++
+		}
+		out = append(out, read)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadFile loads a FASTQ file.
+func ReadFile(path string) ([]dna.Read, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,223 @@
+// Package gaf reads and writes the Graph Alignment Format, the standard
+// output of vg Giraffe's alignment phase (§IV-B: "the alignment phase ...
+// generates the mapping output"). GAF is TSV with twelve mandatory columns —
+// query name/length/start/end, strand, the graph path (">1>2>5" style), path
+// length and interval, residue matches, block length, mapping quality —
+// followed by optional typed tags; this package emits the NM (mismatch
+// count) and AS (alignment score) tags.
+package gaf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/extend"
+	"repro/internal/giraffe"
+	"repro/internal/vgraph"
+)
+
+// Record is one GAF line.
+type Record struct {
+	QueryName  string
+	QueryLen   int
+	QueryStart int
+	QueryEnd   int
+	Strand     byte // '+' or '-'
+	Path       []vgraph.NodeID
+	PathLen    int
+	PathStart  int
+	PathEnd    int
+	Matches    int
+	BlockLen   int
+	MapQ       int
+	Mismatches int   // NM tag
+	Score      int32 // AS tag: the alignment-phase (refined) score
+}
+
+// FromAlignment converts a mapped alignment into a GAF record; g resolves
+// node lengths for the path columns. Returns false for unmapped alignments.
+func FromAlignment(g *vgraph.Graph, al *giraffe.Alignment, queryLen int) (Record, bool) {
+	if !al.Mapped {
+		return Record{}, false
+	}
+	e := &al.Best
+	rec := Record{
+		QueryName:  al.ReadName,
+		QueryLen:   queryLen,
+		QueryStart: int(e.ReadStart),
+		QueryEnd:   int(e.ReadEnd),
+		Strand:     '+',
+		Path:       e.Path,
+		MapQ:       al.MappingQuality,
+		Mismatches: len(e.Mismatches),
+		BlockLen:   int(e.Len()),
+		Matches:    int(e.Len()) - len(e.Mismatches),
+		Score:      al.RefinedScore,
+	}
+	if e.Rev {
+		rec.Strand = '-'
+	}
+	for _, id := range e.Path {
+		rec.PathLen += g.SeqLen(id)
+	}
+	rec.PathStart = int(e.StartPos.Off)
+	rec.PathEnd = rec.PathStart + int(e.Len())
+	return rec, true
+}
+
+// WriteRecord emits one GAF line.
+func WriteRecord(w io.Writer, r *Record) error {
+	var path strings.Builder
+	for _, id := range r.Path {
+		// All nodes are traversed forward in this reproduction's graphs.
+		fmt.Fprintf(&path, ">%d", id)
+	}
+	_, err := fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%c\t%s\t%d\t%d\t%d\t%d\t%d\t%d\tNM:i:%d\tAS:i:%d\n",
+		r.QueryName, r.QueryLen, r.QueryStart, r.QueryEnd, r.Strand,
+		path.String(), r.PathLen, r.PathStart, r.PathEnd,
+		r.Matches, r.BlockLen, r.MapQ, r.Mismatches, r.Score)
+	return err
+}
+
+// Write emits GAF records for every mapped alignment of a result. reads
+// supplies query lengths, index-aligned with the alignments.
+func Write(w io.Writer, g *vgraph.Graph, alignments []giraffe.Alignment, queryLens []int) error {
+	if len(alignments) != len(queryLens) {
+		return fmt.Errorf("gaf: %d alignments but %d query lengths", len(alignments), len(queryLens))
+	}
+	bw := bufio.NewWriter(w)
+	for i := range alignments {
+		rec, ok := FromAlignment(g, &alignments[i], queryLens[i])
+		if !ok {
+			continue
+		}
+		if err := WriteRecord(bw, &rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Parse reads GAF records back (mandatory columns plus the NM tag).
+func Parse(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []Record
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) < 12 {
+			return nil, fmt.Errorf("gaf: line %d has %d fields, need 12", lineNo, len(fields))
+		}
+		var rec Record
+		rec.QueryName = fields[0]
+		ints := []*int{
+			&rec.QueryLen, &rec.QueryStart, &rec.QueryEnd,
+		}
+		for i, dst := range ints {
+			v, err := strconv.Atoi(fields[1+i])
+			if err != nil {
+				return nil, fmt.Errorf("gaf: line %d field %d: %w", lineNo, 2+i, err)
+			}
+			*dst = v
+		}
+		if fields[4] != "+" && fields[4] != "-" {
+			return nil, fmt.Errorf("gaf: line %d: bad strand %q", lineNo, fields[4])
+		}
+		rec.Strand = fields[4][0]
+		path, err := parsePath(fields[5])
+		if err != nil {
+			return nil, fmt.Errorf("gaf: line %d: %w", lineNo, err)
+		}
+		rec.Path = path
+		tail := []*int{&rec.PathLen, &rec.PathStart, &rec.PathEnd, &rec.Matches, &rec.BlockLen, &rec.MapQ}
+		for i, dst := range tail {
+			v, err := strconv.Atoi(fields[6+i])
+			if err != nil {
+				return nil, fmt.Errorf("gaf: line %d field %d: %w", lineNo, 7+i, err)
+			}
+			*dst = v
+		}
+		for _, tag := range fields[12:] {
+			switch {
+			case strings.HasPrefix(tag, "NM:i:"):
+				v, err := strconv.Atoi(tag[5:])
+				if err != nil {
+					return nil, fmt.Errorf("gaf: line %d: bad NM tag %q", lineNo, tag)
+				}
+				rec.Mismatches = v
+			case strings.HasPrefix(tag, "AS:i:"):
+				v, err := strconv.Atoi(tag[5:])
+				if err != nil {
+					return nil, fmt.Errorf("gaf: line %d: bad AS tag %q", lineNo, tag)
+				}
+				rec.Score = int32(v)
+			}
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parsePath decodes a ">1>2>5"-style oriented path.
+func parsePath(s string) ([]vgraph.NodeID, error) {
+	if s == "" || s == "*" {
+		return nil, nil
+	}
+	var out []vgraph.NodeID
+	i := 0
+	for i < len(s) {
+		if s[i] != '>' && s[i] != '<' {
+			return nil, fmt.Errorf("gaf: bad path segment at %q", s[i:])
+		}
+		if s[i] == '<' {
+			return nil, fmt.Errorf("gaf: reverse traversals unsupported in this reproduction")
+		}
+		i++
+		j := i
+		for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+			j++
+		}
+		if j == i {
+			return nil, fmt.Errorf("gaf: empty node id in path %q", s)
+		}
+		v, err := strconv.ParseUint(s[i:j], 10, 32)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vgraph.NodeID(v))
+		i = j
+	}
+	return out, nil
+}
+
+// Identity returns matches/block-length, the standard GAF alignment
+// identity.
+func (r *Record) Identity() float64 {
+	if r.BlockLen == 0 {
+		return 0
+	}
+	return float64(r.Matches) / float64(r.BlockLen)
+}
+
+// ExtensionOf reconstructs the raw extension interval a record encodes
+// (inverse of FromAlignment for the fields the kernel owns).
+func (r *Record) ExtensionOf() extend.Extension {
+	return extend.Extension{
+		Path:      r.Path,
+		ReadStart: int32(r.QueryStart),
+		ReadEnd:   int32(r.QueryEnd),
+		Rev:       r.Strand == '-',
+	}
+}

@@ -1,0 +1,162 @@
+package gaf
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/giraffe"
+	"repro/internal/vgraph"
+	"repro/internal/workload"
+)
+
+func mapFixture(t *testing.T) (*workload.Bundle, *giraffe.Result) {
+	t.Helper()
+	b, err := workload.Generate(workload.AHuman().Scaled(0.03))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := giraffe.BuildIndexes(b.GBZ())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := giraffe.Map(ix, b.Reads, giraffe.Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, res
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	b, res := mapFixture(t)
+	lens := make([]int, len(b.Reads))
+	for i := range b.Reads {
+		lens[i] = b.Reads[i].Len()
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, b.Pangenome.Graph, res.Alignments, lens); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped := 0
+	for _, al := range res.Alignments {
+		if al.Mapped {
+			mapped++
+		}
+	}
+	if len(recs) != mapped {
+		t.Fatalf("%d GAF records for %d mapped reads", len(recs), mapped)
+	}
+	// Verify field consistency on every record.
+	j := 0
+	for i, al := range res.Alignments {
+		if !al.Mapped {
+			continue
+		}
+		rec := recs[j]
+		j++
+		if rec.QueryName != al.ReadName {
+			t.Fatalf("record %d name %q != %q", j, rec.QueryName, al.ReadName)
+		}
+		if rec.QueryLen != b.Reads[i].Len() {
+			t.Fatalf("record %d query length %d", j, rec.QueryLen)
+		}
+		if rec.Matches+rec.Mismatches != rec.BlockLen {
+			t.Fatalf("record %d: matches %d + NM %d != block %d", j, rec.Matches, rec.Mismatches, rec.BlockLen)
+		}
+		if rec.Identity() <= 0.9 {
+			t.Fatalf("record %d identity %.3f suspiciously low", j, rec.Identity())
+		}
+		if !reflect.DeepEqual(rec.Path, al.Best.Path) {
+			t.Fatalf("record %d path mismatch", j)
+		}
+		if got := rec.ExtensionOf(); got.ReadStart != al.Best.ReadStart || got.Rev != al.Best.Rev {
+			t.Fatalf("record %d ExtensionOf mismatch", j)
+		}
+	}
+}
+
+func TestWriteLengthMismatch(t *testing.T) {
+	_, res := mapFixture(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, nil, res.Alignments, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		line string
+	}{
+		{"too few fields", "q\t10\t0\t10\t+\t>1\t10\t0\t10\t10\t10\n"},
+		{"bad int", "q\tX\t0\t10\t+\t>1\t10\t0\t10\t10\t10\t60\n"},
+		{"bad strand", "q\t10\t0\t10\t?\t>1\t10\t0\t10\t10\t10\t60\n"},
+		{"bad path", "q\t10\t0\t10\t+\t1>2\t10\t0\t10\t10\t10\t60\n"},
+		{"reverse traversal", "q\t10\t0\t10\t+\t<1\t10\t0\t10\t10\t10\t60\n"},
+		{"empty node id", "q\t10\t0\t10\t+\t>\t10\t0\t10\t10\t10\t60\n"},
+		{"bad NM", "q\t10\t0\t10\t+\t>1\t10\t0\t10\t10\t10\t60\tNM:i:x\n"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(strings.NewReader(tc.line)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestParseSkipsEmptyLines(t *testing.T) {
+	data := "\nq\t10\t0\t10\t+\t>1>2\t12\t0\t10\t9\t10\t60\tNM:i:1\n\n"
+	recs, err := Parse(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[0].Mismatches != 1 || len(recs[0].Path) != 2 {
+		t.Errorf("parsed record wrong: %+v", recs[0])
+	}
+}
+
+func TestIdentityZeroBlock(t *testing.T) {
+	r := Record{}
+	if r.Identity() != 0 {
+		t.Error("zero block identity != 0")
+	}
+}
+
+func TestFromAlignmentUnmapped(t *testing.T) {
+	al := giraffe.Alignment{ReadName: "u"}
+	if _, ok := FromAlignment(nil, &al, 100); ok {
+		t.Error("unmapped alignment produced a record")
+	}
+}
+
+func TestScoreTagRoundTrip(t *testing.T) {
+	rec := Record{
+		QueryName: "q", QueryLen: 10, QueryEnd: 10, Strand: '+',
+		Path: []vgraph.NodeID{1}, PathLen: 12, PathEnd: 10,
+		Matches: 9, BlockLen: 10, MapQ: 60, Mismatches: 1, Score: 14,
+	}
+	var buf bytes.Buffer
+	if err := WriteRecord(&buf, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "AS:i:14") {
+		t.Fatalf("no AS tag in %q", buf.String())
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Score != 14 {
+		t.Errorf("Score = %d", got[0].Score)
+	}
+	if _, err := Parse(strings.NewReader("q\t10\t0\t10\t+\t>1\t10\t0\t10\t10\t10\t60\tAS:i:x\n")); err == nil {
+		t.Error("bad AS tag accepted")
+	}
+}

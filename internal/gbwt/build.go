@@ -1,0 +1,229 @@
+package gbwt
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// visit identifies one step of one path: path `path` is at its `pos`-th node.
+type visit struct {
+	path int32
+	pos  int32
+}
+
+// New builds a GBWT over the given haplotype paths. Paths are sequences of
+// node identifiers (never the endmarker 0). The node adjacencies observed
+// across all paths must form a DAG — true for the bubble-chain variation
+// graphs this reproduction constructs — because the builder finalises each
+// node's visit order after all of its predecessors.
+func New(paths [][]NodeID) (*GBWT, error) {
+	if len(paths) == 0 {
+		return nil, errors.New("gbwt: no paths")
+	}
+	maxNode := NodeID(0)
+	for j, p := range paths {
+		if len(p) == 0 {
+			return nil, fmt.Errorf("gbwt: path %d is empty", j)
+		}
+		for _, v := range p {
+			if v == Endmarker {
+				return nil, fmt.Errorf("gbwt: path %d contains the endmarker id 0", j)
+			}
+			if v > maxNode {
+				maxNode = v
+			}
+		}
+	}
+
+	n := int(maxNode) + 1 // index space including the endmarker
+	// arrivals[w][pred] = visits arriving at w from pred, in pred-record
+	// order. Predecessor 0 is the endmarker (path starts).
+	arrivals := make([]map[NodeID][]visit, n)
+	addArrival := func(w, pred NodeID, vt visit) {
+		if arrivals[w] == nil {
+			arrivals[w] = make(map[NodeID][]visit)
+		}
+		arrivals[w][pred] = append(arrivals[w][pred], vt)
+	}
+
+	// Observed adjacency and dependency edges for Kahn's algorithm.
+	succOf := make([]map[NodeID]bool, n)
+	indeg := make([]int, n)
+	addDep := func(v, w NodeID) {
+		if succOf[v] == nil {
+			succOf[v] = make(map[NodeID]bool)
+		}
+		if !succOf[v][w] {
+			succOf[v][w] = true
+			indeg[w]++
+		}
+	}
+	active := make([]bool, n)
+	for _, p := range paths {
+		active[p[0]] = true
+		for i := 1; i < len(p); i++ {
+			if p[i] == p[i-1] {
+				return nil, fmt.Errorf("gbwt: path repeats node %d consecutively (self-loop)", p[i])
+			}
+			active[p[i]] = true
+			addDep(p[i-1], p[i])
+		}
+	}
+
+	// Seed: the endmarker record's body lists path starts in path order, and
+	// LF from body position p arrives at the first node with offset 0.
+	for j, p := range paths {
+		addArrival(p[0], Endmarker, visit{path: int32(j), pos: 0})
+	}
+
+	// visitLists[v] = visits of node v in GBWT order (pred asc, pred order).
+	visitLists := make([][]visit, n)
+	finalize := func(w NodeID) []visit {
+		groups := arrivals[w]
+		preds := make([]NodeID, 0, len(groups))
+		for p := range groups {
+			preds = append(preds, p)
+		}
+		sort.Slice(preds, func(a, b int) bool { return preds[a] < preds[b] })
+		var list []visit
+		for _, p := range preds {
+			list = append(list, groups[p]...)
+		}
+		return list
+	}
+
+	// Kahn over active nodes.
+	var frontier []NodeID
+	for v := NodeID(1); int(v) < n; v++ {
+		if active[v] && indeg[v] == 0 {
+			frontier = append(frontier, v)
+		}
+	}
+	processed := 0
+	totalActive := 0
+	for v := NodeID(1); int(v) < n; v++ {
+		if active[v] {
+			totalActive++
+		}
+	}
+	for len(frontier) > 0 {
+		v := frontier[0]
+		frontier = frontier[1:]
+		processed++
+		list := finalize(v)
+		visitLists[v] = list
+		// Propagate each visit to its successor's arrival list, in record
+		// order.
+		for _, vt := range list {
+			p := paths[vt.path]
+			if int(vt.pos)+1 < len(p) {
+				addArrival(p[vt.pos+1], v, visit{path: vt.path, pos: vt.pos + 1})
+			} else {
+				addArrival(Endmarker, v, vt)
+			}
+		}
+		for w := range succOf[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				frontier = append(frontier, w)
+			}
+		}
+		// Deterministic ordering of the frontier keeps builds reproducible.
+		sort.Slice(frontier, func(a, b int) bool { return frontier[a] < frontier[b] })
+	}
+	if processed != totalActive {
+		return nil, errors.New("gbwt: path adjacencies contain a cycle; only DAGs are supported")
+	}
+
+	// Phase 2: bodies, edges, offsets.
+	g := &GBWT{
+		comp:     make([][]byte, n),
+		visits:   make([]int32, n),
+		numPaths: len(paths),
+	}
+	// arrivalsBefore(w, v) = number of visits at w from preds with id < v.
+	arrivalsBefore := func(w, v NodeID) int32 {
+		var total int32
+		for p, lst := range arrivals[w] {
+			if p < v {
+				total += int32(len(lst))
+			}
+		}
+		return total
+	}
+	buildRecord := func(v NodeID, list []visit) (*DecodedRecord, error) {
+		succs := make(map[NodeID]bool)
+		for _, vt := range list {
+			p := paths[vt.path]
+			s := Endmarker
+			if int(vt.pos)+1 < len(p) {
+				s = p[vt.pos+1]
+			}
+			succs[s] = true
+		}
+		if len(succs) > maxEdges {
+			return nil, fmt.Errorf("gbwt: node %d has %d successors (max %d)", v, len(succs), maxEdges)
+		}
+		rec := &DecodedRecord{}
+		for s := range succs {
+			rec.Edges = append(rec.Edges, Edge{To: s, Offset: arrivalsBefore(s, v)})
+		}
+		sort.Slice(rec.Edges, func(a, b int) bool { return rec.Edges[a].To < rec.Edges[b].To })
+		rec.Ranks = make([]byte, len(list))
+		for i, vt := range list {
+			p := paths[vt.path]
+			s := Endmarker
+			if int(vt.pos)+1 < len(p) {
+				s = p[vt.pos+1]
+			}
+			rec.Ranks[i] = byte(rec.edgeRank(s))
+		}
+		return rec, nil
+	}
+	for v := NodeID(1); int(v) < n; v++ {
+		if !active[v] {
+			continue
+		}
+		rec, err := buildRecord(v, visitLists[v])
+		if err != nil {
+			return nil, err
+		}
+		g.visits[v] = int32(len(visitLists[v]))
+		g.comp[v] = encodeRecord(rec)
+	}
+
+	// Endmarker record: body in path order, successor = first node.
+	endRec := &DecodedRecord{}
+	firstNodes := make(map[NodeID]bool)
+	for _, p := range paths {
+		firstNodes[p[0]] = true
+	}
+	for s := range firstNodes {
+		endRec.Edges = append(endRec.Edges, Edge{To: s, Offset: 0})
+	}
+	sort.Slice(endRec.Edges, func(a, b int) bool { return endRec.Edges[a].To < endRec.Edges[b].To })
+	endRec.Ranks = make([]byte, len(paths))
+	for j, p := range paths {
+		endRec.Ranks[j] = byte(endRec.edgeRank(p[0]))
+	}
+	g.visits[Endmarker] = int32(len(paths))
+	g.comp[Endmarker] = encodeRecord(endRec)
+
+	// Document array: arrivals at the endmarker in (pred asc, pred order).
+	groups := arrivals[Endmarker]
+	preds := make([]NodeID, 0, len(groups))
+	for p := range groups {
+		preds = append(preds, p)
+	}
+	sort.Slice(preds, func(a, b int) bool { return preds[a] < preds[b] })
+	for _, p := range preds {
+		for _, vt := range groups[p] {
+			g.endDA = append(g.endDA, vt.path)
+		}
+	}
+	if len(g.endDA) != len(paths) {
+		return nil, fmt.Errorf("gbwt: document array has %d entries for %d paths", len(g.endDA), len(paths))
+	}
+	return g, nil
+}

@@ -1,0 +1,157 @@
+package gbwt
+
+// CachedGBWT keeps decompressed records in an open-addressing hash table so
+// repeated accesses to the same subgraph skip decompression. This mirrors
+// Giraffe's CachedGBWT: the table's *initial capacity* is a tuning parameter
+// (default 256 in Giraffe), and growth happens through an expensive rehash —
+// which is exactly why the miniGiraffe autotuning study (§VII-B) found the
+// initial capacity to be the statistically significant knob.
+//
+// A CachedGBWT is not safe for concurrent use; the mapper gives each worker
+// thread its own cache, as Giraffe does.
+type CachedGBWT struct {
+	g *GBWT
+	// Open addressing with linear probing. Slot keys store node+1 so the
+	// zero value means empty (the endmarker is cacheable as key 1).
+	keys []NodeID
+	vals []*DecodedRecord
+	used int
+	// capacity 0 disables caching entirely.
+	disabled bool
+
+	stats CacheStats
+}
+
+// CacheStats counts cache behaviour for the instrumentation and counter
+// models.
+type CacheStats struct {
+	Accesses int64
+	Hits     int64
+	Misses   int64 // decompressions
+	Rehashes int64
+}
+
+// DefaultCacheCapacity is Giraffe's default initial CachedGBWT capacity.
+const DefaultCacheCapacity = 256
+
+// maxLoadNum/maxLoadDen is the load factor threshold (3/4) that triggers a
+// rehash to double capacity.
+const (
+	maxLoadNum = 3
+	maxLoadDen = 4
+)
+
+// NewCached wraps g with a record cache of the given initial capacity.
+// Capacity 0 disables caching (every access decompresses); other values are
+// rounded up to a power of two.
+func NewCached(g *GBWT, capacity int) *CachedGBWT {
+	c := &CachedGBWT{g: g}
+	if capacity <= 0 {
+		c.disabled = true
+		return c
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	c.keys = make([]NodeID, n)
+	c.vals = make([]*DecodedRecord, n)
+	return c
+}
+
+// Base implements Reader.
+func (c *CachedGBWT) Base() *GBWT { return c.g }
+
+// Stats returns a copy of the cache counters.
+func (c *CachedGBWT) Stats() CacheStats { return c.stats }
+
+// Capacity returns the current table capacity (0 when disabled).
+func (c *CachedGBWT) Capacity() int { return len(c.keys) }
+
+// Len returns the number of cached records.
+func (c *CachedGBWT) Len() int { return c.used }
+
+// hash mixes the node id; table sizes are powers of two so we multiply by a
+// 32-bit odd constant (Knuth) and fold.
+func (c *CachedGBWT) hash(v NodeID) int {
+	h := uint32(v) * 2654435761
+	return int(h) & (len(c.keys) - 1)
+}
+
+// Record implements Reader with memoisation.
+func (c *CachedGBWT) Record(v NodeID) *DecodedRecord {
+	c.stats.Accesses++
+	if c.disabled {
+		c.stats.Misses++
+		return c.g.Record(v)
+	}
+	key := v + 1
+	i := c.hash(v)
+	for c.keys[i] != 0 {
+		if c.keys[i] == key {
+			c.stats.Hits++
+			return c.vals[i]
+		}
+		i = (i + 1) & (len(c.keys) - 1)
+	}
+	c.stats.Misses++
+	rec := c.g.Record(v)
+	if rec == nil {
+		return nil
+	}
+	c.insert(key, rec, i)
+	return rec
+}
+
+// insert places the record at the probe slot, rehashing first if the load
+// factor would exceed the threshold.
+func (c *CachedGBWT) insert(key NodeID, rec *DecodedRecord, slot int) {
+	if (c.used+1)*maxLoadDen > len(c.keys)*maxLoadNum {
+		c.rehash()
+		// Re-probe in the grown table.
+		slot = c.hash(key - 1)
+		for c.keys[slot] != 0 {
+			slot = (slot + 1) & (len(c.keys) - 1)
+		}
+	}
+	c.keys[slot] = key
+	c.vals[slot] = rec
+	c.used++
+}
+
+// rehash doubles the table and reinserts every entry — the expensive growth
+// operation the initial-capacity parameter exists to avoid.
+func (c *CachedGBWT) rehash() {
+	c.stats.Rehashes++
+	oldKeys, oldVals := c.keys, c.vals
+	c.keys = make([]NodeID, len(oldKeys)*2)
+	c.vals = make([]*DecodedRecord, len(oldVals)*2)
+	for i, k := range oldKeys {
+		if k == 0 {
+			continue
+		}
+		j := c.hash(k - 1)
+		for c.keys[j] != 0 {
+			j = (j + 1) & (len(c.keys) - 1)
+		}
+		c.keys[j] = k
+		c.vals[j] = oldVals[i]
+	}
+}
+
+// Extend advances a search state through the cache.
+func (c *CachedGBWT) Extend(s SearchState, to NodeID) SearchState {
+	return ExtendWith(c, s, to)
+}
+
+// Find searches for a node path through the cache.
+func (c *CachedGBWT) Find(path []NodeID) SearchState { return FindWith(c, path) }
+
+// Reset drops all cached records, keeping the current capacity.
+func (c *CachedGBWT) Reset() {
+	for i := range c.keys {
+		c.keys[i] = 0
+		c.vals[i] = nil
+	}
+	c.used = 0
+}

@@ -1,0 +1,121 @@
+package gbwt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Record wire format (all integers unsigned varints):
+//
+//	numEdges
+//	repeated numEdges times: deltaTo (To - prevTo, first edge absolute), offset
+//	numVisits
+//	repeated runs until numVisits consumed: rank, runLength
+//
+// The run-length body is what makes repeated decompression costly enough for
+// the CachedGBWT to matter, mirroring the GBZ/GBWT byte layout.
+
+// encodeRecord serialises a decoded record.
+func encodeRecord(rec *DecodedRecord) []byte {
+	buf := make([]byte, 0, 16+len(rec.Edges)*4+len(rec.Ranks))
+	buf = binary.AppendUvarint(buf, uint64(len(rec.Edges)))
+	prev := uint64(0)
+	for i, e := range rec.Edges {
+		to := uint64(e.To)
+		if i == 0 {
+			buf = binary.AppendUvarint(buf, to)
+		} else {
+			buf = binary.AppendUvarint(buf, to-prev)
+		}
+		prev = to
+		buf = binary.AppendUvarint(buf, uint64(e.Offset))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(rec.Ranks)))
+	for i := 0; i < len(rec.Ranks); {
+		j := i + 1
+		for j < len(rec.Ranks) && rec.Ranks[j] == rec.Ranks[i] {
+			j++
+		}
+		buf = binary.AppendUvarint(buf, uint64(rec.Ranks[i]))
+		buf = binary.AppendUvarint(buf, uint64(j-i))
+		i = j
+	}
+	return buf
+}
+
+// errTruncated reports a record that ends mid-field.
+var errTruncated = errors.New("gbwt: truncated record")
+
+// decodeRecord parses the wire format back into a DecodedRecord.
+func decodeRecord(buf []byte) (*DecodedRecord, error) {
+	pos := 0
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(buf[pos:])
+		if n <= 0 {
+			return 0, errTruncated
+		}
+		pos += n
+		return v, nil
+	}
+	nEdges, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if nEdges > maxEdges+1 {
+		return nil, fmt.Errorf("gbwt: record claims %d edges", nEdges)
+	}
+	rec := &DecodedRecord{Edges: make([]Edge, nEdges)}
+	prev := uint64(0)
+	for i := range rec.Edges {
+		d, err := next()
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			prev = d
+		} else {
+			prev += d
+		}
+		off, err := next()
+		if err != nil {
+			return nil, err
+		}
+		rec.Edges[i] = Edge{To: NodeID(prev), Offset: int32(off)}
+	}
+	nVisits, err := next()
+	if err != nil {
+		return nil, err
+	}
+	rec.Ranks = make([]byte, 0, nVisits)
+	for uint64(len(rec.Ranks)) < nVisits {
+		rank, err := next()
+		if err != nil {
+			return nil, err
+		}
+		runLen, err := next()
+		if err != nil {
+			return nil, err
+		}
+		if rank >= nEdges || runLen == 0 || uint64(len(rec.Ranks))+runLen > nVisits {
+			return nil, fmt.Errorf("gbwt: bad run (rank %d, len %d) in record", rank, runLen)
+		}
+		for k := uint64(0); k < runLen; k++ {
+			rec.Ranks = append(rec.Ranks, byte(rank))
+		}
+	}
+	if pos != len(buf) {
+		return nil, fmt.Errorf("gbwt: %d trailing bytes in record", len(buf)-pos)
+	}
+	return rec, nil
+}
+
+// CompressedSize returns the total compressed byte size of all records, the
+// figure that stands in for the GBZ payload size.
+func (g *GBWT) CompressedSize() int {
+	n := 0
+	for _, c := range g.comp {
+		n += len(c)
+	}
+	return n
+}

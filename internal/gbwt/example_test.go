@@ -1,0 +1,77 @@
+package gbwt_test
+
+import (
+	"fmt"
+
+	"repro/internal/gbwt"
+)
+
+// Example_haplotypeSearch indexes four haplotypes over a diamond-shaped
+// graph and counts haplotype-consistent walks.
+func Example_haplotypeSearch() {
+	// Node ids sketch the graph 1 -> {2,3} -> 4 -> {5,6} -> 7.
+	haplotypes := [][]gbwt.NodeID{
+		{1, 2, 4, 5, 7},
+		{1, 3, 4, 5, 7},
+		{1, 2, 4, 6, 7},
+		{1, 2, 4, 5, 7},
+	}
+	index, err := gbwt.New(haplotypes)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("haplotypes through 2→4:", index.Find([]gbwt.NodeID{2, 4}).Size())
+	fmt.Println("haplotypes through 2→4→5:", index.Find([]gbwt.NodeID{2, 4, 5}).Size())
+	fmt.Println("haplotypes through 3→4→6:", index.Find([]gbwt.NodeID{3, 4, 6}).Size())
+	fmt.Println("paths of 2→4→5:", index.LocatePaths(index.Find([]gbwt.NodeID{2, 4, 5})))
+	// Output:
+	// haplotypes through 2→4: 3
+	// haplotypes through 2→4→5: 2
+	// haplotypes through 3→4→6: 0
+	// paths of 2→4→5: [0 3]
+}
+
+// Example_bidirectional extends a match in both directions while staying
+// haplotype-consistent — the search mode Giraffe's extender uses.
+func Example_bidirectional() {
+	haplotypes := [][]gbwt.NodeID{
+		{1, 2, 4, 5, 7},
+		{1, 3, 4, 5, 7},
+		{1, 2, 4, 6, 7},
+	}
+	bi, err := gbwt.NewBidirectional(haplotypes)
+	if err != nil {
+		panic(err)
+	}
+	// Anchor on node 4, then grow the match outwards.
+	state := bi.BiFullState(4)
+	fmt.Println("anchor [4]:", state.Size())
+	state = bi.ExtendLeft(state, 2)
+	fmt.Println("after left 2:", state.Size())
+	state = bi.ExtendRight(state, 5)
+	fmt.Println("after right 5:", state.Size())
+	state = bi.ExtendLeft(state, 1)
+	fmt.Println("after left 1:", state.Size())
+	// Output:
+	// anchor [4]: 3
+	// after left 2: 2
+	// after right 5: 1
+	// after left 1: 1
+}
+
+// ExampleCachedGBWT shows the decompressed-record cache whose initial
+// capacity is the paper's key tuning parameter.
+func ExampleCachedGBWT() {
+	haplotypes := [][]gbwt.NodeID{{1, 2, 3}, {1, 2, 3}}
+	index, err := gbwt.New(haplotypes)
+	if err != nil {
+		panic(err)
+	}
+	cache := gbwt.NewCached(index, 64)
+	cache.Find([]gbwt.NodeID{1, 2, 3})
+	cache.Find([]gbwt.NodeID{1, 2, 3}) // second pass hits the cache
+	stats := cache.Stats()
+	fmt.Println("accesses:", stats.Accesses, "misses:", stats.Misses)
+	// Output:
+	// accesses: 4 misses: 2
+}

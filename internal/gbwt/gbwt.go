@@ -1,0 +1,267 @@
+// Package gbwt implements the Graph Burrows-Wheeler Transform (Sirén et
+// al.), the haplotype index at the heart of Giraffe: haplotypes are stored as
+// paths in the variation graph, represented as a BWT over node identifiers.
+// Each graph node owns a *record* holding its outgoing edges and a
+// run-length compressed body of successor ranks; LF-mapping over records
+// supports haplotype-consistent search and extension.
+//
+// Records are stored compressed (run-length + varint, mirroring the GBZ
+// in-memory layout) and decompressed on access. The CachedGBWT type keeps
+// decompressed records in a hash table whose initial capacity is the
+// "CachedGBWT capacity" tuning parameter studied in the miniGiraffe paper
+// (§VII-B): too small and the mapper pays repeated decompressions and
+// rehashes; too large and it wastes cache locality.
+package gbwt
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/vgraph"
+)
+
+// NodeID aliases the graph's node identifier. ID 0 is the endmarker: a
+// virtual node that precedes every path start and terminates every path.
+type NodeID = vgraph.NodeID
+
+// Endmarker is the virtual node terminating every path.
+const Endmarker NodeID = 0
+
+// maxEdges bounds a record's out-degree so successor ranks fit in a byte.
+const maxEdges = 255
+
+// Edge is one outgoing edge of a record: the successor node and the offset
+// of this record's first arrival inside the successor's record (the LF
+// base).
+type Edge struct {
+	To     NodeID
+	Offset int32
+}
+
+// DecodedRecord is a decompressed node record: the sorted outgoing edges and
+// the BWT body, one successor edge-rank per haplotype visit, in GBWT visit
+// order.
+type DecodedRecord struct {
+	Edges []Edge
+	Ranks []byte
+}
+
+// NumVisits returns the number of haplotype visits through the record.
+func (r *DecodedRecord) NumVisits() int { return len(r.Ranks) }
+
+// edgeRank returns the index of `to` in the sorted edge list, or -1.
+func (r *DecodedRecord) edgeRank(to NodeID) int {
+	i := sort.Search(len(r.Edges), func(i int) bool { return r.Edges[i].To >= to })
+	if i < len(r.Edges) && r.Edges[i].To == to {
+		return i
+	}
+	return -1
+}
+
+// rankAt counts occurrences of edge-rank e in Ranks[0:i).
+func (r *DecodedRecord) rankAt(e int, i int32) int32 {
+	var n int32
+	b := byte(e)
+	for _, v := range r.Ranks[:i] {
+		if v == b {
+			n++
+		}
+	}
+	return n
+}
+
+// GBWT is an immutable Graph BWT over a set of paths. Records live
+// compressed; use Record (or a CachedGBWT) to access them.
+type GBWT struct {
+	// comp[v] is the compressed record of node v (index 0 = endmarker);
+	// nil for nodes with no visits.
+	comp [][]byte
+	// visits[v] caches the visit count per node so NumVisits avoids decoding.
+	visits []int32
+	// endDA is the document array of the endmarker record: the path
+	// identifier of each arrival, in visit order. Supports LocatePaths.
+	endDA    []int32
+	numPaths int
+}
+
+// Reader provides access to decoded records. GBWT itself decodes on every
+// call; CachedGBWT memoises.
+type Reader interface {
+	// Record returns the decoded record of v, or nil if v has no visits.
+	Record(v NodeID) *DecodedRecord
+	// Base returns the underlying GBWT.
+	Base() *GBWT
+}
+
+// NumPaths returns the number of indexed paths.
+func (g *GBWT) NumPaths() int { return g.numPaths }
+
+// MaxNode returns the largest node identifier with a record (0 if empty).
+func (g *GBWT) MaxNode() NodeID { return NodeID(len(g.comp) - 1) }
+
+// Contains reports whether node v is visited by any path.
+func (g *GBWT) Contains(v NodeID) bool {
+	return int(v) < len(g.comp) && g.comp[v] != nil
+}
+
+// NumVisits returns the number of path visits through node v.
+func (g *GBWT) NumVisits(v NodeID) int {
+	if int(v) >= len(g.visits) {
+		return 0
+	}
+	return int(g.visits[v])
+}
+
+// Record decodes and returns node v's record, or nil when v is unvisited.
+// Each call decompresses afresh; use CachedGBWT to amortise.
+func (g *GBWT) Record(v NodeID) *DecodedRecord {
+	if int(v) >= len(g.comp) || g.comp[v] == nil {
+		return nil
+	}
+	rec, err := decodeRecord(g.comp[v])
+	if err != nil {
+		// Compressed records are produced by this package; a decode failure
+		// is a programming error, not a user error.
+		panic(fmt.Sprintf("gbwt: corrupt record for node %d: %v", v, err))
+	}
+	return rec
+}
+
+// Base implements Reader.
+func (g *GBWT) Base() *GBWT { return g }
+
+// SearchState is a half-open range [Start,End) of visits in Node's record:
+// the haplotype set whose next step is being tracked.
+type SearchState struct {
+	Node       NodeID
+	Start, End int32
+}
+
+// Empty reports whether the state matches no haplotypes.
+func (s SearchState) Empty() bool { return s.Start >= s.End }
+
+// Size returns the number of haplotypes in the state.
+func (s SearchState) Size() int {
+	if s.Empty() {
+		return 0
+	}
+	return int(s.End - s.Start)
+}
+
+// FullState returns the state covering every visit of node v.
+func (g *GBWT) FullState(v NodeID) SearchState {
+	return SearchState{Node: v, End: int32(g.NumVisits(v))}
+}
+
+// ExtendWith advances state along the edge to `to` using reader r,
+// LF-mapping the visit range into to's record. The result is empty if no
+// haplotype in the state continues to `to`.
+func ExtendWith(r Reader, s SearchState, to NodeID) SearchState {
+	if s.Empty() {
+		return SearchState{Node: to}
+	}
+	rec := r.Record(s.Node)
+	if rec == nil {
+		return SearchState{Node: to}
+	}
+	e := rec.edgeRank(to)
+	if e < 0 {
+		return SearchState{Node: to}
+	}
+	off := rec.Edges[e].Offset
+	return SearchState{
+		Node:  to,
+		Start: off + rec.rankAt(e, s.Start),
+		End:   off + rec.rankAt(e, s.End),
+	}
+}
+
+// Extend is ExtendWith over the uncached GBWT.
+func (g *GBWT) Extend(s SearchState, to NodeID) SearchState { return ExtendWith(g, s, to) }
+
+// Find returns the search state of haplotypes containing the node sequence
+// `path` as a consecutive subpath.
+func (g *GBWT) Find(path []NodeID) SearchState {
+	return FindWith(g, path)
+}
+
+// FindWith is Find through an arbitrary Reader.
+func FindWith(r Reader, path []NodeID) SearchState {
+	if len(path) == 0 {
+		return SearchState{}
+	}
+	s := r.Base().FullState(path[0])
+	for _, v := range path[1:] {
+		s = ExtendWith(r, s, v)
+		if s.Empty() {
+			break
+		}
+	}
+	return s
+}
+
+// Successors returns the nodes reachable from v along at least one
+// haplotype, ascending, excluding the endmarker.
+func (g *GBWT) Successors(v NodeID) []NodeID {
+	rec := g.Record(v)
+	if rec == nil {
+		return nil
+	}
+	out := make([]NodeID, 0, len(rec.Edges))
+	for _, e := range rec.Edges {
+		if e.To != Endmarker {
+			out = append(out, e.To)
+		}
+	}
+	return out
+}
+
+// LocatePaths resolves a search state to the identifiers of the matching
+// paths by following each haplotype forward to the endmarker. Cost is
+// O(size × remaining-path-length); intended for validation, not hot loops.
+func (g *GBWT) LocatePaths(s SearchState) []int {
+	out := make([]int, 0, s.Size())
+	for i := s.Start; i < s.End; i++ {
+		out = append(out, g.locateOne(s.Node, i))
+	}
+	sort.Ints(out)
+	return out
+}
+
+// locateOne follows the haplotype at visit i of node v to the endmarker and
+// returns its path id from the document array.
+func (g *GBWT) locateOne(v NodeID, i int32) int {
+	for v != Endmarker {
+		rec := g.Record(v)
+		e := int(rec.Ranks[i])
+		edge := rec.Edges[e]
+		i = edge.Offset + rec.rankAt(e, i)
+		v = edge.To
+	}
+	return int(g.endDA[i])
+}
+
+// ExtractPath reconstructs path id p by walking from the endmarker record.
+func (g *GBWT) ExtractPath(p int) ([]NodeID, error) {
+	if p < 0 || p >= g.numPaths {
+		return nil, fmt.Errorf("gbwt: path %d out of range [0,%d)", p, g.numPaths)
+	}
+	end := g.Record(Endmarker)
+	// Endmarker visits are in path order by construction.
+	v := end.Edges[end.Ranks[p]].To
+	i := end.Edges[end.Ranks[p]].Offset + end.rankAt(int(end.Ranks[p]), int32(p))
+	var out []NodeID
+	for v != Endmarker {
+		out = append(out, v)
+		rec := g.Record(v)
+		e := int(rec.Ranks[i])
+		edge := rec.Edges[e]
+		i = edge.Offset + rec.rankAt(e, i)
+		v = edge.To
+	}
+	if len(out) == 0 {
+		return nil, errors.New("gbwt: empty path")
+	}
+	return out, nil
+}

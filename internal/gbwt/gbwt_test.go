@@ -1,0 +1,436 @@
+package gbwt
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/dna"
+	"repro/internal/vgraph"
+)
+
+// diamondPaths returns a small fixed path set over a diamond-ish DAG:
+//
+//	1 -> {2,3} -> 4 -> {5,6} -> 7
+var diamondPaths = [][]NodeID{
+	{1, 2, 4, 5, 7},
+	{1, 3, 4, 5, 7},
+	{1, 2, 4, 6, 7},
+	{1, 3, 4, 6, 7},
+	{1, 2, 4, 5, 7}, // duplicate haplotype
+}
+
+func mustGBWT(t testing.TB, paths [][]NodeID) *GBWT {
+	t.Helper()
+	g, err := New(paths)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("no paths accepted")
+	}
+	if _, err := New([][]NodeID{{}}); err == nil {
+		t.Error("empty path accepted")
+	}
+	if _, err := New([][]NodeID{{1, 0, 2}}); err == nil {
+		t.Error("endmarker in path accepted")
+	}
+	if _, err := New([][]NodeID{{1, 1}}); err == nil {
+		t.Error("consecutive repeat accepted")
+	}
+	if _, err := New([][]NodeID{{1, 2}, {2, 1}}); err == nil {
+		t.Error("cyclic adjacencies accepted")
+	}
+}
+
+func TestNumVisits(t *testing.T) {
+	g := mustGBWT(t, diamondPaths)
+	want := map[NodeID]int{1: 5, 2: 3, 3: 2, 4: 5, 5: 3, 6: 2, 7: 5}
+	for v, n := range want {
+		if got := g.NumVisits(v); got != n {
+			t.Errorf("NumVisits(%d) = %d, want %d", v, got, n)
+		}
+	}
+	if g.NumVisits(99) != 0 {
+		t.Error("NumVisits of absent node != 0")
+	}
+	if g.NumPaths() != len(diamondPaths) {
+		t.Errorf("NumPaths = %d", g.NumPaths())
+	}
+}
+
+func TestFindCounts(t *testing.T) {
+	g := mustGBWT(t, diamondPaths)
+	cases := []struct {
+		path []NodeID
+		want int
+	}{
+		{[]NodeID{1}, 5},
+		{[]NodeID{1, 2}, 3},
+		{[]NodeID{1, 3}, 2},
+		{[]NodeID{2, 4, 5}, 2},
+		{[]NodeID{1, 2, 4, 5, 7}, 2},
+		{[]NodeID{1, 3, 4, 6, 7}, 1},
+		{[]NodeID{3, 4, 5}, 1},
+		{[]NodeID{2, 3}, 0},
+		{[]NodeID{7, 1}, 0},
+		{nil, 0},
+	}
+	for _, tc := range cases {
+		if got := g.Find(tc.path).Size(); got != tc.want {
+			t.Errorf("Find(%v).Size = %d, want %d", tc.path, got, tc.want)
+		}
+	}
+}
+
+func TestLocatePaths(t *testing.T) {
+	g := mustGBWT(t, diamondPaths)
+	got := g.LocatePaths(g.Find([]NodeID{1, 2, 4, 5}))
+	want := []int{0, 4}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("LocatePaths = %v, want %v", got, want)
+	}
+	got = g.LocatePaths(g.Find([]NodeID{6, 7}))
+	want = []int{2, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("LocatePaths(6,7) = %v, want %v", got, want)
+	}
+}
+
+func TestExtractPath(t *testing.T) {
+	g := mustGBWT(t, diamondPaths)
+	for i, want := range diamondPaths {
+		got, err := g.ExtractPath(i)
+		if err != nil {
+			t.Fatalf("ExtractPath(%d): %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("ExtractPath(%d) = %v, want %v", i, got, want)
+		}
+	}
+	if _, err := g.ExtractPath(-1); err == nil {
+		t.Error("negative path id accepted")
+	}
+	if _, err := g.ExtractPath(len(diamondPaths)); err == nil {
+		t.Error("out-of-range path id accepted")
+	}
+}
+
+func TestSuccessors(t *testing.T) {
+	g := mustGBWT(t, diamondPaths)
+	got := g.Successors(4)
+	want := []NodeID{5, 6}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Successors(4) = %v, want %v", got, want)
+	}
+	// Last node's only successor is the endmarker, which is excluded.
+	if s := g.Successors(7); len(s) != 0 {
+		t.Errorf("Successors(7) = %v, want empty", s)
+	}
+	if s := g.Successors(99); s != nil {
+		t.Errorf("Successors(absent) = %v", s)
+	}
+}
+
+func TestExtendMonotonic(t *testing.T) {
+	g := mustGBWT(t, diamondPaths)
+	s := g.FullState(1)
+	sizes := []int{s.Size()}
+	for _, v := range []NodeID{2, 4, 5, 7} {
+		s = g.Extend(s, v)
+		sizes = append(sizes, s.Size())
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] > sizes[i-1] {
+			t.Fatalf("state grew: %v", sizes)
+		}
+	}
+	if s.Size() != 2 {
+		t.Errorf("final size = %d, want 2", s.Size())
+	}
+}
+
+// buildRandomHaplotypes samples paths through a random pangenome and checks
+// the full battery of GBWT invariants against them.
+func buildRandomHaplotypes(t testing.TB, seed int64, nHaps int) (*GBWT, [][]NodeID) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ref := make(dna.Sequence, 3000)
+	for i := range ref {
+		ref[i] = dna.Base(rng.Intn(4))
+	}
+	var vs []vgraph.Variant
+	for pos := 50; pos < 2900; pos += 60 + rng.Intn(60) {
+		switch rng.Intn(3) {
+		case 0:
+			vs = append(vs, vgraph.Variant{Pos: pos, Kind: vgraph.SNP, Alt: dna.Sequence{(ref[pos] + 1) & 3}})
+		case 1:
+			ins := make(dna.Sequence, 1+rng.Intn(6))
+			for i := range ins {
+				ins[i] = dna.Base(rng.Intn(4))
+			}
+			vs = append(vs, vgraph.Variant{Pos: pos, Kind: vgraph.Insertion, Alt: ins})
+		case 2:
+			vs = append(vs, vgraph.Variant{Pos: pos, Kind: vgraph.Deletion, DelLen: 1 + rng.Intn(8)})
+		}
+	}
+	p, err := vgraph.BuildPangenome(ref, vs, 16)
+	if err != nil {
+		t.Fatalf("BuildPangenome: %v", err)
+	}
+	paths := make([][]NodeID, nHaps)
+	for h := range paths {
+		alleles := make([]int, p.NumSites())
+		for i := range alleles {
+			alleles[i] = rng.Intn(p.NumAlleles(i))
+		}
+		path, err := p.HaplotypePath(alleles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths[h] = path
+	}
+	return mustGBWT(t, paths), paths
+}
+
+func TestRandomHaplotypesRoundTrip(t *testing.T) {
+	g, paths := buildRandomHaplotypes(t, 42, 12)
+	// Every path is extractable and findable.
+	for i, p := range paths {
+		got, err := g.ExtractPath(i)
+		if err != nil {
+			t.Fatalf("ExtractPath(%d): %v", i, err)
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Fatalf("ExtractPath(%d) mismatch", i)
+		}
+		s := g.Find(p)
+		if s.Empty() {
+			t.Fatalf("path %d not found", i)
+		}
+		ids := g.LocatePaths(s)
+		found := false
+		for _, id := range ids {
+			if id == i {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("path %d not among located ids %v", i, ids)
+		}
+	}
+	// Random subpaths have Find counts equal to naive substring counts.
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 60; trial++ {
+		p := paths[rng.Intn(len(paths))]
+		start := rng.Intn(len(p) - 4)
+		sub := p[start : start+2+rng.Intn(3)]
+		want := 0
+		for _, q := range paths {
+			for i := 0; i+len(sub) <= len(q); i++ {
+				match := true
+				for j := range sub {
+					if q[i+j] != sub[j] {
+						match = false
+						break
+					}
+				}
+				if match {
+					want++
+				}
+			}
+		}
+		if got := g.Find(sub).Size(); got != want {
+			t.Fatalf("Find(%v).Size = %d, want %d", sub, got, want)
+		}
+	}
+}
+
+func TestRecordCodecRoundTrip(t *testing.T) {
+	g, _ := buildRandomHaplotypes(t, 7, 8)
+	for v := NodeID(0); v <= g.MaxNode(); v++ {
+		if !g.Contains(v) {
+			continue
+		}
+		rec := g.Record(v)
+		enc := encodeRecord(rec)
+		dec, err := decodeRecord(enc)
+		if err != nil {
+			t.Fatalf("decode(encode) node %d: %v", v, err)
+		}
+		if !reflect.DeepEqual(rec, dec) {
+			t.Fatalf("codec round trip mismatch at node %d", v)
+		}
+	}
+}
+
+func TestDecodeRecordErrors(t *testing.T) {
+	bad := [][]byte{
+		{},                 // truncated numEdges
+		{0x01},             // truncated edge
+		{0x00, 0x05, 0x00}, // run for record with no edges... rank >= nEdges
+	}
+	for i, b := range bad {
+		if _, err := decodeRecord(b); err == nil {
+			t.Errorf("case %d: corrupt record accepted", i)
+		}
+	}
+	// Trailing garbage.
+	rec := &DecodedRecord{Edges: []Edge{{To: 0}}, Ranks: []byte{0}}
+	enc := append(encodeRecord(rec), 0xFF)
+	if _, err := decodeRecord(enc); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	g, paths := buildRandomHaplotypes(t, 99, 10)
+	var buf bytes.Buffer
+	if err := g.Serialize(&buf); err != nil {
+		t.Fatalf("Serialize: %v", err)
+	}
+	g2, err := Deserialize(&buf)
+	if err != nil {
+		t.Fatalf("Deserialize: %v", err)
+	}
+	if g2.NumPaths() != g.NumPaths() || g2.MaxNode() != g.MaxNode() {
+		t.Fatal("header mismatch after round trip")
+	}
+	for i, p := range paths {
+		got, err := g2.ExtractPath(i)
+		if err != nil {
+			t.Fatalf("ExtractPath(%d): %v", i, err)
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Fatalf("path %d mismatch after round trip", i)
+		}
+	}
+}
+
+func TestDeserializeCorrupt(t *testing.T) {
+	g, _ := buildRandomHaplotypes(t, 5, 4)
+	var buf bytes.Buffer
+	if err := g.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := Deserialize(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	if _, err := Deserialize(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+func TestCachedMatchesUncached(t *testing.T) {
+	g, paths := buildRandomHaplotypes(t, 17, 10)
+	for _, capacity := range []int{0, 1, 2, 16, 256, 4096} {
+		c := NewCached(g, capacity)
+		for i, p := range paths {
+			if got, want := c.Find(p).Size(), g.Find(p).Size(); got != want {
+				t.Fatalf("cap %d: cached Find(path %d) = %d, want %d", capacity, i, got, want)
+			}
+		}
+		rng := rand.New(rand.NewSource(18))
+		for trial := 0; trial < 40; trial++ {
+			p := paths[rng.Intn(len(paths))]
+			start := rng.Intn(len(p) - 3)
+			sub := p[start : start+3]
+			if got, want := c.Find(sub).Size(), g.Find(sub).Size(); got != want {
+				t.Fatalf("cap %d: cached Find(%v) = %d, want %d", capacity, sub, got, want)
+			}
+		}
+	}
+}
+
+func TestCacheStatsAndRehash(t *testing.T) {
+	g, paths := buildRandomHaplotypes(t, 23, 6)
+	c := NewCached(g, 2)
+	for _, p := range paths {
+		c.Find(p)
+	}
+	st := c.Stats()
+	if st.Accesses == 0 || st.Misses == 0 {
+		t.Fatalf("no cache activity recorded: %+v", st)
+	}
+	if st.Rehashes == 0 {
+		t.Error("tiny cache never rehashed despite large working set")
+	}
+	// Second pass over the same paths must be nearly all hits.
+	before := c.Stats()
+	for _, p := range paths {
+		c.Find(p)
+	}
+	after := c.Stats()
+	if after.Misses != before.Misses {
+		t.Errorf("second pass decompressed again: misses %d -> %d", before.Misses, after.Misses)
+	}
+	if after.Hits <= before.Hits {
+		t.Error("second pass produced no hits")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	g, paths := buildRandomHaplotypes(t, 31, 3)
+	c := NewCached(g, 0)
+	c.Find(paths[0])
+	c.Find(paths[0])
+	st := c.Stats()
+	if st.Hits != 0 {
+		t.Errorf("disabled cache recorded %d hits", st.Hits)
+	}
+	if st.Misses != st.Accesses {
+		t.Errorf("disabled cache: misses %d != accesses %d", st.Misses, st.Accesses)
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	g, paths := buildRandomHaplotypes(t, 37, 3)
+	c := NewCached(g, 64)
+	c.Find(paths[0])
+	if c.Len() == 0 {
+		t.Fatal("nothing cached")
+	}
+	c.Reset()
+	if c.Len() != 0 {
+		t.Errorf("Len after Reset = %d", c.Len())
+	}
+	if got, want := c.Find(paths[0]).Size(), g.Find(paths[0]).Size(); got != want {
+		t.Errorf("post-Reset Find = %d, want %d", got, want)
+	}
+}
+
+func TestSearchStateBasics(t *testing.T) {
+	var s SearchState
+	if !s.Empty() || s.Size() != 0 {
+		t.Error("zero state should be empty")
+	}
+	s = SearchState{Node: 1, Start: 2, End: 5}
+	if s.Empty() || s.Size() != 3 {
+		t.Errorf("state %+v: Empty=%v Size=%d", s, s.Empty(), s.Size())
+	}
+}
+
+func BenchmarkFindCached(b *testing.B) {
+	g, paths := buildRandomHaplotypes(b, 3, 16)
+	c := NewCached(g, DefaultCacheCapacity)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := paths[i%len(paths)]
+		c.Find(p[:10])
+	}
+}
+
+func BenchmarkFindUncached(b *testing.B) {
+	g, paths := buildRandomHaplotypes(b, 3, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := paths[i%len(paths)]
+		g.Find(p[:10])
+	}
+}

@@ -1,0 +1,106 @@
+package giraffe
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/distindex"
+	"repro/internal/dna"
+)
+
+// FragmentModel is the fragment-length distribution Giraffe estimates from
+// the first batches of confidently mapped pairs and then uses to score pair
+// consistency and drive rescue. Mean and standard deviation are computed
+// over the backbone gaps of uniquely mapped, opposite-strand pairs.
+type FragmentModel struct {
+	Mean   float64
+	StdDev float64
+	// Samples is the number of pairs the estimate is based on.
+	Samples int
+}
+
+// minFragmentSamples is the minimum pair count for a usable estimate.
+const minFragmentSamples = 16
+
+// ErrTooFewPairs reports an estimate attempted from too few mapped pairs.
+var ErrTooFewPairs = errors.New("giraffe: too few confidently mapped pairs for a fragment model")
+
+// EstimateFragmentModel derives the model from a completed mapping run:
+// for every fragment whose two ends mapped confidently (mapq above the
+// floor) on opposite strands, the backbone distance between the two start
+// positions plus one read length approximates the fragment span.
+func EstimateFragmentModel(ix *Indexes, reads []dna.Read, res *Result, minMapQ int) (FragmentModel, error) {
+	dist := distindex.New(ix.File.Graph)
+	type end struct {
+		idx int
+		ok  bool
+	}
+	firsts := map[int]end{}
+	var gaps []float64
+	for i := range reads {
+		r := &reads[i]
+		if !r.Paired() {
+			continue
+		}
+		if r.End == 0 {
+			firsts[r.Fragment] = end{idx: i, ok: true}
+			continue
+		}
+		f, ok := firsts[r.Fragment]
+		if !ok || !f.ok {
+			continue
+		}
+		a1, a2 := &res.Alignments[f.idx], &res.Alignments[i]
+		if !a1.Mapped || !a2.Mapped ||
+			a1.MappingQuality < minMapQ || a2.MappingQuality < minMapQ {
+			continue
+		}
+		if a1.Best.Rev == a2.Best.Rev {
+			continue // concordant pairs map to opposite strands
+		}
+		gap := dist.BackboneDistance(a1.Best.StartPos, a2.Best.StartPos)
+		// The fragment spans from the leftmost start through the rightmost
+		// read end; approximate with gap + read length.
+		span := float64(gap + len(reads[i].Seq))
+		gaps = append(gaps, span)
+	}
+	if len(gaps) < minFragmentSamples {
+		return FragmentModel{}, ErrTooFewPairs
+	}
+	var sum float64
+	for _, g := range gaps {
+		sum += g
+	}
+	mean := sum / float64(len(gaps))
+	var ss float64
+	for _, g := range gaps {
+		ss += (g - mean) * (g - mean)
+	}
+	return FragmentModel{
+		Mean:    mean,
+		StdDev:  math.Sqrt(ss / float64(len(gaps)-1)),
+		Samples: len(gaps),
+	}, nil
+}
+
+// RescueParamsFrom converts the model into rescue parameters: the predicted
+// fragment length with a ±4σ window (clamped to at least one read length).
+func (m FragmentModel) RescueParamsFrom(readLen int) RescueParams {
+	window := int(4 * m.StdDev)
+	if window < readLen {
+		window = readLen
+	}
+	return RescueParams{
+		FragmentLen: int(math.Round(m.Mean)),
+		Window:      window,
+	}
+}
+
+// Consistent reports whether a pair gap (bases) is within k standard
+// deviations of the model mean.
+func (m FragmentModel) Consistent(span int, k float64) bool {
+	if m.StdDev == 0 {
+		return span == int(math.Round(m.Mean))
+	}
+	return math.Abs(float64(span)-m.Mean) <= k*m.StdDev
+}

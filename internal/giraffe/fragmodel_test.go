@@ -1,0 +1,81 @@
+package giraffe
+
+import (
+	"testing"
+)
+
+func TestEstimateFragmentModel(t *testing.T) {
+	b, ix, res := pairFixture(t)
+	model, err := EstimateFragmentModel(ix, b.Reads, res, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Samples < minFragmentSamples {
+		t.Fatalf("samples = %d", model.Samples)
+	}
+	// The generator uses a fixed fragment length; the estimate must land
+	// close to it (the backbone gap is an approximation, allow 15%).
+	want := float64(b.Spec.FragmentLen)
+	if model.Mean < want*0.85 || model.Mean > want*1.15 {
+		t.Errorf("estimated mean %.0f, generator used %d", model.Mean, b.Spec.FragmentLen)
+	}
+	// Fixed fragment length: spread should be small relative to the mean.
+	if model.StdDev > want*0.25 {
+		t.Errorf("stddev %.0f too wide for a fixed-length library", model.StdDev)
+	}
+}
+
+func TestEstimateFragmentModelTooFew(t *testing.T) {
+	b, ix, _ := pairFixture(t)
+	// An empty result has no mapped pairs.
+	empty := &Result{Alignments: make([]Alignment, len(b.Reads))}
+	if _, err := EstimateFragmentModel(ix, b.Reads, empty, 10); err == nil {
+		t.Error("estimate from unmapped result accepted")
+	}
+}
+
+func TestRescueParamsFrom(t *testing.T) {
+	m := FragmentModel{Mean: 420, StdDev: 30, Samples: 100}
+	p := m.RescueParamsFrom(148)
+	if p.FragmentLen != 420 {
+		t.Errorf("FragmentLen = %d", p.FragmentLen)
+	}
+	if p.Window != 148 {
+		t.Errorf("Window = %d, want read-length floor 148", p.Window)
+	}
+	wide := FragmentModel{Mean: 420, StdDev: 100}
+	if got := wide.RescueParamsFrom(148).Window; got != 400 {
+		t.Errorf("wide window = %d, want 400", got)
+	}
+}
+
+func TestConsistent(t *testing.T) {
+	m := FragmentModel{Mean: 400, StdDev: 25}
+	if !m.Consistent(420, 2) {
+		t.Error("420 inconsistent with N(400,25) at 2σ")
+	}
+	if m.Consistent(500, 2) {
+		t.Error("500 consistent with N(400,25) at 2σ")
+	}
+	exact := FragmentModel{Mean: 400, StdDev: 0}
+	if !exact.Consistent(400, 2) || exact.Consistent(401, 2) {
+		t.Error("zero-σ consistency wrong")
+	}
+}
+
+func TestModelDrivenRescueEndToEnd(t *testing.T) {
+	// The full Giraffe flow: map, estimate the fragment model, rescue with
+	// model-derived parameters.
+	b, ix, res := pairFixture(t)
+	model, err := EstimateFragmentModel(ix, b.Reads, res, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := RescuePairs(ix, b.Reads, res, model.RescueParamsFrom(b.Spec.ReadLen), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pairs == 0 {
+		t.Error("no pairs seen by model-driven rescue")
+	}
+}

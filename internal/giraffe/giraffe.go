@@ -1,0 +1,319 @@
+// Package giraffe emulates the parent application of the miniGiraffe study:
+// the vg Giraffe short-read pangenome mapper (Sirén et al., Science 2021).
+// It implements the full mapping pipeline of §IV-B — per-read preprocessing
+// (minimizer lookup and seed creation), the two critical functions
+// (cluster_seeds and process_until_threshold_c, shared with the proxy via
+// package extend), and the post-processing/alignment phase the proxy omits —
+// under a VG-style task scheduler in which the main thread buffers batches
+// of reads, dispatches them to workers, tracks how many are busy, and
+// processes queued batches itself when no worker is available (§IV-A).
+//
+// The proxy (package core) runs exactly the same critical-function code on
+// captured inputs, which is how the reproduction achieves the paper's
+// 100% output match (§VI-a).
+package giraffe
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/counters"
+	"repro/internal/distindex"
+	"repro/internal/dna"
+	"repro/internal/extend"
+	"repro/internal/gbwt"
+	"repro/internal/gbz"
+	"repro/internal/minimizer"
+	"repro/internal/seeds"
+	"repro/internal/trace"
+)
+
+// Options configures a mapping run.
+type Options struct {
+	// Threads is the worker count (including the main thread); ≤0 means 1.
+	Threads int
+	// BatchSize is the scheduler batch size; ≤0 means 512 (Giraffe's
+	// default).
+	BatchSize int
+	// CacheCapacity is each worker's initial CachedGBWT capacity; 0 uses
+	// the Giraffe default (256). Negative disables caching.
+	CacheCapacity int
+	// Trace records per-region spans when non-nil.
+	Trace *trace.Recorder
+	// Probe drives the hardware-counter model; only honoured when
+	// Threads == 1 (counter collection is single-threaded, as in §VI-b).
+	Probe counters.Probe
+	// Extend and Cluster tune the critical functions.
+	Extend  extend.Params
+	Cluster cluster.Params
+	// CaptureSeeds stores each read's preprocessed seeds in the result —
+	// the capture step that produces the proxy's input.
+	CaptureSeeds bool
+}
+
+func (o Options) normalize() Options {
+	if o.Threads <= 0 {
+		o.Threads = 1
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 512
+	}
+	switch {
+	case o.CacheCapacity == 0:
+		o.CacheCapacity = gbwt.DefaultCacheCapacity
+	case o.CacheCapacity < 0:
+		o.CacheCapacity = 0
+	}
+	if o.Threads != 1 {
+		o.Probe = nil
+	}
+	return o
+}
+
+// Alignment is the post-processed mapping result for one read.
+type Alignment struct {
+	ReadName string
+	// Mapped reports whether any extension cleared the score floor.
+	Mapped bool
+	// Best is the highest-scoring extension (zero value when unmapped).
+	Best extend.Extension
+	// MappingQuality is a Phred-like confidence from the score gap to the
+	// runner-up, clamped to [0, 60].
+	MappingQuality int
+	// Secondary counts retained non-primary extensions.
+	Secondary int
+	// RefinedScore is the alignment-phase score: the extension score plus
+	// any gapped tail alignments (equal to Best.Score for full-coverage
+	// extensions, 0 when unmapped).
+	RefinedScore int32
+}
+
+// Result is a completed mapping run.
+type Result struct {
+	Alignments []Alignment
+	// Extensions holds every read's raw kernel output (the data validated
+	// against the proxy).
+	Extensions [][]extend.Extension
+	// Captured holds the preprocessed seeds when Options.CaptureSeeds.
+	Captured []seeds.ReadSeeds
+	// Makespan is the wall-clock mapping time (excluding index building).
+	Makespan time.Duration
+}
+
+// Indexes bundles the query structures built from a GBZ file.
+type Indexes struct {
+	File  *gbz.File
+	MinIx *minimizer.Index
+	Dist  *distindex.Index
+	// Bi is the bidirectional haplotype index used by the extension kernel.
+	Bi *gbwt.Bidirectional
+}
+
+// BuildIndexes reconstructs the minimizer and distance indexes from the
+// paths embedded in a GBZ file — what Giraffe loads from its .min and .dist
+// companion files.
+func BuildIndexes(f *gbz.File) (*Indexes, error) {
+	if f == nil || f.Graph == nil || f.Index == nil {
+		return nil, errors.New("giraffe: nil GBZ file")
+	}
+	if f.Graph.NumPaths() == 0 {
+		return nil, errors.New("giraffe: GBZ has no embedded haplotype paths")
+	}
+	paths := make([][]gbwt.NodeID, f.Graph.NumPaths())
+	for i := range paths {
+		paths[i] = f.Graph.Path(i)
+	}
+	minIx, err := minimizer.Build(f.Graph, paths, minimizer.Config{K: 15, W: 8})
+	if err != nil {
+		return nil, fmt.Errorf("giraffe: building minimizer index: %w", err)
+	}
+	bi, err := gbwt.FromForward(f.Index, paths)
+	if err != nil {
+		return nil, fmt.Errorf("giraffe: building bidirectional index: %w", err)
+	}
+	return &Indexes{File: f, MinIx: minIx, Dist: distindex.New(f.Graph), Bi: bi}, nil
+}
+
+// Map runs the full Giraffe-like pipeline over the reads.
+func Map(ix *Indexes, reads []dna.Read, opts Options) (*Result, error) {
+	if ix == nil {
+		return nil, errors.New("giraffe: nil indexes")
+	}
+	opts = opts.normalize()
+	res := &Result{
+		Alignments: make([]Alignment, len(reads)),
+		Extensions: make([][]extend.Extension, len(reads)),
+	}
+	if opts.CaptureSeeds {
+		res.Captured = make([]seeds.ReadSeeds, len(reads))
+	}
+
+	var firstErr error
+	var errOnce sync.Once
+	processRead := func(worker, i int, reader gbwt.BiReader) {
+		read := &reads[i]
+		var probe counters.Probe
+		if opts.Probe != nil {
+			probe = opts.Probe
+		}
+		// Preprocess: minimizers + seeds.
+		var endMin func()
+		if opts.Trace != nil {
+			endMin = opts.Trace.Begin(worker, trace.RegionMinimizer)
+		}
+		ss, err := seeds.Extract(ix.MinIx, read)
+		if endMin != nil {
+			endMin()
+		}
+		if err != nil {
+			errOnce.Do(func() { firstErr = fmt.Errorf("giraffe: read %s: %w", read.Name, err) })
+			return
+		}
+		if opts.CaptureSeeds {
+			res.Captured[i] = seeds.ReadSeeds{Read: *read, Seeds: ss}
+		}
+		// Critical function 1: cluster_seeds.
+		var endCl func()
+		if opts.Trace != nil {
+			endCl = opts.Trace.Begin(worker, trace.RegionCluster)
+		}
+		cls := cluster.ClusterSeeds(ix.Dist, ss, opts.Cluster, probe, i)
+		if endCl != nil {
+			endCl()
+		}
+		// Critical function 2: process_until_threshold_c.
+		var endTh func()
+		if opts.Trace != nil {
+			endTh = opts.Trace.Begin(worker, trace.RegionThresholdC)
+		}
+		env := &extend.Env{Graph: ix.File.Graph, Bi: reader, Probe: probe}
+		exts := extend.ProcessUntilThresholdC(env, read, ss, cls, opts.Extend, i)
+		if endTh != nil {
+			endTh()
+		}
+		res.Extensions[i] = exts
+		// Post-processing (the phase the proxy omits).
+		var endPost func()
+		if opts.Trace != nil {
+			endPost = opts.Trace.Begin(worker, trace.RegionPostproc)
+		}
+		res.Alignments[i] = postprocess(read, exts)
+		if endPost != nil {
+			endPost()
+		}
+		// Alignment phase: gapped tail refinement of partial extensions.
+		var endAl func()
+		if opts.Trace != nil {
+			endAl = opts.Trace.Begin(worker, trace.RegionAlign)
+		}
+		res.Alignments[i] = refineAlignment(ix, reader, read, res.Alignments[i])
+		if endAl != nil {
+			endAl()
+		}
+	}
+
+	start := time.Now()
+	newReader := func() gbwt.BiReader { return ix.Bi.NewBiReader(opts.CacheCapacity) }
+	runVGScheduler(len(reads), opts, newReader, processRead)
+	res.Makespan = time.Since(start)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// minMappedScoreFraction is the score floor (relative to read length) below
+// which a read is reported unmapped.
+const minMappedScoreFraction = 0.5
+
+// postprocess scores and filters a read's extensions into an alignment —
+// Giraffe's refinement phase: low-score extensions are discarded and the
+// best surviving one becomes the primary alignment.
+func postprocess(read *dna.Read, exts []extend.Extension) Alignment {
+	al := Alignment{ReadName: read.Name}
+	if len(exts) == 0 {
+		return al
+	}
+	best := exts[0] // kernel output is score-descending
+	al.Best = best  // retained even below the floor: the alignment phase may rescue it
+	floor := int32(float64(len(read.Seq)) * minMappedScoreFraction)
+	if best.Score < floor {
+		return al
+	}
+	al.Mapped = true
+	secondBest := int32(-1 << 30)
+	for _, e := range exts[1:] {
+		if e.Score >= best.Score*4/5 {
+			al.Secondary++
+		}
+		if e.Score > secondBest {
+			secondBest = e.Score
+		}
+	}
+	gap := int(best.Score)
+	if secondBest > -1<<30 {
+		gap = int(best.Score - secondBest)
+	}
+	q := gap * 2
+	if q > 60 {
+		q = 60
+	}
+	if q < 0 {
+		q = 0
+	}
+	al.MappingQuality = q
+	return al
+}
+
+// runVGScheduler reproduces VG's batch scheduler (§IV-A): the main thread
+// slices reads into batches and hands them to worker goroutines; when every
+// worker is busy (the dispatch channel would block), the main thread
+// processes the batch itself. Every batch is processed with a fresh
+// CachedGBWT from newReader, matching Giraffe's per-batch cache lifetime.
+func runVGScheduler(n int, opts Options, newReader func() gbwt.BiReader, fn func(worker, index int, reader gbwt.BiReader)) {
+	type batch struct{ start, end int }
+	workers := opts.Threads - 1
+	runBatch := func(worker int, b batch) {
+		reader := newReader()
+		for i := b.start; i < b.end; i++ {
+			fn(worker, i, reader)
+		}
+	}
+	// One queue slot per worker models VG's busy-worker tracking: a send
+	// succeeds while some worker has room; when every worker is occupied the
+	// send would block and the main thread takes the batch itself.
+	queue := make(chan batch, workers)
+	var wg sync.WaitGroup
+	for w := 1; w <= workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for b := range queue {
+				runBatch(worker, b)
+			}
+		}(w)
+	}
+	for start := 0; start < n; start += opts.BatchSize {
+		end := start + opts.BatchSize
+		if end > n {
+			end = n
+		}
+		b := batch{start, end}
+		if workers == 0 {
+			runBatch(0, b)
+			continue
+		}
+		select {
+		case queue <- b:
+		default:
+			// All workers busy: the main scheduler thread processes the
+			// queued batch itself.
+			runBatch(0, b)
+		}
+	}
+	close(queue)
+	wg.Wait()
+}

@@ -1,0 +1,103 @@
+package giraffe
+
+import (
+	"testing"
+
+	"repro/internal/dna"
+	"repro/internal/workload"
+)
+
+// TestRefinementRecoversIndelRead plants a read with a small insertion: the
+// gapless extension stops at the indel, and the alignment phase must lift
+// the refined score above the raw extension score.
+func TestRefinementRecoversIndelRead(t *testing.T) {
+	b, err := workload.Generate(workload.AHuman().Scaled(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := BuildIndexes(b.GBZ())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut a read and insert 2 bases mid-way: gapless coverage breaks there.
+	src := b.HapSeqs[0][2000:2148]
+	read := append(src[:80].Clone(), dna.T, dna.T)
+	read = append(read, src[80:146]...)
+	reads := []dna.Read{{Name: "indel", Seq: read, Fragment: -1}}
+	res, err := Map(ix, reads, Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	al := res.Alignments[0]
+	if !al.Mapped {
+		t.Fatal("indel read unmapped")
+	}
+	if int(al.Best.Len()) >= len(read) {
+		t.Skip("gapless extension unexpectedly covered the indel")
+	}
+	if al.RefinedScore <= al.Best.Score {
+		t.Errorf("refined score %d did not improve on extension score %d",
+			al.RefinedScore, al.Best.Score)
+	}
+}
+
+// TestRefinementFullCoverageIdentity checks that full-coverage alignments
+// keep RefinedScore == Best.Score.
+func TestRefinementFullCoverageIdentity(t *testing.T) {
+	b, err := workload.Generate(workload.AHuman().Scaled(0.03))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := BuildIndexes(b.GBZ())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Map(ix, b.Reads, Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for i, al := range res.Alignments {
+		if !al.Mapped {
+			continue
+		}
+		if int(al.Best.Len()) == b.Reads[i].Len() {
+			checked++
+			if al.RefinedScore != al.Best.Score {
+				t.Fatalf("read %d: full coverage but refined %d != %d",
+					i, al.RefinedScore, al.Best.Score)
+			}
+		} else if al.RefinedScore < al.Best.Score {
+			t.Fatalf("read %d: refinement lowered the score", i)
+		}
+	}
+	if checked == 0 {
+		t.Error("no full-coverage alignments to check")
+	}
+}
+
+// TestRefinementDoesNotTouchExtensions ensures the validation data is
+// untouched by the alignment phase.
+func TestRefinementDoesNotTouchExtensions(t *testing.T) {
+	b, err := workload.Generate(workload.AHuman().Scaled(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := BuildIndexes(b.GBZ())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Map(ix, b.Reads, Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extensions are score-sorted kernel outputs; the refinement must not
+	// reorder or rescore them.
+	for i, exts := range res.Extensions {
+		for j := 1; j < len(exts); j++ {
+			if exts[j].Score > exts[j-1].Score {
+				t.Fatalf("read %d: extensions reordered", i)
+			}
+		}
+	}
+}

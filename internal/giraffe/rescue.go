@@ -1,0 +1,158 @@
+package giraffe
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/dna"
+	"repro/internal/extend"
+	"repro/internal/gbwt"
+	"repro/internal/seeds"
+)
+
+// Paired-end rescue, a Giraffe feature of the paired workflow (§II-B: reads
+// "can be single or paired-ended"): when one end of a fragment maps and the
+// other does not, the mapped end's position plus the fragment-length model
+// predicts where the unmapped mate should lie, and the mate is re-extended
+// from only the seeds falling inside that window, with a relaxed mismatch
+// budget. Rescue refines alignments only; the raw kernel extensions (the
+// §VI-a validation data) are never modified.
+
+// RescueParams tunes the pair-rescue pass.
+type RescueParams struct {
+	// FragmentLen is the library's expected fragment length.
+	FragmentLen int
+	// Window is the tolerated deviation (bases) around the predicted mate
+	// position; ≤0 means FragmentLen.
+	Window int
+	// ExtraMismatches relaxes the extension budget during rescue.
+	ExtraMismatches int
+}
+
+func (p RescueParams) normalize() RescueParams {
+	if p.Window <= 0 {
+		p.Window = p.FragmentLen
+	}
+	if p.ExtraMismatches == 0 {
+		p.ExtraMismatches = 2
+	}
+	return p
+}
+
+// PairStats summarises a rescue pass.
+type PairStats struct {
+	Pairs      int // fragments with both ends present
+	BothMapped int // fragments already fully mapped
+	Attempted  int // rescues attempted (exactly one end mapped)
+	Rescued    int // mates recovered
+}
+
+// RescuePairs runs the rescue pass over a completed mapping result. reads
+// must be the slice Map was called with; alignments are updated in place for
+// rescued mates.
+func RescuePairs(ix *Indexes, reads []dna.Read, res *Result, p RescueParams, opts Options) (PairStats, error) {
+	p = p.normalize()
+	opts = opts.normalize()
+	var stats PairStats
+	if p.FragmentLen <= 0 {
+		return stats, nil
+	}
+	// Pair up fragment ends by fragment id.
+	type pair struct{ first, second int }
+	frags := make(map[int]*pair)
+	for i := range reads {
+		r := &reads[i]
+		if !r.Paired() {
+			continue
+		}
+		pr, ok := frags[r.Fragment]
+		if !ok {
+			pr = &pair{first: -1, second: -1}
+			frags[r.Fragment] = pr
+		}
+		if r.End == 0 {
+			pr.first = i
+		} else {
+			pr.second = i
+		}
+	}
+	reader := ix.Bi.NewBiReader(opts.CacheCapacity)
+	for _, pr := range frags {
+		if pr.first < 0 || pr.second < 0 {
+			continue
+		}
+		stats.Pairs++
+		m1, m2 := res.Alignments[pr.first].Mapped, res.Alignments[pr.second].Mapped
+		switch {
+		case m1 && m2:
+			stats.BothMapped++
+			continue
+		case !m1 && !m2:
+			continue // nothing to anchor a rescue on
+		}
+		stats.Attempted++
+		anchorIdx, loseIdx := pr.first, pr.second
+		if m2 {
+			anchorIdx, loseIdx = pr.second, pr.first
+		}
+		if rescueOne(ix, reader, reads, res, anchorIdx, loseIdx, p, opts) {
+			stats.Rescued++
+		}
+	}
+	return stats, nil
+}
+
+// rescueOne attempts to place reads[loseIdx] near the mate's alignment.
+func rescueOne(ix *Indexes, reader gbwt.BiReader, reads []dna.Read, res *Result, anchorIdx, loseIdx int, p RescueParams, opts Options) bool {
+	anchor := res.Alignments[anchorIdx].Best
+	g := ix.File.Graph
+	anchorCoord := int(g.Backbone(anchor.StartPos.Node)) + int(anchor.StartPos.Off)
+	// The mate lies on the opposite strand, roughly FragmentLen away in the
+	// direction the anchor reads.
+	var predicted int
+	if anchor.Rev {
+		predicted = anchorCoord - p.FragmentLen
+	} else {
+		predicted = anchorCoord + p.FragmentLen
+	}
+	read := &reads[loseIdx]
+	ss, err := seeds.Extract(ix.MinIx, read)
+	if err != nil {
+		return false
+	}
+	// Keep only opposite-strand seeds inside the window.
+	var windowed []seeds.Seed
+	for _, s := range ss {
+		if s.Rev == anchor.Rev {
+			continue
+		}
+		coord := int(g.Backbone(s.Pos.Node)) + int(s.Pos.Off)
+		if coord >= predicted-p.Window && coord <= predicted+p.Window {
+			windowed = append(windowed, s)
+		}
+	}
+	if len(windowed) == 0 {
+		return false
+	}
+	cls := cluster.ClusterSeeds(ix.Dist, windowed, opts.Cluster, nil, loseIdx)
+	params := opts.Extend
+	if params.MaxMismatches == 0 {
+		params = extend.DefaultParams()
+	}
+	params.MaxMismatches += p.ExtraMismatches
+	env := &extend.Env{Graph: g, Bi: reader}
+	exts := extend.ProcessUntilThresholdC(env, read, windowed, cls, params, loseIdx)
+	if len(exts) == 0 {
+		return false
+	}
+	// Rescue uses a softer floor than the primary pass: the pair evidence
+	// substitutes for alignment confidence.
+	best := exts[0]
+	floor := int32(float64(len(read.Seq)) * minMappedScoreFraction * 0.8)
+	if best.Score < floor {
+		return false
+	}
+	al := &res.Alignments[loseIdx]
+	al.Mapped = true
+	al.Best = best
+	al.MappingQuality = 1 // rescued placements carry minimal confidence
+	return true
+}

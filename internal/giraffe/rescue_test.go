@@ -1,0 +1,166 @@
+package giraffe
+
+import (
+	"testing"
+
+	"repro/internal/dna"
+	"repro/internal/extend"
+	"repro/internal/workload"
+)
+
+// pairFixture maps a paired bundle and returns everything rescue needs.
+func pairFixture(t *testing.T) (*workload.Bundle, *Indexes, *Result) {
+	t.Helper()
+	b, err := workload.Generate(workload.CHPRC().Scaled(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := BuildIndexes(b.GBZ())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Map(ix, b.Reads, Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, ix, res
+}
+
+func TestRescuePairsNoFragmentLen(t *testing.T) {
+	b, ix, res := pairFixture(t)
+	stats, err := RescuePairs(ix, b.Reads, res, RescueParams{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pairs != 0 {
+		t.Errorf("rescue without fragment length did work: %+v", stats)
+	}
+}
+
+func TestRescuePairsCountsPairs(t *testing.T) {
+	b, ix, res := pairFixture(t)
+	stats, err := RescuePairs(ix, b.Reads, res,
+		RescueParams{FragmentLen: b.Spec.FragmentLen}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pairs != len(b.Reads)/2 {
+		t.Errorf("Pairs = %d, want %d", stats.Pairs, len(b.Reads)/2)
+	}
+	if stats.BothMapped == 0 {
+		t.Error("no fully-mapped pairs in a clean synthetic set")
+	}
+}
+
+func TestRescueRecoversCorruptedMate(t *testing.T) {
+	b, err := workload.Generate(workload.CHPRC().Scaled(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := BuildIndexes(b.GBZ())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the middle of some second-ends: eight errors spaced 8 bases
+	// apart exceed the primary 4-mismatch budget (extensions stall mid-read
+	// below the mapping floor) while both clean flanks keep their seeds, so
+	// a windowed rescue with a relaxed budget can span the read.
+	corrupted := 0
+	for i := range b.Reads {
+		if b.Reads[i].End != 1 || corrupted >= 10 {
+			continue
+		}
+		seq := b.Reads[i].Seq
+		for p := 40; p <= 96; p += 8 {
+			seq[p] = (seq[p] + 1) & 3
+		}
+		corrupted++
+	}
+	res, err := Map(ix, b.Reads, Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unmappedBefore := 0
+	for _, al := range res.Alignments {
+		if !al.Mapped {
+			unmappedBefore++
+		}
+	}
+	// Preserve pre-rescue extensions to verify rescue never touches them.
+	extBefore := make([][]extend.Extension, len(res.Extensions))
+	copy(extBefore, res.Extensions)
+
+	stats, err := RescuePairs(ix, b.Reads, res,
+		RescueParams{FragmentLen: b.Spec.FragmentLen, ExtraMismatches: 6}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unmappedAfter := 0
+	for _, al := range res.Alignments {
+		if !al.Mapped {
+			unmappedAfter++
+		}
+	}
+	if stats.Attempted == 0 {
+		t.Skip("corruption did not unmap any end at this scale")
+	}
+	if stats.Rescued == 0 {
+		t.Errorf("rescue recovered nothing (attempted %d)", stats.Attempted)
+	}
+	if unmappedAfter >= unmappedBefore && stats.Rescued > 0 {
+		t.Errorf("unmapped count did not drop: %d -> %d", unmappedBefore, unmappedAfter)
+	}
+	for i := range res.Extensions {
+		if len(res.Extensions[i]) != len(extBefore[i]) {
+			t.Fatalf("rescue modified raw extensions of read %d", i)
+		}
+	}
+	// Rescued placements carry the minimal mapping quality.
+	for _, al := range res.Alignments {
+		if al.Mapped && al.MappingQuality == 1 {
+			return // found at least one rescued alignment marker
+		}
+	}
+	t.Error("no alignment carries the rescued-confidence marker")
+}
+
+func TestRescueIgnoresSingleEnd(t *testing.T) {
+	b, err := workload.Generate(workload.AHuman().Scaled(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := BuildIndexes(b.GBZ())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Map(ix, b.Reads, Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := RescuePairs(ix, b.Reads, res, RescueParams{FragmentLen: 400}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pairs != 0 {
+		t.Errorf("single-end reads counted as pairs: %+v", stats)
+	}
+}
+
+func TestRescueBothUnmappedSkipped(t *testing.T) {
+	// Two garbage paired reads: rescue has no anchor, must not attempt.
+	b, ix, _ := pairFixture(t)
+	garbage := make([]dna.Read, 2)
+	garbage[0] = dna.Read{Name: "g/1", Seq: make(dna.Sequence, 148), Fragment: 0, End: 0}
+	garbage[1] = dna.Read{Name: "g/2", Seq: make(dna.Sequence, 148), Fragment: 0, End: 1}
+	res, err := Map(ix, garbage, Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := RescuePairs(ix, garbage, res, RescueParams{FragmentLen: b.Spec.FragmentLen}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Attempted != 0 {
+		t.Errorf("rescue attempted with no anchor: %+v", stats)
+	}
+}

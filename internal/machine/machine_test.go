@@ -1,0 +1,194 @@
+package machine
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestByName(t *testing.T) {
+	for _, m := range All() {
+		got, err := ByName(m.Name)
+		if err != nil || got.Name != m.Name {
+			t.Errorf("ByName(%q) = %v, %v", m.Name, got.Name, err)
+		}
+	}
+	if _, err := ByName("nonesuch"); err == nil {
+		t.Error("unknown machine accepted")
+	}
+}
+
+func TestTableIIShapes(t *testing.T) {
+	// The thread counts used in the paper's autotuning study.
+	want := map[string]int{
+		"local-intel": 96, "local-amd": 128, "chi-arm": 64, "chi-intel": 160,
+	}
+	for _, m := range All() {
+		if got := m.MaxThreads(); got != want[m.Name] {
+			t.Errorf("%s MaxThreads = %d, want %d", m.Name, got, want[m.Name])
+		}
+	}
+	if LocalAMD.L3TotalMB() != 256 {
+		t.Errorf("local-amd L3 = %f", LocalAMD.L3TotalMB())
+	}
+	if LocalIntel.L3TotalMB() != 71.5 {
+		t.Errorf("local-intel L3 = %f", LocalIntel.L3TotalMB())
+	}
+}
+
+func TestHWSpeedupMonotoneNondecreasing(t *testing.T) {
+	for _, m := range All() {
+		prev := 0.0
+		for th := 1; th <= m.MaxThreads(); th++ {
+			s := m.HWSpeedup(th)
+			if s < prev {
+				t.Fatalf("%s: speedup decreases at %d threads", m.Name, th)
+			}
+			prev = s
+		}
+		// Beyond hardware threads: no further gain.
+		if m.HWSpeedup(m.MaxThreads()+32) != m.HWSpeedup(m.MaxThreads()) {
+			t.Errorf("%s: speedup grows past hardware threads", m.Name)
+		}
+	}
+}
+
+func TestHWSpeedupLinearOnFirstSocket(t *testing.T) {
+	for _, m := range All() {
+		for th := 1; th <= m.CoresPerSocket; th++ {
+			if got := m.HWSpeedup(th); got != float64(th) {
+				t.Fatalf("%s: speedup(%d) = %f, want linear", m.Name, th, got)
+			}
+		}
+	}
+}
+
+func TestSMTPlateauOnIntel(t *testing.T) {
+	// Past all physical cores, the marginal gain per hyperthread must be
+	// small on the Intel machines (the paper's plateau) and larger on AMD.
+	gain := func(m Machine) float64 {
+		return m.HWSpeedup(m.MaxThreads()) - m.HWSpeedup(m.TotalCores())
+	}
+	perHT := func(m Machine) float64 {
+		return gain(m) / float64(m.MaxThreads()-m.TotalCores())
+	}
+	if perHT(LocalIntel) >= perHT(LocalAMD) {
+		t.Errorf("Intel SMT gain %.3f not below AMD %.3f", perHT(LocalIntel), perHT(LocalAMD))
+	}
+}
+
+func TestChiArmNoSMT(t *testing.T) {
+	if ChiARM.MaxThreads() != ChiARM.TotalCores() {
+		t.Error("chi-arm should have one thread per core")
+	}
+}
+
+func testWorkload() Workload {
+	return Workload{SerialRefSec: 200, Reads: 100000, WorkingSetMB: 100, MemGB: 32}
+}
+
+func TestSimTimeDecreasesWithThreads(t *testing.T) {
+	for _, m := range All() {
+		w := testWorkload()
+		t1, err := m.SimTime(w, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t32, err := m.SimTime(w, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if t32 >= t1 {
+			t.Errorf("%s: 32 threads (%f) not faster than 1 (%f)", m.Name, t32, t1)
+		}
+	}
+}
+
+func TestSimTimeOOM(t *testing.T) {
+	w := testWorkload()
+	w.MemGB = 300 // D-HPRC-like requirement
+	for _, m := range []Machine{ChiARM, ChiIntel} {
+		if _, err := m.SimTime(w, 8); !errors.Is(err, ErrOutOfMemory) {
+			t.Errorf("%s: want ErrOutOfMemory, got %v", m.Name, err)
+		}
+	}
+	for _, m := range []Machine{LocalIntel, LocalAMD} {
+		if _, err := m.SimTime(w, 8); err != nil {
+			t.Errorf("%s: 768 GB box rejected 300 GB workload: %v", m.Name, err)
+		}
+	}
+}
+
+func TestSimTimeInvalidArgs(t *testing.T) {
+	if _, err := LocalIntel.SimTime(testWorkload(), 0); err == nil {
+		t.Error("0 threads accepted")
+	}
+	w := testWorkload()
+	w.SerialRefSec = -1
+	if _, err := LocalIntel.SimTime(w, 1); err == nil {
+		t.Error("negative serial time accepted")
+	}
+}
+
+func TestSmallInputPlateaus(t *testing.T) {
+	// A small input (A-human-like) must plateau: using every hardware
+	// thread is not meaningfully better than using half of them, and the
+	// speedup stays well below the large-input speedup.
+	small := Workload{SerialRefSec: 20, Reads: 1500, WorkingSetMB: 50, MemGB: 8}
+	big := Workload{SerialRefSec: 2000, Reads: 150000, WorkingSetMB: 50, MemGB: 8}
+	m := ChiARM
+	sSmall, err := m.Speedup(small, m.MaxThreads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sBig, err := m.Speedup(big, m.MaxThreads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sSmall >= sBig {
+		t.Errorf("small input speedup %f not below large input %f", sSmall, sBig)
+	}
+}
+
+func TestAbsoluteRankingMatchesTableVII(t *testing.T) {
+	// At each machine's full thread count, local-amd must be fastest and
+	// chi-arm slowest — the paper's Table VII ranking.
+	w := Workload{SerialRefSec: 500, Reads: 50000, WorkingSetMB: 150, MemGB: 16}
+	times := map[string]float64{}
+	for _, m := range All() {
+		tm, err := m.SimTime(w, m.MaxThreads())
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[m.Name] = tm
+	}
+	if !(times["local-amd"] < times["chi-intel"] &&
+		times["local-amd"] < times["local-intel"] &&
+		times["local-intel"] < times["chi-arm"]) {
+		t.Errorf("ranking wrong: %v", times)
+	}
+}
+
+func TestCacheFactorRanking(t *testing.T) {
+	// A working set over most machines' L3 must penalise small-L3 machines
+	// more than local-amd (256 MB).
+	small := LocalIntel.cacheFactor(200)
+	amd := LocalAMD.cacheFactor(200)
+	if amd != 1 {
+		t.Errorf("200 MB should fit local-amd L3: factor %f", amd)
+	}
+	if small <= 1 {
+		t.Errorf("200 MB must not fit local-intel L3: factor %f", small)
+	}
+}
+
+func TestSpeedupAtOneIsOne(t *testing.T) {
+	for _, m := range All() {
+		s, err := m.Speedup(testWorkload(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != 1 {
+			t.Errorf("%s: speedup(1) = %f", m.Name, s)
+		}
+	}
+}

@@ -1,0 +1,339 @@
+package minimizer
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dna"
+	"repro/internal/vgraph"
+)
+
+func randomSeq(n int, seed int64) dna.Sequence {
+	rng := rand.New(rand.NewSource(seed))
+	s := make(dna.Sequence, n)
+	for i := range s {
+		s[i] = dna.Base(rng.Intn(4))
+	}
+	return s
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{{K: 0, W: 5}, {K: 32, W: 5}, {K: 15, W: 0}, {K: -1, W: 1}}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Config %+v accepted", c)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("DefaultConfig invalid: %v", err)
+	}
+}
+
+func TestMinimizersTooShort(t *testing.T) {
+	_, err := Minimizers(randomSeq(10, 1), Config{K: 8, W: 4})
+	if !errors.Is(err, ErrSequenceTooShort) {
+		t.Errorf("err = %v, want ErrSequenceTooShort", err)
+	}
+}
+
+// naiveMinimizers recomputes minimizers without the deque, as ground truth.
+func naiveMinimizers(seq dna.Sequence, cfg Config) []int32 {
+	k, w := cfg.K, cfg.W
+	nKmers := len(seq) - k + 1
+	hash := func(j int) uint64 {
+		var fwd, rc uint64
+		for i := 0; i < k; i++ {
+			b := seq[j+i]
+			fwd = (fwd << 2) | uint64(b)
+			rc |= uint64(b.Complement()) << uint(2*i)
+		}
+		canon := fwd
+		if rc < fwd {
+			canon = rc
+		}
+		return splitmix64(canon)
+	}
+	var offs []int32
+	last := -1
+	for start := 0; start+w <= nKmers; start++ {
+		best := start
+		for j := start + 1; j < start+w; j++ {
+			if hash(j) < hash(best) {
+				best = j
+			}
+		}
+		if best != last {
+			offs = append(offs, int32(best))
+			last = best
+		}
+	}
+	return offs
+}
+
+func TestMinimizersMatchNaive(t *testing.T) {
+	cfg := Config{K: 7, W: 5}
+	for seed := int64(0); seed < 10; seed++ {
+		seq := randomSeq(200, seed)
+		got, err := Minimizers(seq, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naiveMinimizers(seq, cfg)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: %d minimizers, want %d", seed, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Off != want[i] {
+				t.Fatalf("seed %d: minimizer %d at %d, want %d", seed, i, got[i].Off, want[i])
+			}
+		}
+	}
+}
+
+func TestMinimizerWindowProperty(t *testing.T) {
+	// Every window of w k-mers must contain at least one emitted minimizer.
+	cfg := Config{K: 9, W: 6}
+	seq := randomSeq(500, 77)
+	mins, err := Minimizers(seq, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isMin := map[int32]bool{}
+	for _, m := range mins {
+		isMin[m.Off] = true
+	}
+	nKmers := len(seq) - cfg.K + 1
+	for start := 0; start+cfg.W <= nKmers; start++ {
+		covered := false
+		for j := start; j < start+cfg.W; j++ {
+			if isMin[int32(j)] {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Fatalf("window at %d has no minimizer", start)
+		}
+	}
+}
+
+func TestMinimizersStrandSymmetric(t *testing.T) {
+	// The canonical k-mer set of a sequence equals that of its reverse
+	// complement (offsets differ, canonical k-mer values must coincide).
+	cfg := Config{K: 11, W: 7}
+	seq := randomSeq(300, 5)
+	fwd, err := Minimizers(seq, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := Minimizers(seq.RevComp(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwdSet := map[uint64]bool{}
+	for _, m := range fwd {
+		fwdSet[m.Kmer] = true
+	}
+	revSet := map[uint64]bool{}
+	for _, m := range rev {
+		revSet[m.Kmer] = true
+	}
+	if len(fwdSet) != len(revSet) {
+		t.Fatalf("canonical sets differ in size: %d vs %d", len(fwdSet), len(revSet))
+	}
+	for k := range fwdSet {
+		if !revSet[k] {
+			t.Fatalf("canonical k-mer %s missing from reverse set", KmerString(k, cfg.K))
+		}
+	}
+}
+
+func TestKmerString(t *testing.T) {
+	// ACGT = 00 01 10 11 = 0x1B.
+	if got := KmerString(0x1B, 4); got != "ACGT" {
+		t.Errorf("KmerString = %q, want ACGT", got)
+	}
+}
+
+func TestSplitmixDeterministic(t *testing.T) {
+	f := func(x uint64) bool { return splitmix64(x) == splitmix64(x) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScoreMonotoneDecreasing(t *testing.T) {
+	prev := Score(1)
+	for f := 2; f <= HardHitCap; f *= 2 {
+		s := Score(f)
+		if s > prev {
+			t.Fatalf("Score(%d)=%f > Score(%d)=%f", f, s, f/2, prev)
+		}
+		if s < 1 {
+			t.Fatalf("Score(%d)=%f < 1", f, s)
+		}
+		prev = s
+	}
+	if Score(0) != 0 {
+		t.Error("Score(0) != 0")
+	}
+}
+
+// buildLinearIndex indexes a single linear path over a chain graph.
+func buildLinearIndex(t *testing.T, seq dna.Sequence, nodeLen int, cfg Config) (*Index, *vgraph.Graph, []vgraph.NodeID) {
+	t.Helper()
+	g := &vgraph.Graph{}
+	var path []vgraph.NodeID
+	for i := 0; i < len(seq); i += nodeLen {
+		end := i + nodeLen
+		if end > len(seq) {
+			end = len(seq)
+		}
+		id, err := g.AddNode(seq[i:end].Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(path) > 0 {
+			if err := g.AddEdge(path[len(path)-1], id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		path = append(path, id)
+	}
+	ix, err := Build(g, [][]vgraph.NodeID{path}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, g, path
+}
+
+func TestIndexFindsPlantedMatches(t *testing.T) {
+	cfg := Config{K: 13, W: 7}
+	seq := randomSeq(1000, 9)
+	ix, g, _ := buildLinearIndex(t, seq, 16, cfg)
+	if ix.NumKmers() == 0 {
+		t.Fatal("empty index")
+	}
+	// A read copied from the reference must have all its minimizers hit, and
+	// each hit must point at a graph position spelling the same k-mer.
+	read := seq[200:320]
+	rms, err := ix.LookupRead(read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rms) == 0 {
+		t.Fatal("no read minimizers found in index")
+	}
+	mins, err := Minimizers(read, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rms) != len(mins) {
+		t.Errorf("%d of %d read minimizers matched; exact copy should match all", len(rms), len(mins))
+	}
+	for _, rm := range rms {
+		if rm.Score < 1 {
+			t.Errorf("score %f < 1", rm.Score)
+		}
+		for _, occ := range rm.Occs {
+			// Spell k bases in the graph starting at occ (forward strand of
+			// the canonical k-mer) and compare to the canonical k-mer.
+			spelled := spellFrom(g, occ.Pos, cfg.K)
+			if spelled == nil {
+				continue // ran off the path end
+			}
+			want := rm.Min.Kmer
+			var got uint64
+			if occ.Rev {
+				for _, b := range spelled.RevComp() {
+					got = (got << 2) | uint64(b)
+				}
+			} else {
+				for _, b := range spelled {
+					got = (got << 2) | uint64(b)
+				}
+			}
+			if got != want {
+				t.Fatalf("occurrence at %v spells %s, want %s",
+					occ.Pos, KmerString(got, cfg.K), KmerString(want, cfg.K))
+			}
+		}
+	}
+}
+
+// spellFrom walks the (linear) graph from pos collecting k bases.
+func spellFrom(g *vgraph.Graph, pos vgraph.Position, k int) dna.Sequence {
+	var out dna.Sequence
+	node, off := pos.Node, pos.Off
+	for len(out) < k {
+		label := g.Seq(node)
+		for int(off) < len(label) && len(out) < k {
+			out = append(out, label[off])
+			off++
+		}
+		if len(out) < k {
+			succs := g.Successors(node)
+			if len(succs) == 0 {
+				return nil
+			}
+			node, off = succs[0], 0
+		}
+	}
+	return out
+}
+
+func TestIndexDeduplicatesAcrossHaplotypes(t *testing.T) {
+	cfg := Config{K: 11, W: 5}
+	seq := randomSeq(400, 21)
+	g := &vgraph.Graph{}
+	id, err := g.AddNode(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := []vgraph.NodeID{id}
+	// The same path indexed twice must not duplicate occurrences.
+	once, err := Build(g, [][]vgraph.NodeID{path}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, err := Build(g, [][]vgraph.NodeID{path, path}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if once.NumKmers() != twice.NumKmers() {
+		t.Fatalf("kmer counts differ: %d vs %d", once.NumKmers(), twice.NumKmers())
+	}
+	for kmer := range once.hits {
+		if once.Frequency(kmer) != twice.Frequency(kmer) {
+			t.Fatalf("frequency differs for %s", KmerString(kmer, cfg.K))
+		}
+	}
+}
+
+func TestBuildRejectsMissingNode(t *testing.T) {
+	g := &vgraph.Graph{}
+	if _, err := Build(g, [][]vgraph.NodeID{{42}}, DefaultConfig()); err == nil {
+		t.Error("missing node accepted")
+	}
+}
+
+func TestLookupReadTooShort(t *testing.T) {
+	cfg := Config{K: 13, W: 7}
+	ix, _, _ := buildLinearIndex(t, randomSeq(300, 30), 16, cfg)
+	if _, err := ix.LookupRead(randomSeq(5, 1)); err == nil {
+		t.Error("short read accepted")
+	}
+}
+
+func BenchmarkMinimizers(b *testing.B) {
+	seq := randomSeq(150, 8)
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Minimizers(seq, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+// Package plot renders minimal SVG line and bar charts with the standard
+// library only. The paper's artifact produces its figures with R scripts;
+// this reproduction's experiment binaries emit the same figures as
+// self-contained SVG files (Figure 5 speedup curves, Figure 6 capacity
+// sweeps, Figure 7 makespan bars).
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line of (x, y) points.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Dashed bool
+}
+
+// palette cycles through distinguishable stroke colours.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+	"#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+}
+
+// Chart is a configured plot.
+type Chart struct {
+	Title         string
+	XLabel        string
+	YLabel        string
+	Width, Height int
+	Series        []Series
+	// Bars, when non-empty, renders a grouped bar chart instead of lines.
+	Bars []Bar
+}
+
+// Bar is one labelled bar-group entry.
+type Bar struct {
+	Label  string
+	Values []float64 // one value per group member
+	Groups []string  // member names (shared across bars; set on the first)
+}
+
+// margins in pixels.
+const (
+	marginLeft   = 56
+	marginRight  = 16
+	marginTop    = 28
+	marginBottom = 42
+)
+
+// WriteLineSVG renders the chart's series as an SVG line plot.
+func (c *Chart) WriteLineSVG(w io.Writer) error {
+	if c.Width <= 0 {
+		c.Width = 560
+	}
+	if c.Height <= 0 {
+		c.Height = 360
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return fmt.Errorf("plot: no data")
+	}
+	if minY > 0 {
+		minY = 0
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	plotW := float64(c.Width - marginLeft - marginRight)
+	plotH := float64(c.Height - marginTop - marginBottom)
+	px := func(x float64) float64 { return marginLeft + (x-minX)/(maxX-minX)*plotW }
+	py := func(y float64) float64 { return marginTop + plotH - (y-minY)/(maxY-minY)*plotH }
+
+	var b strings.Builder
+	c.header(&b)
+	c.axes(&b, minX, maxX, minY, maxY, px, py)
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+		}
+		dash := ""
+		if s.Dashed {
+			dash = ` stroke-dasharray="6,4"`
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.8"%s points="%s"/>`+"\n",
+			color, dash, strings.Join(pts, " "))
+		// Legend entry.
+		ly := marginTop + 14*si
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			c.Width-marginRight-110, ly, c.Width-marginRight-90, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10">%s</text>`+"\n",
+			c.Width-marginRight-85, ly+3, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteBarSVG renders grouped bars (one group per Bar, one bar per value).
+func (c *Chart) WriteBarSVG(w io.Writer) error {
+	if c.Width <= 0 {
+		c.Width = 560
+	}
+	if c.Height <= 0 {
+		c.Height = 360
+	}
+	if len(c.Bars) == 0 {
+		return fmt.Errorf("plot: no bars")
+	}
+	maxY := math.Inf(-1)
+	nVals := 0
+	for _, bar := range c.Bars {
+		for _, v := range bar.Values {
+			maxY = math.Max(maxY, v)
+		}
+		if len(bar.Values) > nVals {
+			nVals = len(bar.Values)
+		}
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+	plotW := float64(c.Width - marginLeft - marginRight)
+	plotH := float64(c.Height - marginTop - marginBottom)
+	py := func(y float64) float64 { return marginTop + plotH - y/maxY*plotH }
+
+	var b strings.Builder
+	c.header(&b)
+	c.axes(&b, 0, float64(len(c.Bars)), 0, maxY,
+		func(x float64) float64 { return marginLeft + x/float64(len(c.Bars))*plotW },
+		py)
+	groupW := plotW / float64(len(c.Bars))
+	barW := groupW * 0.8 / float64(nVals)
+	for gi, bar := range c.Bars {
+		for vi, v := range bar.Values {
+			x := marginLeft + float64(gi)*groupW + groupW*0.1 + float64(vi)*barW
+			y := py(v)
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				x, y, barW*0.92, marginTop+plotH-y, palette[vi%len(palette)])
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="9" text-anchor="middle">%s</text>`+"\n",
+			marginLeft+(float64(gi)+0.5)*groupW, c.Height-marginBottom+14, escape(bar.Label))
+	}
+	if len(c.Bars[0].Groups) > 0 {
+		for vi, name := range c.Bars[0].Groups {
+			ly := marginTop + 14*vi
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n",
+				c.Width-marginRight-110, ly-8, palette[vi%len(palette)])
+			fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10">%s</text>`+"\n",
+				c.Width-marginRight-95, ly+1, escape(name))
+		}
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// header opens the SVG document with title and axis labels.
+func (c *Chart) header(b *strings.Builder) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n",
+		c.Width, c.Height)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="white"/>`+"\n", c.Width, c.Height)
+	fmt.Fprintf(b, `<text x="%d" y="16" font-size="13" text-anchor="middle">%s</text>`+"\n",
+		c.Width/2, escape(c.Title))
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-size="11" text-anchor="middle">%s</text>`+"\n",
+		c.Width/2, c.Height-8, escape(c.XLabel))
+	fmt.Fprintf(b, `<text x="14" y="%d" font-size="11" text-anchor="middle" transform="rotate(-90 14 %d)">%s</text>`+"\n",
+		c.Height/2, c.Height/2, escape(c.YLabel))
+}
+
+// axes draws the frame and tick labels.
+func (c *Chart) axes(b *strings.Builder, minX, maxX, minY, maxY float64, px, py func(float64) float64) {
+	fmt.Fprintf(b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#333"/>`+"\n",
+		marginLeft, marginTop, c.Width-marginLeft-marginRight, c.Height-marginTop-marginBottom)
+	for i := 0; i <= 4; i++ {
+		xv := minX + (maxX-minX)*float64(i)/4
+		yv := minY + (maxY-minY)*float64(i)/4
+		fmt.Fprintf(b, `<text x="%.1f" y="%d" font-size="9" text-anchor="middle">%s</text>`+"\n",
+			px(xv), c.Height-marginBottom+12, formatTick(xv))
+		fmt.Fprintf(b, `<text x="%d" y="%.1f" font-size="9" text-anchor="end">%s</text>`+"\n",
+			marginLeft-4, py(yv)+3, formatTick(yv))
+	}
+}
+
+// formatTick trims trailing zeros.
+func formatTick(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2g", v)
+}
+
+// escape handles the XML special characters in labels.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

@@ -1,0 +1,141 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func lineChart() *Chart {
+	return &Chart{
+		Title:  "speedup",
+		XLabel: "threads",
+		YLabel: "x",
+		Series: []Series{
+			{Name: "A-human", X: []float64{1, 2, 4}, Y: []float64{1, 1.9, 3.5}},
+			{Name: "ideal", X: []float64{1, 2, 4}, Y: []float64{1, 2, 4}, Dashed: true},
+		},
+	}
+}
+
+func TestWriteLineSVG(t *testing.T) {
+	var buf bytes.Buffer
+	if err := lineChart().WriteLineSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "A-human", "ideal",
+		"stroke-dasharray", "speedup", "threads",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if n := strings.Count(out, "<polyline"); n != 2 {
+		t.Errorf("%d polylines, want 2", n)
+	}
+}
+
+func TestWriteLineSVGNoData(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	if err := c.WriteLineSVG(&bytes.Buffer{}); err == nil {
+		t.Error("empty chart accepted")
+	}
+}
+
+func TestWriteBarSVG(t *testing.T) {
+	c := &Chart{
+		Title: "makespan", XLabel: "input", YLabel: "s",
+		Bars: []Bar{
+			{Label: "A", Values: []float64{2.0, 1.5}, Groups: []string{"default", "tuned"}},
+			{Label: "B", Values: []float64{4.0, 3.9}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteBarSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if n := strings.Count(out, "<rect"); n < 5 { // frame + bg + 4 bars
+		t.Errorf("%d rects, want ≥5", n)
+	}
+	for _, want := range []string{"default", "tuned", ">A<", ">B<"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestWriteBarSVGNoData(t *testing.T) {
+	c := &Chart{}
+	if err := c.WriteBarSVG(&bytes.Buffer{}); err == nil {
+		t.Error("empty bar chart accepted")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	c := &Chart{
+		Title: "a<b & c>d",
+		Series: []Series{
+			{Name: "x<y", X: []float64{0, 1}, Y: []float64{0, 1}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteLineSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "a<b") || !strings.Contains(out, "a&lt;b &amp; c&gt;d") {
+		t.Error("labels not escaped")
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	if formatTick(4) != "4" {
+		t.Errorf("formatTick(4) = %q", formatTick(4))
+	}
+	if formatTick(0.125) != "0.12" {
+		t.Errorf("formatTick(0.125) = %q", formatTick(0.125))
+	}
+}
+
+func TestDegenerateRanges(t *testing.T) {
+	// Single point: ranges collapse; must not divide by zero.
+	c := &Chart{Series: []Series{{Name: "p", X: []float64{3}, Y: []float64{7}}}}
+	var buf bytes.Buffer
+	if err := c.WriteLineSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Error("NaN in SVG output")
+	}
+}
+
+func TestWriteTimelineSVG(t *testing.T) {
+	rec := trace.NewRecorder(3)
+	now := time.Now()
+	rec.Record(0, "cluster_seeds", now, 2*time.Millisecond)
+	rec.Record(1, "process_until_threshold_c", now.Add(time.Millisecond), 3*time.Millisecond)
+	rec.Record(2, "cluster_seeds", now.Add(2*time.Millisecond), time.Millisecond)
+	var buf bytes.Buffer
+	if err := WriteTimelineSVG(&buf, rec, "Figure 2"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"thread 0", "thread 2", "cluster_seeds", "process_until_threshold_c", "ms<"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline SVG missing %q", want)
+		}
+	}
+}
+
+func TestWriteTimelineSVGEmpty(t *testing.T) {
+	rec := trace.NewRecorder(2)
+	if err := WriteTimelineSVG(&bytes.Buffer{}, rec, "x"); err == nil {
+		t.Error("empty recorder accepted")
+	}
+}

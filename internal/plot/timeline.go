@@ -1,0 +1,93 @@
+package plot
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// WriteTimelineSVG renders a per-worker Gantt view of recorded trace spans —
+// the paper's Figure 2 ("Timeline of how Giraffe uses 16 threads for the
+// annotated portions of the code"). Each worker is a row; spans are
+// rectangles coloured by region.
+func WriteTimelineSVG(w io.Writer, rec *trace.Recorder, title string) error {
+	workers := rec.Workers()
+	if workers == 0 {
+		return fmt.Errorf("plot: empty recorder")
+	}
+	// Time extent and region palette assignment.
+	var maxEnd time.Duration
+	regionColor := map[string]string{}
+	var regions []string
+	total := 0
+	for wk := 0; wk < workers; wk++ {
+		for _, s := range rec.Spans(wk) {
+			if end := s.Start + s.Dur; end > maxEnd {
+				maxEnd = end
+			}
+			if _, ok := regionColor[s.Region]; !ok {
+				regionColor[s.Region] = palette[len(regions)%len(palette)]
+				regions = append(regions, s.Region)
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return fmt.Errorf("plot: recorder has no spans")
+	}
+	sort.Strings(regions)
+
+	const (
+		rowH   = 18
+		width  = 900
+		leftM  = 70
+		rightM = 150
+		topM   = 30
+	)
+	height := topM + workers*rowH + 40
+	plotW := float64(width - leftM - rightM)
+	px := func(t time.Duration) float64 {
+		return float64(leftM) + float64(t)/float64(maxEnd)*plotW
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="18" font-size="13" text-anchor="middle">%s</text>`+"\n", width/2, escape(title))
+	for wk := 0; wk < workers; wk++ {
+		y := topM + wk*rowH
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="9" text-anchor="end">thread %d</text>`+"\n",
+			leftM-6, y+rowH-6, wk)
+		for _, s := range rec.Spans(wk) {
+			x0 := px(s.Start)
+			x1 := px(s.Start + s.Dur)
+			if x1-x0 < 0.5 {
+				x1 = x0 + 0.5 // keep microsecond spans visible
+			}
+			fmt.Fprintf(&b, `<rect x="%.2f" y="%d" width="%.2f" height="%d" fill="%s"/>`+"\n",
+				x0, y+2, x1-x0, rowH-4, regionColor[s.Region])
+		}
+	}
+	// Time axis (ms).
+	axisY := topM + workers*rowH + 12
+	for i := 0; i <= 4; i++ {
+		t := time.Duration(float64(maxEnd) * float64(i) / 4)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="9" text-anchor="middle">%.1fms</text>`+"\n",
+			px(t), axisY, float64(t.Microseconds())/1000)
+	}
+	// Region legend.
+	for i, r := range regions {
+		ly := topM + 14*i
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n",
+			width-rightM+8, ly, regionColor[r])
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="9">%s</text>`+"\n",
+			width-rightM+22, ly+9, escape(r))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

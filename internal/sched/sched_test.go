@@ -1,0 +1,202 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func allKinds() []Kind { return []Kind{Dynamic, WorkStealing, Static} }
+
+func TestEveryIndexProcessedExactlyOnce(t *testing.T) {
+	for _, kind := range allKinds() {
+		for _, n := range []int{0, 1, 7, 100, 1000, 4097} {
+			for _, threads := range []int{1, 2, 4, 9} {
+				for _, batch := range []int{1, 8, 512} {
+					counts := make([]int64, n)
+					stats, err := Run(Config{Kind: kind, Threads: threads, BatchSize: batch}, n,
+						func(worker, index int) {
+							atomic.AddInt64(&counts[index], 1)
+						})
+					if err != nil {
+						t.Fatalf("%v n=%d t=%d b=%d: %v", kind, n, threads, batch, err)
+					}
+					for i, c := range counts {
+						if c != 1 {
+							t.Fatalf("%v n=%d t=%d b=%d: index %d processed %d times", kind, n, threads, batch, i, c)
+						}
+					}
+					var total int64
+					for _, p := range stats.Processed {
+						total += p
+					}
+					if total != int64(n) {
+						t.Fatalf("%v: stats total %d, want %d", kind, total, n)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRunPropertyQuick(t *testing.T) {
+	f := func(nRaw uint16, tRaw, bRaw uint8, kindRaw uint8) bool {
+		n := int(nRaw % 2000)
+		threads := int(tRaw%8) + 1
+		batch := int(bRaw%64) + 1
+		kind := allKinds()[int(kindRaw)%3]
+		var processed int64
+		_, err := Run(Config{Kind: kind, Threads: threads, BatchSize: batch}, n,
+			func(worker, index int) { atomic.AddInt64(&processed, 1) })
+		return err == nil && processed == int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNegativeCount(t *testing.T) {
+	if _, err := Run(Config{}, -1, func(int, int) {}); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestWorkerIDsInRange(t *testing.T) {
+	for _, kind := range allKinds() {
+		const threads = 4
+		var bad int64
+		_, err := Run(Config{Kind: kind, Threads: threads, BatchSize: 16}, 500,
+			func(worker, index int) {
+				if worker < 0 || worker >= threads {
+					atomic.AddInt64(&bad, 1)
+				}
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bad != 0 {
+			t.Errorf("%v: %d out-of-range worker ids", kind, bad)
+		}
+	}
+}
+
+func TestWorkStealingBalancesSkewedWork(t *testing.T) {
+	// Front-loaded work: static scheduling leaves worker 0 doing nearly all
+	// the time; work stealing must spread it.
+	const n = 400
+	work := func(worker, index int) {
+		if index < 100 {
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+	stats, err := Run(Config{Kind: WorkStealing, Threads: 4, BatchSize: 8}, n, work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Steals == 0 {
+		t.Error("no steals despite skewed work")
+	}
+	// The hard property is that stealing happened; the balance bound is
+	// loose because single-CPU hosts (and the race detector) serialise the
+	// sleep-dominated work.
+	if imb := stats.Imbalance(); imb > 3.6 {
+		t.Errorf("imbalance %f too high for work stealing", imb)
+	}
+}
+
+func TestStaticNoSteals(t *testing.T) {
+	stats, err := Run(Config{Kind: Static, Threads: 4, BatchSize: 8}, 100, func(int, int) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Steals != 0 {
+		t.Errorf("static scheduler recorded %d steals", stats.Steals)
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	cases := map[string]Kind{
+		"dynamic": Dynamic, "openmp-dynamic": Dynamic, "omp": Dynamic,
+		"work-stealing": WorkStealing, "ws": WorkStealing, "steal": WorkStealing,
+		"static": Static,
+	}
+	for s, want := range cases {
+		got, err := ParseKind(s)
+		if err != nil || got != want {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("bogus kind accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range allKinds() {
+		if k.String() == "" {
+			t.Errorf("empty String for kind %d", int(k))
+		}
+		back, err := ParseKind(k.String())
+		if err != nil || back != k {
+			t.Errorf("round trip failed for %v", k)
+		}
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	s := Stats{Processed: []int64{10, 10, 10, 10}}
+	if got := s.Imbalance(); got != 1 {
+		t.Errorf("balanced imbalance = %f", got)
+	}
+	s = Stats{Processed: []int64{40, 0, 0, 0}}
+	if got := s.Imbalance(); got != 4 {
+		t.Errorf("skewed imbalance = %f, want 4", got)
+	}
+	if (Stats{}).Imbalance() != 1 {
+		t.Error("empty stats imbalance != 1")
+	}
+}
+
+func TestConcurrentWorkersActuallyParallel(t *testing.T) {
+	// With 4 threads and sleep-heavy items, wall time must be well under the
+	// serial sum.
+	const n = 40
+	const itemDelay = 2 * time.Millisecond
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	start := time.Now()
+	_, err := Run(Config{Kind: Dynamic, Threads: 4, BatchSize: 1}, n, func(worker, index int) {
+		time.Sleep(itemDelay)
+		mu.Lock()
+		seen[worker] = true
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if serial := time.Duration(n) * itemDelay; elapsed > serial*3/4 {
+		t.Errorf("elapsed %v suggests no parallelism (serial would be %v)", elapsed, serial)
+	}
+	if len(seen) < 2 {
+		t.Errorf("only %d workers participated", len(seen))
+	}
+}
+
+func BenchmarkDynamicOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{Kind: Dynamic, Threads: 4, BatchSize: 64}, 10000, func(int, int) {}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorkStealingOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{Kind: WorkStealing, Threads: 4, BatchSize: 64}, 10000, func(int, int) {}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

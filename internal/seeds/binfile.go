@@ -1,0 +1,287 @@
+package seeds
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/dna"
+	"repro/internal/vgraph"
+)
+
+// Binary capture format ("sequence-seeds.bin"), the proxy's main input.
+//
+//	magic "MGSB" (4 bytes), version uint16 LE, reserved uint16
+//	count uint64 LE
+//	per record (varints unless noted):
+//	    nameLen, name bytes
+//	    fragment+1 (0 = single-end), end
+//	    seqLen, packed 2-bit bases
+//	    numSeeds
+//	    per seed: node, off, readOff, flags (bit0 = rev), score float32 LE
+var (
+	binMagic   = [4]byte{'M', 'G', 'S', 'B'}
+	binVersion = uint16(1)
+)
+
+// Errors reported by the reader.
+var (
+	ErrBadMagic   = errors.New("seeds: bad magic")
+	ErrBadVersion = errors.New("seeds: unsupported version")
+)
+
+// Writer streams ReadSeeds records to an output.
+type Writer struct {
+	bw      *bufio.Writer
+	scratch [binary.MaxVarintLen64]byte
+	n       uint64
+	counted uint64
+	err     error
+}
+
+// NewWriter writes the header for `count` records and returns the streaming
+// writer.
+func NewWriter(w io.Writer, count int) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binMagic[:]); err != nil {
+		return nil, err
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint16(hdr[0:], binVersion)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(count))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{bw: bw, n: uint64(count)}, nil
+}
+
+func (w *Writer) put(v uint64) {
+	if w.err != nil {
+		return
+	}
+	n := binary.PutUvarint(w.scratch[:], v)
+	_, w.err = w.bw.Write(w.scratch[:n])
+}
+
+func (w *Writer) write(b []byte) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.bw.Write(b)
+}
+
+// Write appends one record.
+func (w *Writer) Write(rs *ReadSeeds) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.counted >= w.n {
+		w.err = fmt.Errorf("seeds: writing more than the declared %d records", w.n)
+		return w.err
+	}
+	w.counted++
+	w.put(uint64(len(rs.Read.Name)))
+	w.write([]byte(rs.Read.Name))
+	w.put(uint64(rs.Read.Fragment + 1))
+	w.put(uint64(rs.Read.End))
+	packed := dna.Pack(rs.Read.Seq)
+	data, n := packed.Raw()
+	w.put(uint64(n))
+	w.write(data)
+	w.put(uint64(len(rs.Seeds)))
+	for _, s := range rs.Seeds {
+		w.put(uint64(s.Pos.Node))
+		w.put(uint64(s.Pos.Off))
+		w.put(uint64(s.ReadOff))
+		flags := uint64(0)
+		if s.Rev {
+			flags = 1
+		}
+		w.put(flags)
+		var f [4]byte
+		binary.LittleEndian.PutUint32(f[:], math.Float32bits(s.Score))
+		w.write(f[:])
+	}
+	return w.err
+}
+
+// Close flushes the stream and verifies the declared record count.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.counted != w.n {
+		return fmt.Errorf("seeds: wrote %d of %d declared records", w.counted, w.n)
+	}
+	return w.bw.Flush()
+}
+
+// Reader streams ReadSeeds records from an input.
+type Reader struct {
+	br        *bufio.Reader
+	remaining uint64
+}
+
+// NewReader validates the header and returns a streaming reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("seeds: reading magic: %w", err)
+	}
+	if magic != binMagic {
+		return nil, ErrBadMagic
+	}
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("seeds: reading header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[0:]); v != binVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	return &Reader{br: br, remaining: binary.LittleEndian.Uint64(hdr[4:])}, nil
+}
+
+// Remaining returns how many records are left.
+func (r *Reader) Remaining() int { return int(r.remaining) }
+
+// Next reads the next record, or io.EOF after the last one.
+func (r *Reader) Next() (*ReadSeeds, error) {
+	if r.remaining == 0 {
+		return nil, io.EOF
+	}
+	r.remaining--
+	get := func() (uint64, error) { return binary.ReadUvarint(r.br) }
+	nameLen, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("seeds: name length: %w", err)
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("seeds: implausible name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(r.br, name); err != nil {
+		return nil, fmt.Errorf("seeds: name: %w", err)
+	}
+	fragP1, err := get()
+	if err != nil {
+		return nil, err
+	}
+	end, err := get()
+	if err != nil {
+		return nil, err
+	}
+	seqLen, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if seqLen > 1<<20 {
+		return nil, fmt.Errorf("seeds: implausible read length %d", seqLen)
+	}
+	data := make([]byte, (seqLen+3)/4)
+	if _, err := io.ReadFull(r.br, data); err != nil {
+		return nil, fmt.Errorf("seeds: bases: %w", err)
+	}
+	packed, err := dna.PackedFromRaw(data, int(seqLen))
+	if err != nil {
+		return nil, err
+	}
+	nSeeds, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if nSeeds > 1<<24 {
+		return nil, fmt.Errorf("seeds: implausible seed count %d", nSeeds)
+	}
+	rs := &ReadSeeds{
+		Read: dna.Read{
+			Name:     string(name),
+			Seq:      packed.Unpack(),
+			Fragment: int(fragP1) - 1,
+			End:      int(end),
+		},
+		Seeds: make([]Seed, nSeeds),
+	}
+	for i := range rs.Seeds {
+		node, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("seeds: seed %d node: %w", i, err)
+		}
+		off, err := get()
+		if err != nil {
+			return nil, err
+		}
+		readOff, err := get()
+		if err != nil {
+			return nil, err
+		}
+		flags, err := get()
+		if err != nil {
+			return nil, err
+		}
+		var f [4]byte
+		if _, err := io.ReadFull(r.br, f[:]); err != nil {
+			return nil, fmt.Errorf("seeds: seed %d score: %w", i, err)
+		}
+		rs.Seeds[i] = Seed{
+			Pos:     vgraph.Position{Node: vgraph.NodeID(node), Off: int32(off)},
+			ReadOff: int32(readOff),
+			Rev:     flags&1 != 0,
+			Score:   math.Float32frombits(binary.LittleEndian.Uint32(f[:])),
+		}
+	}
+	return rs, nil
+}
+
+// WriteFile saves all records to a file at path.
+func WriteFile(path string, records []ReadSeeds) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w, err := NewWriter(out, len(records))
+	if err != nil {
+		out.Close()
+		return err
+	}
+	for i := range records {
+		if err := w.Write(&records[i]); err != nil {
+			out.Close()
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// ReadFile loads all records from a file at path.
+func ReadFile(path string) ([]ReadSeeds, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	r, err := NewReader(in)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ReadSeeds, 0, r.Remaining())
+	for {
+		rs, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *rs)
+	}
+	return out, nil
+}

@@ -1,0 +1,64 @@
+// Package seeds defines the seed records that connect Giraffe's
+// preprocessing to the seed-and-extend kernels, and the binary capture
+// format ("sequence-seeds.bin") that miniGiraffe consumes as input: the
+// paper's proxy takes the reads plus their preprocessed seeds, captured from
+// Giraffe right before the critical functions execute (§V).
+package seeds
+
+import (
+	"repro/internal/dna"
+	"repro/internal/minimizer"
+	"repro/internal/vgraph"
+)
+
+// Seed anchors a read offset to a graph position: a minimizer shared between
+// the read and the pangenome, i.e. where a mapping walk can start.
+type Seed struct {
+	// Pos is the graph position of the seed k-mer's first base, on the
+	// graph's forward strand.
+	Pos vgraph.Position
+	// ReadOff is the k-mer's offset in the *oriented* read: the read as
+	// sequenced when Rev is false, its reverse complement when Rev is true.
+	ReadOff int32
+	// Rev is true when the read matches the graph on the reverse strand.
+	Rev bool
+	// Score is the minimizer's frequency-weighted seeding score.
+	Score float32
+}
+
+// ReadSeeds bundles one read with its seeds — one record of the proxy's
+// captured input.
+type ReadSeeds struct {
+	Read  dna.Read
+	Seeds []Seed
+}
+
+// Extract computes the seeds of a read against a minimizer index, performing
+// the orientation normalisation: a hit whose canonical orientation differs
+// between read and graph anchors the reverse-complemented read.
+func Extract(ix *minimizer.Index, read *dna.Read) ([]Seed, error) {
+	rms, err := ix.LookupRead(read.Seq)
+	if err != nil {
+		return nil, err
+	}
+	k := int32(ix.Config().K)
+	n := int32(len(read.Seq))
+	var out []Seed
+	for _, rm := range rms {
+		for _, occ := range rm.Occs {
+			rev := rm.Min.Rev != occ.Rev
+			readOff := rm.Min.Off
+			if rev {
+				// The k-mer's first base in the reverse-complemented read.
+				readOff = n - k - rm.Min.Off
+			}
+			out = append(out, Seed{
+				Pos:     occ.Pos,
+				ReadOff: readOff,
+				Rev:     rev,
+				Score:   float32(rm.Score),
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,255 @@
+package seeds
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/dna"
+	"repro/internal/minimizer"
+	"repro/internal/vgraph"
+)
+
+func randomSeq(n int, seed int64) dna.Sequence {
+	rng := rand.New(rand.NewSource(seed))
+	s := make(dna.Sequence, n)
+	for i := range s {
+		s[i] = dna.Base(rng.Intn(4))
+	}
+	return s
+}
+
+func sampleRecords(seed int64, n int) []ReadSeeds {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]ReadSeeds, n)
+	for i := range out {
+		nSeeds := rng.Intn(6)
+		ss := make([]Seed, nSeeds)
+		for j := range ss {
+			ss[j] = Seed{
+				Pos:     vgraph.Position{Node: vgraph.NodeID(1 + rng.Intn(1000)), Off: int32(rng.Intn(30))},
+				ReadOff: int32(rng.Intn(120)),
+				Rev:     rng.Intn(2) == 1,
+				Score:   float32(1 + rng.Float64()*5),
+			}
+		}
+		frag := -1
+		end := 0
+		if rng.Intn(2) == 1 {
+			frag = rng.Intn(500)
+			end = rng.Intn(2)
+		}
+		out[i] = ReadSeeds{
+			Read: dna.Read{
+				Name:     "read-" + string(rune('a'+i%26)),
+				Seq:      randomSeq(80+rng.Intn(70), seed+int64(i)),
+				Fragment: frag,
+				End:      end,
+			},
+			Seeds: ss,
+		}
+	}
+	return out
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	recs := sampleRecords(1, 25)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, len(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			t.Fatalf("Write(%d): %v", i, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Remaining() != len(recs) {
+		t.Fatalf("Remaining = %d, want %d", r.Remaining(), len(recs))
+	}
+	for i := range recs {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("Next(%d): %v", i, err)
+		}
+		if got.Read.Name != recs[i].Read.Name ||
+			got.Read.Fragment != recs[i].Read.Fragment ||
+			got.Read.End != recs[i].Read.End {
+			t.Fatalf("record %d metadata mismatch: %+v vs %+v", i, got.Read, recs[i].Read)
+		}
+		if !got.Read.Seq.Equal(recs[i].Read.Seq) {
+			t.Fatalf("record %d sequence mismatch", i)
+		}
+		if len(got.Seeds) != len(recs[i].Seeds) {
+			t.Fatalf("record %d: %d seeds, want %d", i, len(got.Seeds), len(recs[i].Seeds))
+		}
+		if len(got.Seeds) > 0 && !reflect.DeepEqual(got.Seeds, recs[i].Seeds) {
+			t.Fatalf("record %d seeds mismatch", i)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("after last record: err = %v, want io.EOF", err)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	recs := sampleRecords(2, 10)
+	path := filepath.Join(t.TempDir(), "seeds.bin")
+	if err := WriteFile(path, recs); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("%d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if !got[i].Read.Seq.Equal(recs[i].Read.Seq) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestWriterCountEnforced(t *testing.T) {
+	recs := sampleRecords(3, 2)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(&recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(&recs[1]); err == nil {
+		t.Error("over-count write accepted")
+	}
+	// Under-count close.
+	var buf2 bytes.Buffer
+	w2, err := NewWriter(&buf2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err == nil {
+		t.Error("under-count close accepted")
+	}
+}
+
+func TestReaderRejectsBadHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("XXXX0123456789ab"))); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+	bad := append([]byte{}, binMagic[:]...)
+	bad = append(bad, 0xFF, 0xFF, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0)
+	if _, err := NewReader(bytes.NewReader(bad)); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestReaderTruncated(t *testing.T) {
+	recs := sampleRecords(4, 5)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, len(recs))
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(data[:len(data)-10]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawErr := false
+	for i := 0; i < len(recs); i++ {
+		if _, err := r.Next(); err != nil {
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Error("truncated stream read without error")
+	}
+}
+
+// TestExtractOrientation plants a read and its reverse complement and checks
+// seed normalisation maps both onto the same graph positions.
+func TestExtractOrientation(t *testing.T) {
+	cfg := minimizer.Config{K: 13, W: 7}
+	refLen := 600
+	ref := randomSeq(refLen, 9)
+	g := &vgraph.Graph{}
+	var path []vgraph.NodeID
+	for i := 0; i < refLen; i += 20 {
+		end := i + 20
+		if end > refLen {
+			end = refLen
+		}
+		id, err := g.AddNode(ref[i:end].Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(path) > 0 {
+			if err := g.AddEdge(path[len(path)-1], id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		path = append(path, id)
+	}
+	ix, err := minimizer.Build(g, [][]vgraph.NodeID{path}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwdRead := &dna.Read{Name: "f", Seq: ref[100:220].Clone(), Fragment: -1}
+	revRead := &dna.Read{Name: "r", Seq: ref[100:220].RevComp(), Fragment: -1}
+	fwdSeeds, err := Extract(ix, fwdRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	revSeeds, err := Extract(ix, revRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fwdSeeds) == 0 {
+		t.Fatal("no forward seeds")
+	}
+	if len(fwdSeeds) != len(revSeeds) {
+		t.Fatalf("%d fwd seeds vs %d rev seeds", len(fwdSeeds), len(revSeeds))
+	}
+	// All forward seeds are Rev=false; all reverse-read seeds are Rev=true,
+	// and after orientation the (Pos, ReadOff) pairs coincide.
+	type anchor struct {
+		pos     vgraph.Position
+		readOff int32
+	}
+	fwdSet := map[anchor]bool{}
+	for _, s := range fwdSeeds {
+		if s.Rev {
+			t.Errorf("forward read produced Rev seed %+v", s)
+		}
+		fwdSet[anchor{s.Pos, s.ReadOff}] = true
+	}
+	for _, s := range revSeeds {
+		if !s.Rev {
+			t.Errorf("reverse read produced forward seed %+v", s)
+		}
+		if !fwdSet[anchor{s.Pos, s.ReadOff}] {
+			t.Errorf("reverse seed %+v has no forward counterpart", s)
+		}
+	}
+}

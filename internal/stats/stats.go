@@ -1,0 +1,259 @@
+// Package stats provides the statistical machinery the miniGiraffe paper's
+// evaluation uses: geometric-mean speedups (§VII-B), cosine similarity
+// between hardware-counter vectors (§VI-b, after Richards et al.), and
+// analysis of variance with F-distribution p-values for the tuning-parameter
+// significance study (§VII-B: capacity p=0.047, batch p=0.878, scheduler
+// p=0.859).
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrEmpty reports an empty input.
+var ErrEmpty = errors.New("stats: empty input")
+
+// GeoMean returns the geometric mean of strictly positive values.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, errors.New("stats: geometric mean requires positive values")
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs))), nil
+}
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// Cosine returns the cosine similarity of two equal-length non-zero vectors:
+// 1 means identical direction. This is the proxy-fidelity metric of §VI-b.
+func Cosine(a, b []float64) (float64, error) {
+	if len(a) == 0 || len(a) != len(b) {
+		return 0, errors.New("stats: cosine requires equal non-empty vectors")
+	}
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0, errors.New("stats: cosine of zero vector")
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb)), nil
+}
+
+// ANOVA holds a one-way analysis-of-variance result.
+type ANOVA struct {
+	F   float64 // F statistic (MS_between / MS_within)
+	P   float64 // p-value from the F distribution
+	DFb int     // between-groups degrees of freedom
+	DFw int     // within-groups degrees of freedom
+	SSb float64 // between-groups sum of squares
+	SSw float64 // within-groups sum of squares
+}
+
+// OneWayANOVA tests whether the group means differ. Each group needs ≥1
+// observation and at least two groups with ≥2 total extra observations are
+// required for the within-group variance to exist.
+func OneWayANOVA(groups [][]float64) (ANOVA, error) {
+	k := len(groups)
+	if k < 2 {
+		return ANOVA{}, errors.New("stats: ANOVA needs at least two groups")
+	}
+	n := 0
+	grand := 0.0
+	for _, g := range groups {
+		if len(g) == 0 {
+			return ANOVA{}, errors.New("stats: ANOVA group is empty")
+		}
+		for _, x := range g {
+			grand += x
+			n++
+		}
+	}
+	if n <= k {
+		return ANOVA{}, errors.New("stats: ANOVA needs more observations than groups")
+	}
+	grand /= float64(n)
+	var ssb, ssw float64
+	for _, g := range groups {
+		m := 0.0
+		for _, x := range g {
+			m += x
+		}
+		m /= float64(len(g))
+		ssb += float64(len(g)) * (m - grand) * (m - grand)
+		for _, x := range g {
+			ssw += (x - m) * (x - m)
+		}
+	}
+	dfb := k - 1
+	dfw := n - k
+	out := ANOVA{DFb: dfb, DFw: dfw, SSb: ssb, SSw: ssw}
+	msb := ssb / float64(dfb)
+	msw := ssw / float64(dfw)
+	if msw == 0 {
+		if msb == 0 {
+			out.F = 0
+			out.P = 1
+			return out, nil
+		}
+		out.F = math.Inf(1)
+		out.P = 0
+		return out, nil
+	}
+	out.F = msb / msw
+	out.P = FSurvival(out.F, float64(dfb), float64(dfw))
+	return out, nil
+}
+
+// FSurvival returns P(F_{d1,d2} > f), the upper tail of the F distribution,
+// via the regularized incomplete beta function.
+func FSurvival(f, d1, d2 float64) float64 {
+	if f <= 0 {
+		return 1
+	}
+	x := d2 / (d2 + d1*f)
+	return RegIncBeta(d2/2, d1/2, x)
+}
+
+// RegIncBeta computes the regularized incomplete beta function I_x(a,b)
+// using the continued-fraction expansion (Numerical Recipes, betacf).
+func RegIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(math.Log(x)*a + math.Log(1-x)*b + lbeta)
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - math.Exp(math.Log(1-x)*b+math.Log(x)*a+lbeta)*betacf(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betacf evaluates the continued fraction for the incomplete beta function.
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := 2 * m
+		aa := float64(m) * (b - float64(m)) * x / ((qam + float64(m2)) * (a + float64(m2)))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + float64(m)) * (qab + float64(m)) * x / ((a + float64(m2)) * (qap + float64(m2)))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// Observation is one measurement in a factorial experiment: the factor
+// levels it was taken at and its response value.
+type Observation struct {
+	Levels map[string]string
+	Value  float64
+}
+
+// FactorANOVA runs a one-way ANOVA on one factor of a factorial experiment,
+// grouping observations by that factor's level and treating all other
+// factors as replicates — the analysis the paper applies to the tuning grid.
+func FactorANOVA(obs []Observation, factor string) (ANOVA, error) {
+	groups := make(map[string][]float64)
+	for _, o := range obs {
+		level, ok := o.Levels[factor]
+		if !ok {
+			return ANOVA{}, errors.New("stats: observation missing factor " + factor)
+		}
+		groups[level] = append(groups[level], o.Value)
+	}
+	gs := make([][]float64, 0, len(groups))
+	// Deterministic order is not needed for the F statistic, but keep the
+	// grouping stable for reproducible error messages.
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	for _, k := range keys {
+		gs = append(gs, groups[k])
+	}
+	return OneWayANOVA(gs)
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Speedups divides base by each of xs (elementwise semantics: speedup of x
+// over base is base/x, for makespans where smaller is better).
+func Speedups(base float64, xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		if x > 0 {
+			out[i] = base / x
+		}
+	}
+	return out
+}

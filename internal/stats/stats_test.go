@@ -1,0 +1,259 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func near(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestGeoMean(t *testing.T) {
+	got, err := GeoMean([]float64{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(got, 2, 1e-12) {
+		t.Errorf("GeoMean(1,4) = %f, want 2", got)
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := GeoMean([]float64{1, -1}); err == nil {
+		t.Error("negative accepted")
+	}
+}
+
+func TestGeoMeanIdentityProperty(t *testing.T) {
+	f := func(raw uint8, n uint8) bool {
+		x := 0.5 + float64(raw)/16
+		count := int(n%10) + 1
+		xs := make([]float64, count)
+		for i := range xs {
+			xs[i] = x
+		}
+		g, err := GeoMean(xs)
+		return err == nil && near(g, x, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	got, err := Mean([]float64{1, 2, 3})
+	if err != nil || got != 2 {
+		t.Errorf("Mean = %f, %v", got, err)
+	}
+	if _, err := Mean(nil); err == nil {
+		t.Error("empty accepted")
+	}
+}
+
+func TestCosineSelf(t *testing.T) {
+	v := []float64{3, 1, 4, 1, 5}
+	got, err := Cosine(v, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(got, 1, 1e-12) {
+		t.Errorf("Cosine(v,v) = %f", got)
+	}
+}
+
+func TestCosineOrthogonal(t *testing.T) {
+	got, err := Cosine([]float64{1, 0}, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(got, 0, 1e-12) {
+		t.Errorf("orthogonal cosine = %f", got)
+	}
+}
+
+func TestCosineErrors(t *testing.T) {
+	if _, err := Cosine(nil, nil); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := Cosine([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Cosine([]float64{0}, []float64{1}); err == nil {
+		t.Error("zero vector accepted")
+	}
+}
+
+func TestCosineScaleInvariant(t *testing.T) {
+	a := []float64{2, 3, 5}
+	b := []float64{4, 6, 10}
+	got, err := Cosine(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(got, 1, 1e-12) {
+		t.Errorf("scaled cosine = %f, want 1", got)
+	}
+}
+
+func TestRegIncBetaBounds(t *testing.T) {
+	if got := RegIncBeta(2, 3, 0); got != 0 {
+		t.Errorf("I_0 = %f", got)
+	}
+	if got := RegIncBeta(2, 3, 1); got != 1 {
+		t.Errorf("I_1 = %f", got)
+	}
+	// I_x(1,1) = x (uniform distribution).
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if got := RegIncBeta(1, 1, x); !near(got, x, 1e-10) {
+			t.Errorf("I_%f(1,1) = %f", x, got)
+		}
+	}
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	if got, want := RegIncBeta(2.5, 4, 0.3), 1-RegIncBeta(4, 2.5, 0.7); !near(got, want, 1e-10) {
+		t.Errorf("symmetry violated: %f vs %f", got, want)
+	}
+}
+
+func TestFSurvivalKnownValues(t *testing.T) {
+	// F(1, 10): P(F > 4.96) ≈ 0.05 (classic table value 4.965).
+	if got := FSurvival(4.965, 1, 10); !near(got, 0.05, 0.002) {
+		t.Errorf("FSurvival(4.965,1,10) = %f, want ≈0.05", got)
+	}
+	// P(F > 0) = 1.
+	if got := FSurvival(0, 3, 7); got != 1 {
+		t.Errorf("FSurvival(0) = %f", got)
+	}
+	// Large F → tiny p.
+	if got := FSurvival(1000, 2, 20); got > 1e-6 {
+		t.Errorf("FSurvival(1000,2,20) = %g, want tiny", got)
+	}
+}
+
+func TestFSurvivalMonotone(t *testing.T) {
+	prev := 1.0
+	for f := 0.5; f < 20; f += 0.5 {
+		p := FSurvival(f, 3, 12)
+		if p > prev+1e-12 {
+			t.Fatalf("p not monotone at F=%f", f)
+		}
+		prev = p
+	}
+}
+
+func TestOneWayANOVASignificant(t *testing.T) {
+	// Clearly separated groups: tiny p.
+	groups := [][]float64{
+		{1.0, 1.1, 0.9, 1.05},
+		{5.0, 5.1, 4.9, 5.05},
+		{9.0, 9.1, 8.9, 9.05},
+	}
+	res, err := OneWayANOVA(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F < 100 {
+		t.Errorf("F = %f, want large", res.F)
+	}
+	if res.P > 0.001 {
+		t.Errorf("P = %f, want < 0.001", res.P)
+	}
+	if res.DFb != 2 || res.DFw != 9 {
+		t.Errorf("df = %d,%d", res.DFb, res.DFw)
+	}
+}
+
+func TestOneWayANOVAInsignificant(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	groups := make([][]float64, 3)
+	for g := range groups {
+		for i := 0; i < 20; i++ {
+			groups[g] = append(groups[g], 10+rng.NormFloat64())
+		}
+	}
+	res, err := OneWayANOVA(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.01 {
+		t.Errorf("identical populations gave P = %f", res.P)
+	}
+}
+
+func TestOneWayANOVAErrors(t *testing.T) {
+	if _, err := OneWayANOVA(nil); err == nil {
+		t.Error("no groups accepted")
+	}
+	if _, err := OneWayANOVA([][]float64{{1}, {}}); err == nil {
+		t.Error("empty group accepted")
+	}
+	if _, err := OneWayANOVA([][]float64{{1}, {2}}); err == nil {
+		t.Error("n == k accepted")
+	}
+}
+
+func TestOneWayANOVAZeroVariance(t *testing.T) {
+	// Identical values everywhere: F=0, P=1.
+	res, err := OneWayANOVA([][]float64{{2, 2}, {2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F != 0 || res.P != 1 {
+		t.Errorf("constant data: F=%f P=%f", res.F, res.P)
+	}
+	// Zero within-variance but different means: F=inf, P=0.
+	res, err = OneWayANOVA([][]float64{{1, 1}, {2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(res.F, 1) || res.P != 0 {
+		t.Errorf("separated constant groups: F=%f P=%f", res.F, res.P)
+	}
+}
+
+func TestFactorANOVA(t *testing.T) {
+	var obs []Observation
+	rng := rand.New(rand.NewSource(2))
+	// Factor "cap" matters (level b adds 5), factor "sched" does not.
+	for _, cap := range []string{"a", "b"} {
+		for _, sched := range []string{"x", "y"} {
+			for i := 0; i < 10; i++ {
+				v := 10 + rng.NormFloat64()*0.5
+				if cap == "b" {
+					v += 5
+				}
+				obs = append(obs, Observation{
+					Levels: map[string]string{"cap": cap, "sched": sched},
+					Value:  v,
+				})
+			}
+		}
+	}
+	capRes, err := FactorANOVA(obs, "cap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedRes, err := FactorANOVA(obs, "sched")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capRes.P > 0.01 {
+		t.Errorf("significant factor has P = %f", capRes.P)
+	}
+	if schedRes.P < 0.05 {
+		t.Errorf("noise factor has P = %f", schedRes.P)
+	}
+	if _, err := FactorANOVA(obs, "missing"); err == nil {
+		t.Error("missing factor accepted")
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	got := Speedups(10, []float64{5, 10, 20, 0})
+	want := []float64{2, 1, 0.5, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Speedups[%d] = %f, want %f", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package vgraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/dna"
+)
+
+// GFA (Graphical Fragment Assembly) interchange: the standard text format
+// the VG toolkit consumes and produces for variation graphs. This
+// reproduction emits GFA 1.1 with S (segment), L (link), and P (path)
+// records — enough to round-trip its graphs and to inspect them with
+// standard pangenomics tooling.
+
+// WriteGFA serialises g as GFA 1.1.
+func (g *Graph) WriteGFA(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "H\tVN:Z:1.1"); err != nil {
+		return err
+	}
+	for id := NodeID(1); int(id) <= g.NumNodes(); id++ {
+		if _, err := fmt.Fprintf(bw, "S\t%d\t%s\n", id, g.Seq(id).String()); err != nil {
+			return err
+		}
+	}
+	for id := NodeID(1); int(id) <= g.NumNodes(); id++ {
+		for _, to := range g.Successors(id) {
+			if _, err := fmt.Fprintf(bw, "L\t%d\t+\t%d\t+\t0M\n", id, to); err != nil {
+				return err
+			}
+		}
+	}
+	for i := 0; i < g.NumPaths(); i++ {
+		steps := make([]string, len(g.Path(i)))
+		for j, v := range g.Path(i) {
+			steps[j] = fmt.Sprintf("%d+", v)
+		}
+		if _, err := fmt.Fprintf(bw, "P\thap%d\t%s\t*\n", i, strings.Join(steps, ",")); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadGFA parses a GFA 1.x stream into a Graph. Segments must use numeric
+// 1..N identifiers in order (the layout this package writes); reverse-strand
+// links and paths are rejected, as this reproduction's graphs are
+// forward-only DAGs.
+func ReadGFA(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	g := &Graph{}
+	type pendingEdge struct{ from, to NodeID }
+	var edges []pendingEdge
+	var paths [][]NodeID
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		switch fields[0] {
+		case "H":
+			// header: ignored
+		case "S":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("vgraph: GFA line %d: short S record", lineNo)
+			}
+			id, err := strconv.ParseUint(fields[1], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("vgraph: GFA line %d: segment id %q: %w", lineNo, fields[1], err)
+			}
+			seq, err := dna.Parse(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("vgraph: GFA line %d: %w", lineNo, err)
+			}
+			got, err := g.AddNode(seq)
+			if err != nil {
+				return nil, fmt.Errorf("vgraph: GFA line %d: %w", lineNo, err)
+			}
+			if got != NodeID(id) {
+				return nil, fmt.Errorf("vgraph: GFA line %d: segment ids must be sequential (got %d, expected %d)", lineNo, id, got)
+			}
+		case "L":
+			if len(fields) < 5 {
+				return nil, fmt.Errorf("vgraph: GFA line %d: short L record", lineNo)
+			}
+			if fields[2] != "+" || fields[4] != "+" {
+				return nil, fmt.Errorf("vgraph: GFA line %d: reverse-strand links unsupported", lineNo)
+			}
+			from, err := strconv.ParseUint(fields[1], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("vgraph: GFA line %d: %w", lineNo, err)
+			}
+			to, err := strconv.ParseUint(fields[3], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("vgraph: GFA line %d: %w", lineNo, err)
+			}
+			edges = append(edges, pendingEdge{NodeID(from), NodeID(to)})
+		case "P":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("vgraph: GFA line %d: short P record", lineNo)
+			}
+			var path []NodeID
+			for _, step := range strings.Split(fields[2], ",") {
+				if step == "" {
+					continue
+				}
+				strand := step[len(step)-1]
+				if strand == '-' {
+					return nil, fmt.Errorf("vgraph: GFA line %d: reverse path steps unsupported", lineNo)
+				}
+				idStr := step
+				if strand == '+' {
+					idStr = step[:len(step)-1]
+				}
+				id, err := strconv.ParseUint(idStr, 10, 32)
+				if err != nil {
+					return nil, fmt.Errorf("vgraph: GFA line %d: path step %q: %w", lineNo, step, err)
+				}
+				path = append(path, NodeID(id))
+			}
+			paths = append(paths, path)
+		default:
+			// Other record types (C, W, ...) are skipped.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, e := range edges {
+		if err := g.AddEdge(e.from, e.to); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range paths {
+		if _, err := g.AddPath(p); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,135 @@
+package vgraph
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/dna"
+)
+
+func gfaFixture(t *testing.T) *Pangenome {
+	t.Helper()
+	rng := rand.New(rand.NewSource(12))
+	ref := make(dna.Sequence, 1200)
+	for i := range ref {
+		ref[i] = dna.Base(rng.Intn(4))
+	}
+	var vs []Variant
+	for pos := 100; pos < 1100; pos += 200 {
+		vs = append(vs, Variant{Pos: pos, Kind: SNP, Alt: dna.Sequence{(ref[pos] + 1) & 3}})
+	}
+	pg, err := BuildPangenome(ref, vs, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h < 3; h++ {
+		alleles := make([]int, pg.NumSites())
+		for i := range alleles {
+			alleles[i] = rng.Intn(2)
+		}
+		path, err := pg.HaplotypePath(alleles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pg.AddPath(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return pg
+}
+
+func TestGFARoundTrip(t *testing.T) {
+	pg := gfaFixture(t)
+	var buf bytes.Buffer
+	if err := pg.WriteGFA(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGFA(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != pg.NumNodes() || got.NumEdges() != pg.NumEdges() || got.NumPaths() != pg.NumPaths() {
+		t.Fatalf("shape mismatch after round trip: %d/%d/%d vs %d/%d/%d",
+			got.NumNodes(), got.NumEdges(), got.NumPaths(),
+			pg.NumNodes(), pg.NumEdges(), pg.NumPaths())
+	}
+	for id := NodeID(1); int(id) <= pg.NumNodes(); id++ {
+		if !got.Seq(id).Equal(pg.Seq(id)) {
+			t.Fatalf("node %d sequence mismatch", id)
+		}
+		if !reflect.DeepEqual(got.Successors(id), pg.Successors(id)) {
+			t.Fatalf("node %d successors mismatch", id)
+		}
+	}
+	for i := 0; i < pg.NumPaths(); i++ {
+		if !reflect.DeepEqual(got.Path(i), pg.Path(i)) {
+			t.Fatalf("path %d mismatch", i)
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGFAFormatShape(t *testing.T) {
+	pg := gfaFixture(t)
+	var buf bytes.Buffer
+	if err := pg.WriteGFA(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "H\tVN:Z:1.1" {
+		t.Errorf("header = %q", lines[0])
+	}
+	var s, l, p int
+	for _, line := range lines[1:] {
+		switch line[0] {
+		case 'S':
+			s++
+		case 'L':
+			l++
+		case 'P':
+			p++
+		}
+	}
+	if s != pg.NumNodes() || l != pg.NumEdges() || p != pg.NumPaths() {
+		t.Errorf("S/L/P = %d/%d/%d, want %d/%d/%d", s, l, p,
+			pg.NumNodes(), pg.NumEdges(), pg.NumPaths())
+	}
+}
+
+func TestReadGFAErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"short S", "S\t1\n"},
+		{"bad id", "S\tx\tACGT\n"},
+		{"non-sequential id", "S\t5\tACGT\n"},
+		{"bad base", "S\t1\tACGN\n"},
+		{"short L", "S\t1\tAC\nS\t2\tGT\nL\t1\t+\t2\n"},
+		{"reverse link", "S\t1\tAC\nS\t2\tGT\nL\t1\t-\t2\t+\t0M\n"},
+		{"link to missing", "S\t1\tAC\nL\t1\t+\t9\t+\t0M\n"},
+		{"reverse path", "S\t1\tAC\nS\t2\tGT\nL\t1\t+\t2\t+\t0M\nP\tx\t1-,2+\t*\n"},
+		{"broken path", "S\t1\tAC\nS\t2\tGT\nP\tx\t1+,2+\t*\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ReadGFA(strings.NewReader(tc.data)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestReadGFASkipsComments(t *testing.T) {
+	data := "# comment\nH\tVN:Z:1.1\nS\t1\tACGT\n\nW\tignored\n"
+	g, err := ReadGFA(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 1 {
+		t.Errorf("%d nodes", g.NumNodes())
+	}
+}

@@ -1,0 +1,263 @@
+// Package vgraph implements variation graphs, the bioinformatics data
+// structure Giraffe maps against: a directed acyclic sequence graph in which
+// a path spells a genome, branches spell variation, and merges spell
+// commonality (Garrison et al., "Variation graph toolkit...", Nat. Biotech
+// 2018; Fig. 1 of the miniGiraffe paper).
+//
+// The package provides the raw graph (nodes carrying DNA segments plus
+// edges), embedded haplotype paths, topological utilities, and a pangenome
+// builder that constructs bubble structures from a linear reference plus a
+// variant list — the same construction the VG toolkit performs from VCF
+// input.
+package vgraph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/dna"
+)
+
+// NodeID identifies a node. IDs are 1-based; 0 is reserved as the GBWT
+// endmarker and never names a real node.
+type NodeID uint32
+
+// Invalid is the reserved zero NodeID.
+const Invalid NodeID = 0
+
+// Position is a graph position: an offset into a node's sequence. Rev marks
+// positions on the reverse strand (the offset then counts from the node's
+// reverse-complement start).
+type Position struct {
+	Node NodeID
+	Off  int32
+	Rev  bool
+}
+
+// String implements fmt.Stringer, e.g. "17+:3" / "17-:3".
+func (p Position) String() string {
+	strand := byte('+')
+	if p.Rev {
+		strand = '-'
+	}
+	return fmt.Sprintf("%d%c:%d", p.Node, strand, p.Off)
+}
+
+// Edge is a directed edge between two node IDs.
+type Edge struct {
+	From, To NodeID
+}
+
+// Graph is a directed acyclic sequence graph. The zero value is an empty
+// graph ready for AddNode/AddEdge.
+type Graph struct {
+	seqs  []dna.Sequence // seqs[id-1] is the label of node id
+	succ  [][]NodeID     // sorted successor lists, index id-1
+	pred  [][]NodeID     // sorted predecessor lists, index id-1
+	edges int
+	paths [][]NodeID // embedded (haplotype) paths
+	// backbone[id-1] is the projected linear-reference coordinate of the
+	// node's first base; -1 when unset. Used by the distance index.
+	backbone []int32
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.seqs) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// NumPaths returns the number of embedded paths.
+func (g *Graph) NumPaths() int { return len(g.paths) }
+
+// TotalSeqLen returns the summed length of all node labels.
+func (g *Graph) TotalSeqLen() int {
+	n := 0
+	for _, s := range g.seqs {
+		n += len(s)
+	}
+	return n
+}
+
+// AddNode appends a node with the given label and returns its ID. Empty
+// labels are rejected: every node must spell at least one base.
+func (g *Graph) AddNode(seq dna.Sequence) (NodeID, error) {
+	if len(seq) == 0 {
+		return Invalid, errors.New("vgraph: empty node label")
+	}
+	g.seqs = append(g.seqs, seq)
+	g.succ = append(g.succ, nil)
+	g.pred = append(g.pred, nil)
+	g.backbone = append(g.backbone, -1)
+	return NodeID(len(g.seqs)), nil
+}
+
+// Has reports whether id names a node in g.
+func (g *Graph) Has(id NodeID) bool {
+	return id != Invalid && int(id) <= len(g.seqs)
+}
+
+// Seq returns the label of node id. The returned slice aliases graph storage
+// and must not be modified.
+func (g *Graph) Seq(id NodeID) dna.Sequence { return g.seqs[id-1] }
+
+// SeqLen returns the label length of node id.
+func (g *Graph) SeqLen(id NodeID) int { return len(g.seqs[id-1]) }
+
+// BaseAt returns base off of node id's label.
+func (g *Graph) BaseAt(id NodeID, off int32) dna.Base { return g.seqs[id-1][off] }
+
+// AddEdge inserts the edge from→to. Duplicate edges are ignored. It returns
+// an error if either endpoint does not exist or the edge is a self-loop
+// (the builder only produces DAGs).
+func (g *Graph) AddEdge(from, to NodeID) error {
+	if !g.Has(from) || !g.Has(to) {
+		return fmt.Errorf("vgraph: edge %d->%d references missing node", from, to)
+	}
+	if from == to {
+		return fmt.Errorf("vgraph: self-loop on node %d", from)
+	}
+	if insertSorted(&g.succ[from-1], to) {
+		insertSorted(&g.pred[to-1], from)
+		g.edges++
+	}
+	return nil
+}
+
+// insertSorted inserts v into the sorted slice *s if absent, reporting
+// whether an insertion happened.
+func insertSorted(s *[]NodeID, v NodeID) bool {
+	lst := *s
+	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= v })
+	if i < len(lst) && lst[i] == v {
+		return false
+	}
+	lst = append(lst, 0)
+	copy(lst[i+1:], lst[i:])
+	lst[i] = v
+	*s = lst
+	return true
+}
+
+// HasEdge reports whether the edge from→to exists.
+func (g *Graph) HasEdge(from, to NodeID) bool {
+	if !g.Has(from) || !g.Has(to) {
+		return false
+	}
+	lst := g.succ[from-1]
+	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= to })
+	return i < len(lst) && lst[i] == to
+}
+
+// Successors returns node id's successors in ascending ID order. The slice
+// aliases graph storage.
+func (g *Graph) Successors(id NodeID) []NodeID { return g.succ[id-1] }
+
+// Predecessors returns node id's predecessors in ascending ID order. The
+// slice aliases graph storage.
+func (g *Graph) Predecessors(id NodeID) []NodeID { return g.pred[id-1] }
+
+// SetBackbone records the projected linear-reference coordinate of node id's
+// first base. The distance index consumes these projections.
+func (g *Graph) SetBackbone(id NodeID, pos int32) { g.backbone[id-1] = pos }
+
+// Backbone returns the projected reference coordinate of node id, or -1 if
+// none was recorded.
+func (g *Graph) Backbone(id NodeID) int32 { return g.backbone[id-1] }
+
+// ErrBrokenPath reports a path step without a connecting edge.
+var ErrBrokenPath = errors.New("vgraph: path step without edge")
+
+// AddPath embeds a path (a haplotype) and returns its index. Every
+// consecutive pair of nodes must be connected by an edge.
+func (g *Graph) AddPath(nodes []NodeID) (int, error) {
+	if len(nodes) == 0 {
+		return 0, errors.New("vgraph: empty path")
+	}
+	for i, id := range nodes {
+		if !g.Has(id) {
+			return 0, fmt.Errorf("vgraph: path step %d references missing node %d", i, id)
+		}
+		if i > 0 && !g.HasEdge(nodes[i-1], id) {
+			return 0, fmt.Errorf("%w: %d->%d at step %d", ErrBrokenPath, nodes[i-1], id, i)
+		}
+	}
+	g.paths = append(g.paths, nodes)
+	return len(g.paths) - 1, nil
+}
+
+// Path returns embedded path i. The slice aliases graph storage.
+func (g *Graph) Path(i int) []NodeID { return g.paths[i] }
+
+// PathSeq spells out the DNA sequence of embedded path i.
+func (g *Graph) PathSeq(i int) dna.Sequence {
+	var out dna.Sequence
+	for _, id := range g.paths[i] {
+		out = append(out, g.seqs[id-1]...)
+	}
+	return out
+}
+
+// TopoOrder returns the nodes in a topological order (Kahn's algorithm).
+// It returns an error if the graph contains a cycle.
+func (g *Graph) TopoOrder() ([]NodeID, error) {
+	n := g.NumNodes()
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		indeg[i] = len(g.pred[i])
+	}
+	// Use a sorted frontier so the order is deterministic.
+	var frontier []NodeID
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			frontier = append(frontier, NodeID(i+1))
+		}
+	}
+	order := make([]NodeID, 0, n)
+	for len(frontier) > 0 {
+		id := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, id)
+		for _, s := range g.succ[id-1] {
+			indeg[s-1]--
+			if indeg[s-1] == 0 {
+				frontier = append(frontier, s)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, errors.New("vgraph: graph contains a cycle")
+	}
+	return order, nil
+}
+
+// Validate checks structural invariants: successor/predecessor symmetry,
+// sortedness, and acyclicity. Intended for tests and after deserialization.
+func (g *Graph) Validate() error {
+	for i := range g.seqs {
+		id := NodeID(i + 1)
+		if len(g.seqs[i]) == 0 {
+			return fmt.Errorf("vgraph: node %d has empty label", id)
+		}
+		if !sort.SliceIsSorted(g.succ[i], func(a, b int) bool { return g.succ[i][a] < g.succ[i][b] }) {
+			return fmt.Errorf("vgraph: node %d successors unsorted", id)
+		}
+		for _, s := range g.succ[i] {
+			found := false
+			for _, p := range g.pred[s-1] {
+				if p == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("vgraph: edge %d->%d missing back-link", id, s)
+			}
+		}
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}

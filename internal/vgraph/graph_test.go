@@ -1,0 +1,151 @@
+package vgraph
+
+import (
+	"testing"
+
+	"repro/internal/dna"
+)
+
+func mustNode(t *testing.T, g *Graph, s string) NodeID {
+	t.Helper()
+	id, err := g.AddNode(dna.MustParse(s))
+	if err != nil {
+		t.Fatalf("AddNode(%q): %v", s, err)
+	}
+	return id
+}
+
+func TestAddNodeEmptyLabel(t *testing.T) {
+	var g Graph
+	if _, err := g.AddNode(nil); err == nil {
+		t.Error("AddNode(empty): want error")
+	}
+}
+
+func TestAddEdgeAndQueries(t *testing.T) {
+	var g Graph
+	a := mustNode(t, &g, "ACGT")
+	b := mustNode(t, &g, "GG")
+	c := mustNode(t, &g, "T")
+	for _, e := range []Edge{{a, b}, {a, c}, {b, c}} {
+		if err := g.AddEdge(e.From, e.To); err != nil {
+			t.Fatalf("AddEdge(%v): %v", e, err)
+		}
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("NumEdges = %d, want 3", g.NumEdges())
+	}
+	if !g.HasEdge(a, b) || !g.HasEdge(a, c) || !g.HasEdge(b, c) {
+		t.Error("missing edges")
+	}
+	if g.HasEdge(b, a) {
+		t.Error("phantom reverse edge")
+	}
+	if got := g.Successors(a); len(got) != 2 || got[0] != b || got[1] != c {
+		t.Errorf("Successors(a) = %v", got)
+	}
+	if got := g.Predecessors(c); len(got) != 2 || got[0] != a || got[1] != b {
+		t.Errorf("Predecessors(c) = %v", got)
+	}
+	// Duplicate edges ignored.
+	if err := g.AddEdge(a, b); err != nil {
+		t.Fatalf("duplicate AddEdge: %v", err)
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("duplicate edge changed count to %d", g.NumEdges())
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	var g Graph
+	a := mustNode(t, &g, "A")
+	if err := g.AddEdge(a, 99); err == nil {
+		t.Error("edge to missing node: want error")
+	}
+	if err := g.AddEdge(a, a); err == nil {
+		t.Error("self-loop: want error")
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	var g Graph
+	a := mustNode(t, &g, "A")
+	b := mustNode(t, &g, "C")
+	c := mustNode(t, &g, "G")
+	d := mustNode(t, &g, "T")
+	for _, e := range []Edge{{a, b}, {a, c}, {b, d}, {c, d}} {
+		if err := g.AddEdge(e.From, e.To); err != nil {
+			t.Fatal(err)
+		}
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatalf("TopoOrder: %v", err)
+	}
+	pos := map[NodeID]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, e := range []Edge{{a, b}, {a, c}, {b, d}, {c, d}} {
+		if pos[e.From] >= pos[e.To] {
+			t.Errorf("topo violation: %d before %d", e.To, e.From)
+		}
+	}
+}
+
+func TestPaths(t *testing.T) {
+	var g Graph
+	a := mustNode(t, &g, "AC")
+	b := mustNode(t, &g, "GT")
+	if err := g.AddEdge(a, b); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := g.AddPath([]NodeID{a, b})
+	if err != nil {
+		t.Fatalf("AddPath: %v", err)
+	}
+	if got := g.PathSeq(idx).String(); got != "ACGT" {
+		t.Errorf("PathSeq = %q, want ACGT", got)
+	}
+	if _, err := g.AddPath([]NodeID{b, a}); err == nil {
+		t.Error("broken path accepted")
+	}
+	if _, err := g.AddPath(nil); err == nil {
+		t.Error("empty path accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	var g Graph
+	a := mustNode(t, &g, "A")
+	b := mustNode(t, &g, "C")
+	if err := g.AddEdge(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate on valid graph: %v", err)
+	}
+}
+
+func TestPositionString(t *testing.T) {
+	fwd := Position{Node: 17, Off: 3}
+	if fwd.String() != "17+:3" {
+		t.Errorf("got %q", fwd.String())
+	}
+	rev := Position{Node: 17, Off: 3, Rev: true}
+	if rev.String() != "17-:3" {
+		t.Errorf("got %q", rev.String())
+	}
+}
+
+func TestBackbone(t *testing.T) {
+	var g Graph
+	a := mustNode(t, &g, "ACGT")
+	if g.Backbone(a) != -1 {
+		t.Errorf("default backbone = %d, want -1", g.Backbone(a))
+	}
+	g.SetBackbone(a, 42)
+	if g.Backbone(a) != 42 {
+		t.Errorf("backbone = %d, want 42", g.Backbone(a))
+	}
+}

@@ -1,0 +1,227 @@
+package vgraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dna"
+)
+
+// refSeq builds a deterministic pseudo-random reference of length n.
+func refSeq(n int, seed int64) dna.Sequence {
+	rng := rand.New(rand.NewSource(seed))
+	s := make(dna.Sequence, n)
+	for i := range s {
+		s[i] = dna.Base(rng.Intn(4))
+	}
+	return s
+}
+
+func snpAlt(ref dna.Base) dna.Base { return (ref + 1) & 3 }
+
+func TestBuildPangenomeSNP(t *testing.T) {
+	ref := dna.MustParse("ACGTACGTACGT")
+	v := Variant{Pos: 5, Kind: SNP, Alt: dna.Sequence{snpAlt(ref[5])}}
+	p, err := BuildPangenome(ref, []Variant{v}, 4)
+	if err != nil {
+		t.Fatalf("BuildPangenome: %v", err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if p.NumSites() != 1 {
+		t.Fatalf("NumSites = %d, want 1", p.NumSites())
+	}
+	// Reference haplotype spells the reference.
+	seq, err := p.HaplotypeSeq([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.Equal(ref) {
+		t.Errorf("ref haplotype = %v, want %v", seq, ref)
+	}
+	// Alt haplotype differs only at position 5.
+	alt, err := p.HaplotypeSeq([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alt) != len(ref) {
+		t.Fatalf("alt length = %d, want %d", len(alt), len(ref))
+	}
+	for i := range ref {
+		want := ref[i]
+		if i == 5 {
+			want = snpAlt(ref[5])
+		}
+		if alt[i] != want {
+			t.Errorf("alt[%d] = %v, want %v", i, alt[i], want)
+		}
+	}
+}
+
+func TestBuildPangenomeInsertion(t *testing.T) {
+	ref := dna.MustParse("AAAACCCCGGGG")
+	ins := dna.MustParse("TT")
+	p, err := BuildPangenome(ref, []Variant{{Pos: 6, Kind: Insertion, Alt: ins}}, 5)
+	if err != nil {
+		t.Fatalf("BuildPangenome: %v", err)
+	}
+	refHap, err := p.HaplotypeSeq([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !refHap.Equal(ref) {
+		t.Errorf("ref haplotype = %v, want %v", refHap, ref)
+	}
+	altHap, err := p.HaplotypeSeq([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(append(ref[:6].Clone(), ins...), ref[6:]...)
+	if !altHap.Equal(want) {
+		t.Errorf("alt haplotype = %v, want %v", altHap, want)
+	}
+}
+
+func TestBuildPangenomeDeletion(t *testing.T) {
+	ref := dna.MustParse("AAAACCCCGGGG")
+	p, err := BuildPangenome(ref, []Variant{{Pos: 4, Kind: Deletion, DelLen: 3}}, 5)
+	if err != nil {
+		t.Fatalf("BuildPangenome: %v", err)
+	}
+	refHap, err := p.HaplotypeSeq([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !refHap.Equal(ref) {
+		t.Errorf("ref haplotype = %v, want %v", refHap, ref)
+	}
+	altHap, err := p.HaplotypeSeq([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(ref[:4].Clone(), ref[7:]...)
+	if !altHap.Equal(want) {
+		t.Errorf("alt haplotype = %v, want %v", altHap, want)
+	}
+}
+
+func TestBuildPangenomeMixed(t *testing.T) {
+	ref := refSeq(5000, 1)
+	var vs []Variant
+	for pos := 100; pos < 4900; pos += 250 {
+		switch (pos / 250) % 3 {
+		case 0:
+			vs = append(vs, Variant{Pos: pos, Kind: SNP, Alt: dna.Sequence{snpAlt(ref[pos])}})
+		case 1:
+			vs = append(vs, Variant{Pos: pos, Kind: Insertion, Alt: refSeq(8, int64(pos))})
+		case 2:
+			vs = append(vs, Variant{Pos: pos, Kind: Deletion, DelLen: 12})
+		}
+	}
+	p, err := BuildPangenome(ref, vs, 32)
+	if err != nil {
+		t.Fatalf("BuildPangenome: %v", err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if p.NumSites() != len(vs) {
+		t.Fatalf("NumSites = %d, want %d", p.NumSites(), len(vs))
+	}
+	// Reference haplotype must reproduce the reference exactly.
+	alleles := make([]int, p.NumSites())
+	seq, err := p.HaplotypeSeq(alleles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.Equal(ref) {
+		t.Fatal("reference haplotype does not spell the reference")
+	}
+	// Every random haplotype path is edge-valid (AddPath validates edges).
+	rng := rand.New(rand.NewSource(2))
+	for h := 0; h < 10; h++ {
+		for i := range alleles {
+			alleles[i] = rng.Intn(p.NumAlleles(i))
+		}
+		path, err := p.HaplotypePath(alleles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.AddPath(path); err != nil {
+			t.Fatalf("haplotype %d path invalid: %v", h, err)
+		}
+	}
+}
+
+func TestBuildPangenomeRejectsBadVariants(t *testing.T) {
+	ref := dna.MustParse("ACGTACGTACGTACGT")
+	cases := []struct {
+		name string
+		vs   []Variant
+	}{
+		{"snp at 0", []Variant{{Pos: 0, Kind: SNP, Alt: dna.Sequence{dna.C}}}},
+		{"snp beyond end", []Variant{{Pos: 16, Kind: SNP, Alt: dna.Sequence{dna.C}}}},
+		{"snp equals ref", []Variant{{Pos: 4, Kind: SNP, Alt: dna.Sequence{ref[4]}}}},
+		{"snp multi-base alt", []Variant{{Pos: 4, Kind: SNP, Alt: dna.MustParse("AC")}}},
+		{"empty insertion", []Variant{{Pos: 4, Kind: Insertion}}},
+		{"zero-length deletion", []Variant{{Pos: 4, Kind: Deletion, DelLen: 0}}},
+		{"deletion to end", []Variant{{Pos: 10, Kind: Deletion, DelLen: 6}}},
+		{"overlapping", []Variant{
+			{Pos: 4, Kind: Deletion, DelLen: 4},
+			{Pos: 8, Kind: SNP, Alt: dna.Sequence{dna.A}},
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := BuildPangenome(ref, tc.vs, 4); err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+		}
+	}
+}
+
+func TestBuildPangenomeEmptyInputs(t *testing.T) {
+	if _, err := BuildPangenome(nil, nil, 4); err == nil {
+		t.Error("empty reference accepted")
+	}
+	if _, err := BuildPangenome(dna.MustParse("ACGT"), nil, 0); err == nil {
+		t.Error("nodeLen 0 accepted")
+	}
+}
+
+func TestHaplotypePathErrors(t *testing.T) {
+	ref := dna.MustParse("ACGTACGTACGT")
+	p, err := BuildPangenome(ref, []Variant{{Pos: 5, Kind: SNP, Alt: dna.Sequence{snpAlt(ref[5])}}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.HaplotypePath(nil); err == nil {
+		t.Error("wrong allele count accepted")
+	}
+	if _, err := p.HaplotypePath([]int{5}); err == nil {
+		t.Error("out-of-range allele accepted")
+	}
+}
+
+func TestBackbonePositionsMonotonicOnReference(t *testing.T) {
+	ref := refSeq(2000, 3)
+	var vs []Variant
+	for pos := 100; pos < 1900; pos += 300 {
+		vs = append(vs, Variant{Pos: pos, Kind: SNP, Alt: dna.Sequence{snpAlt(ref[pos])}})
+	}
+	p, err := BuildPangenome(ref, vs, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := p.HaplotypePath(make([]int, p.NumSites()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := int32(-1)
+	for _, id := range path {
+		b := p.Backbone(id)
+		if b <= pos {
+			t.Fatalf("backbone not strictly increasing along reference: node %d at %d after %d", id, b, pos)
+		}
+		pos = b
+	}
+}

@@ -1,0 +1,258 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dna"
+)
+
+func TestAllSpecsShapes(t *testing.T) {
+	specs := AllSpecs()
+	if len(specs) != 4 {
+		t.Fatalf("%d specs, want 4", len(specs))
+	}
+	// Table III read-count ordering: A < C < B < D.
+	a, b, c, d := specs[0], specs[1], specs[2], specs[3]
+	if !(a.Reads < c.Reads && c.Reads < b.Reads && b.Reads < d.Reads) {
+		t.Errorf("read ordering wrong: %d %d %d %d", a.Reads, b.Reads, c.Reads, d.Reads)
+	}
+	if a.Workflow != Single || b.Workflow != Single {
+		t.Error("A and B must be single-end")
+	}
+	if c.Workflow != Paired || d.Workflow != Paired {
+		t.Error("C and D must be paired-end")
+	}
+	// D must exceed the 256 GB machines.
+	if d.MemGB <= 256 {
+		t.Errorf("D-HPRC MemGB = %f, must exceed 256", d.MemGB)
+	}
+	// Read ratios follow Table III within 2x slop.
+	ratio := float64(b.Reads) / float64(a.Reads)
+	if ratio < 12 || ratio > 50 {
+		t.Errorf("B/A read ratio = %f, Table III says 24.5", ratio)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, s := range AllSpecs() {
+		got, err := ByName(s.Name)
+		if err != nil || got.Name != s.Name {
+			t.Errorf("ByName(%q) failed: %v", s.Name, err)
+		}
+	}
+	if _, err := ByName("E-nothing"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s := DHPRC().Scaled(0.1)
+	// Paired workflows round up to an even count.
+	if want := DHPRC().Reads / 10; s.Reads != want && s.Reads != want+1 {
+		t.Errorf("scaled reads = %d, want ~%d", s.Reads, want)
+	}
+	// Paired stays even.
+	if s.Workflow == Paired && s.Reads%2 != 0 {
+		t.Error("scaled paired read count odd")
+	}
+	if AHuman().Scaled(0).Reads != AHuman().Reads {
+		t.Error("scale 0 should be identity")
+	}
+	if tiny := AHuman().Scaled(0.0001); tiny.Reads < 4 {
+		t.Errorf("scaled to %d reads, want floor of 4", tiny.Reads)
+	}
+}
+
+func TestGenerateSingleEnd(t *testing.T) {
+	spec := AHuman().Scaled(0.05)
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Reads) != spec.Reads {
+		t.Fatalf("%d reads, want %d", len(b.Reads), spec.Reads)
+	}
+	if len(b.Haps) != spec.Haplotypes {
+		t.Fatalf("%d haplotypes, want %d", len(b.Haps), spec.Haplotypes)
+	}
+	for i, r := range b.Reads {
+		if len(r.Seq) != spec.ReadLen {
+			t.Fatalf("read %d length %d, want %d", i, len(r.Seq), spec.ReadLen)
+		}
+		if r.Paired() {
+			t.Fatalf("single-end read %d claims pairing", i)
+		}
+	}
+	if err := b.Pangenome.Validate(); err != nil {
+		t.Fatalf("generated graph invalid: %v", err)
+	}
+	if b.Index.NumPaths() != spec.Haplotypes {
+		t.Errorf("GBWT has %d paths", b.Index.NumPaths())
+	}
+}
+
+func TestGeneratePairedEnd(t *testing.T) {
+	spec := CHPRC().Scaled(0.05)
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Reads)%2 != 0 {
+		t.Fatal("odd read count for paired workflow")
+	}
+	for i := 0; i < len(b.Reads); i += 2 {
+		r1, r2 := b.Reads[i], b.Reads[i+1]
+		if !r1.Paired() || !r2.Paired() {
+			t.Fatalf("fragment %d reads not paired", i/2)
+		}
+		if r1.Fragment != r2.Fragment {
+			t.Fatalf("fragment ids differ: %d vs %d", r1.Fragment, r2.Fragment)
+		}
+		if r1.End != 0 || r2.End != 1 {
+			t.Fatalf("fragment %d ends: %d,%d", i/2, r1.End, r2.End)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := BYeast().Scaled(0.01)
+	b1, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b1.Reads) != len(b2.Reads) {
+		t.Fatal("read counts differ across generations")
+	}
+	for i := range b1.Reads {
+		if !b1.Reads[i].Seq.Equal(b2.Reads[i].Seq) {
+			t.Fatalf("read %d differs across generations", i)
+		}
+	}
+	if !reflect.DeepEqual(b1.Haps, b2.Haps) {
+		t.Error("haplotypes differ across generations")
+	}
+}
+
+func TestGenerateRejectsDegenerate(t *testing.T) {
+	bad := AHuman()
+	bad.RefLen = 10
+	if _, err := Generate(bad); err == nil {
+		t.Error("tiny reference accepted")
+	}
+	badPair := CHPRC()
+	badPair.FragmentLen = 100
+	if _, err := Generate(badPair); err == nil {
+		t.Error("fragment < 2 reads accepted")
+	}
+}
+
+func TestCaptureSeeds(t *testing.T) {
+	b, err := Generate(AHuman().Scaled(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := b.CaptureSeeds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(b.Reads) {
+		t.Fatalf("%d records, want %d", len(recs), len(b.Reads))
+	}
+	withSeeds := 0
+	for _, r := range recs {
+		if len(r.Seeds) > 0 {
+			withSeeds++
+		}
+	}
+	// Nearly every read is sampled from an indexed haplotype, so nearly all
+	// must have seeds.
+	if frac := float64(withSeeds) / float64(len(recs)); frac < 0.95 {
+		t.Errorf("only %.0f%% of reads have seeds", frac*100)
+	}
+}
+
+func TestReadsMapBackToSource(t *testing.T) {
+	// Error-free reads must contain long exact matches to some haplotype.
+	spec := AHuman().Scaled(0.02)
+	spec.ErrorRate = 0
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(hay dna.Sequence, needle dna.Sequence) bool {
+		for i := 0; i+len(needle) <= len(hay); i++ {
+			ok := true
+			for j := range needle {
+				if hay[i+j] != needle[j] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return true
+			}
+		}
+		return false
+	}
+	for i, r := range b.Reads {
+		found := false
+		for _, hs := range b.HapSeqs {
+			if find(hs, r.Seq) || find(hs, r.Seq.RevComp()) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("read %d not found in any haplotype", i)
+		}
+	}
+}
+
+func TestGBZPackaging(t *testing.T) {
+	b, err := Generate(BYeast().Scaled(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := b.GBZ()
+	if f.Graph == nil || f.Index == nil {
+		t.Fatal("incomplete GBZ file value")
+	}
+	if f.Graph.NumPaths() != b.Spec.Haplotypes {
+		t.Errorf("embedded paths = %d", f.Graph.NumPaths())
+	}
+}
+
+func TestSubsample(t *testing.T) {
+	b, err := Generate(BYeast().Scaled(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := b.Subsample(0.1)
+	want := len(b.Reads) / 10
+	if len(sub.Reads) != want {
+		t.Errorf("subsample has %d reads, want %d", len(sub.Reads), want)
+	}
+	if sub.Pangenome != b.Pangenome {
+		t.Error("subsample copied the pangenome")
+	}
+	if same := b.Subsample(0); len(same.Reads) != len(b.Reads) {
+		t.Error("fraction 0 should return everything")
+	}
+}
+
+func TestWorkingSetGrowsWithCapacity(t *testing.T) {
+	b, err := Generate(AHuman().Scaled(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := b.WorkingSetMB(256, 4)
+	big := b.WorkingSetMB(16384, 4)
+	if big <= small {
+		t.Errorf("working set did not grow with capacity: %f vs %f", small, big)
+	}
+}
