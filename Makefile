@@ -1,0 +1,32 @@
+# Single entry point shared by CI (.github/workflows/ci.yml) and local runs,
+# so "works on my machine" and "works in CI" are the same command.
+GO ?= go
+
+.PHONY: build vet fmt-check test verify race bench-smoke ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails when any file needs gofmt.
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+test:
+	$(GO) test ./...
+
+# verify is the repo's tier-1 gate (see ROADMAP.md).
+verify: build test
+
+# The heavily concurrent packages run under the race detector.
+race:
+	$(GO) test -race ./internal/sched/... ./internal/pipeline/... ./internal/core/...
+
+# Compile-and-run every benchmark once so kernel benchmarks can't rot.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+ci: verify vet fmt-check race bench-smoke

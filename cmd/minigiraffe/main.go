@@ -5,6 +5,12 @@
 // command-line contract (§V of the paper), with the three tuning parameters
 // (-sched, -batch, -capacity) exposed.
 //
+// With -stream, records flow through the streaming pipeline instead of the
+// batch scheduler: ingest, mapping, and emit overlap over bounded channels,
+// so memory stays proportional to the in-flight window (-depth batches)
+// rather than the workload, while the CSV output stays byte-identical to
+// batch mode.
+//
 // Usage:
 //
 //	minigiraffe -gbz A-human.gbz -seeds A-human-seeds.bin \
@@ -21,6 +27,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/gbz"
+	"repro/internal/pipeline"
 	"repro/internal/sched"
 	"repro/internal/seeds"
 	"repro/internal/trace"
@@ -35,6 +42,8 @@ func main() {
 	batch := flag.Int("batch", 512, "batch size")
 	capacity := flag.Int("capacity", 256, "initial CachedGBWT capacity (-1 disables caching)")
 	schedName := flag.String("sched", "dynamic", "scheduler: dynamic, work-stealing, static")
+	stream := flag.Bool("stream", false, "stream records through the pipeline (bounded memory)")
+	depth := flag.Int("depth", 0, "stream mode: max in-flight batches (0 = 2x threads)")
 	out := flag.String("out", "", "extension CSV output (default stdout)")
 	timeline := flag.String("timeline", "", "write the region timeline CSV here")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile here")
@@ -64,10 +73,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	recs, err := seeds.ReadFile(*seedsPath)
-	if err != nil {
-		log.Fatal(err)
-	}
 	var rec *trace.Recorder
 	if *timeline != "" {
 		n := *threads
@@ -75,16 +80,6 @@ func main() {
 			n = 64
 		}
 		rec = trace.NewRecorder(n)
-	}
-	res, err := core.Run(f, recs, core.Options{
-		Threads:       *threads,
-		BatchSize:     *batch,
-		CacheCapacity: *capacity,
-		Scheduler:     kind,
-		Trace:         rec,
-	})
-	if err != nil {
-		log.Fatal(err)
 	}
 
 	w := os.Stdout
@@ -96,19 +91,19 @@ func main() {
 		defer file.Close()
 		w = file
 	}
-	if err := core.WriteCSV(w, recs, res); err != nil {
-		log.Fatal(err)
+
+	opts := core.Options{
+		Threads:       *threads,
+		BatchSize:     *batch,
+		CacheCapacity: *capacity,
+		Scheduler:     kind,
+		Trace:         rec,
 	}
-	total := 0
-	for _, exts := range res.Extensions {
-		total += len(exts)
+	if *stream {
+		runStream(f, *seedsPath, w, opts, *depth)
+	} else {
+		runBatch(f, *seedsPath, w, opts)
 	}
-	fmt.Fprintf(os.Stderr,
-		"makespan %v: %d reads, %d extensions, scheduler %s, cache hits %d/%d (%.1f%%), %d rehashes, imbalance %.2f\n",
-		res.Makespan, len(recs), total, kind,
-		res.Cache.Hits, res.Cache.Accesses,
-		100*float64(res.Cache.Hits)/float64(max64(res.Cache.Accesses, 1)),
-		res.Cache.Rehashes, res.Sched.Imbalance())
 
 	if *memprofile != "" {
 		pf, err := os.Create(*memprofile)
@@ -135,6 +130,62 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+}
+
+// runBatch is the paper's batch proxy: materialize the workload, map it all
+// at once, write the CSV.
+func runBatch(f *gbz.File, seedsPath string, w *os.File, opts core.Options) {
+	recs, err := seeds.ReadFile(seedsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := core.Run(f, recs, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := core.WriteCSV(w, recs, res); err != nil {
+		log.Fatal(err)
+	}
+	total := 0
+	for _, exts := range res.Extensions {
+		total += len(exts)
+	}
+	fmt.Fprintf(os.Stderr,
+		"makespan %v: %d reads, %d extensions, scheduler %s, cache hits %d/%d (%.1f%%), %d rehashes, imbalance %.2f\n",
+		res.Makespan, len(recs), total, opts.Scheduler,
+		res.Cache.Hits, res.Cache.Accesses,
+		100*float64(res.Cache.Hits)/float64(max64(res.Cache.Accesses, 1)),
+		res.Cache.Rehashes, res.Sched.Imbalance())
+}
+
+// runStream maps the capture file through the streaming pipeline without
+// ever materializing it.
+func runStream(f *gbz.File, seedsPath string, w *os.File, opts core.Options, depth int) {
+	m, err := core.NewMapper(f, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, err := seeds.Open(seedsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer src.Close()
+	st, err := pipeline.RunToCSV(m, src, w, pipeline.Options{
+		Workers:   opts.Threads,
+		BatchSize: opts.BatchSize,
+		Depth:     depth,
+		Scheduler: opts.Scheduler,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr,
+		"streamed %d reads in %d batches in %v (%.0f reads/s), scheduler %s, cache hits %d/%d (%.1f%%), %d rehashes, %d steals, imbalance %.2f, batch latency mean %.2fms max %.2fms\n",
+		st.Reads, st.Batches, st.Makespan, st.Throughput(), opts.Scheduler,
+		st.Cache.Hits, st.Cache.Accesses,
+		100*float64(st.Cache.Hits)/float64(max64(st.Cache.Accesses, 1)),
+		st.Cache.Rehashes, st.Sched.Steals, st.Sched.Imbalance(),
+		1000*st.BatchLatency.Mean, 1000*st.BatchLatency.Max)
 }
 
 func max64(a, b int64) int64 {

@@ -13,7 +13,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -23,7 +22,6 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/counters"
-	"repro/internal/distindex"
 	"repro/internal/extend"
 	"repro/internal/gbwt"
 	"repro/internal/gbz"
@@ -80,98 +78,15 @@ type Result struct {
 	Cache gbwt.CacheStats
 }
 
-// Run executes the proxy over the captured records.
+// Run executes the proxy over the captured records: index preparation plus a
+// batch mapping pass. Callers that map more than once (or stream) should
+// build a Mapper and reuse it.
 func Run(f *gbz.File, records []seeds.ReadSeeds, opts Options) (*Result, error) {
-	if f == nil || f.Graph == nil || f.Index == nil {
-		return nil, errors.New("core: nil GBZ file")
-	}
-	opts = opts.normalize()
-	dist := distindex.New(f.Graph)
-	// Build the reverse orientation of the haplotype index from the GBZ's
-	// embedded paths so both extension directions are haplotype-constrained.
-	if f.Graph.NumPaths() == 0 {
-		return nil, errors.New("core: GBZ has no embedded haplotype paths")
-	}
-	paths := make([][]gbwt.NodeID, f.Graph.NumPaths())
-	for i := range paths {
-		paths[i] = f.Graph.Path(i)
-	}
-	bi, err := gbwt.FromForward(f.Index, paths)
+	m, err := NewMapper(f, opts)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Extensions: make([][]extend.Extension, len(records))}
-
-	// Worker count resolution mirrors sched.Run's normalisation so the
-	// per-worker reader slice is sized correctly.
-	threads := opts.Threads
-	if threads <= 0 {
-		threads = defaultThreads()
-	}
-	if threads > len(records) && len(records) > 0 {
-		threads = len(records)
-	}
-	if threads < 1 {
-		threads = 1
-	}
-	if threads != 1 {
-		opts.Probe = nil
-	}
-	// Each batch gets a fresh CachedGBWT, as Giraffe does: the cache is
-	// rebuilt per batch of reads, so its *initial* capacity governs how much
-	// rehash-growth every batch pays — the mechanism behind the paper's most
-	// significant tuning parameter (§VII-B).
-	cacheStats := make([]gbwt.CacheStats, threads)
-
-	start := time.Now()
-	stats, err := sched.RunBatches(sched.Config{
-		Kind:      opts.Scheduler,
-		Threads:   threads,
-		BatchSize: opts.BatchSize,
-	}, len(records), func(worker, lo, hi int) {
-		reader := bi.NewBiReader(opts.CacheCapacity)
-		for i := lo; i < hi; i++ {
-			rec := &records[i]
-			var endCl func()
-			if opts.Trace != nil {
-				endCl = opts.Trace.Begin(worker, trace.RegionCluster)
-			}
-			cls := cluster.ClusterSeeds(dist, rec.Seeds, opts.Cluster, opts.Probe, i)
-			if endCl != nil {
-				endCl()
-			}
-			var endTh func()
-			if opts.Trace != nil {
-				endTh = opts.Trace.Begin(worker, trace.RegionThresholdC)
-			}
-			env := &extend.Env{Graph: f.Graph, Bi: reader, Probe: opts.Probe}
-			res.Extensions[i] = extend.ProcessUntilThresholdC(env, &rec.Read, rec.Seeds, cls, opts.Extend, i)
-			if endTh != nil {
-				endTh()
-			}
-		}
-		for _, r := range []gbwt.Reader{reader.Fwd, reader.Rev} {
-			if c, ok := r.(*gbwt.CachedGBWT); ok {
-				s := c.Stats()
-				cacheStats[worker].Accesses += s.Accesses
-				cacheStats[worker].Hits += s.Hits
-				cacheStats[worker].Misses += s.Misses
-				cacheStats[worker].Rehashes += s.Rehashes
-			}
-		}
-	})
-	if err != nil {
-		return nil, err
-	}
-	res.Makespan = time.Since(start)
-	res.Sched = stats
-	for _, s := range cacheStats {
-		res.Cache.Accesses += s.Accesses
-		res.Cache.Hits += s.Hits
-		res.Cache.Misses += s.Misses
-		res.Cache.Rehashes += s.Rehashes
-	}
-	return res, nil
+	return m.Run(records)
 }
 
 // defaultThreads mirrors sched's default worker count.
@@ -184,24 +99,40 @@ func WriteCSV(w io.Writer, records []seeds.ReadSeeds, res *Result) error {
 	if len(records) != len(res.Extensions) {
 		return fmt.Errorf("core: %d records but %d extension sets", len(records), len(res.Extensions))
 	}
-	if _, err := fmt.Fprintln(w, "read,node,offset,strand,read_start,read_end,score,mismatches"); err != nil {
+	if err := WriteCSVHeader(w); err != nil {
 		return err
 	}
-	for i, rec := range records {
-		for _, e := range res.Extensions[i] {
-			strand := "+"
-			if e.Rev {
-				strand = "-"
-			}
-			mism := make([]string, len(e.Mismatches))
-			for j, m := range e.Mismatches {
-				mism[j] = fmt.Sprint(m)
-			}
-			if _, err := fmt.Fprintf(w, "%s,%d,%d,%s,%d,%d,%d,%s\n",
-				rec.Read.Name, e.StartPos.Node, e.StartPos.Off, strand,
-				e.ReadStart, e.ReadEnd, e.Score, strings.Join(mism, ";")); err != nil {
-				return err
-			}
+	for i := range records {
+		if err := WriteCSVRecord(w, &records[i], res.Extensions[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSVHeader writes the CSV column header. The streaming pipeline's
+// emitter shares it with WriteCSV so both modes produce byte-identical
+// output.
+func WriteCSVHeader(w io.Writer) error {
+	_, err := fmt.Fprintln(w, "read,node,offset,strand,read_start,read_end,score,mismatches")
+	return err
+}
+
+// WriteCSVRecord writes one record's extension rows.
+func WriteCSVRecord(w io.Writer, rec *seeds.ReadSeeds, exts []extend.Extension) error {
+	for _, e := range exts {
+		strand := "+"
+		if e.Rev {
+			strand = "-"
+		}
+		mism := make([]string, len(e.Mismatches))
+		for j, m := range e.Mismatches {
+			mism[j] = fmt.Sprint(m)
+		}
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%s,%d,%d,%d,%s\n",
+			rec.Read.Name, e.StartPos.Node, e.StartPos.Off, strand,
+			e.ReadStart, e.ReadEnd, e.Score, strings.Join(mism, ";")); err != nil {
+			return err
 		}
 	}
 	return nil

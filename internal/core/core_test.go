@@ -1,4 +1,4 @@
-package core
+package core_test
 
 import (
 	"bytes"
@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/counters"
 	"repro/internal/extend"
 	"repro/internal/gbz"
@@ -33,7 +34,7 @@ func fixture(t testing.TB, scale float64) (*gbz.File, []seeds.ReadSeeds, *worklo
 
 func TestRunBasic(t *testing.T) {
 	f, recs, _ := fixture(t, 0.05)
-	res, err := Run(f, recs, Options{Threads: 2, BatchSize: 8})
+	res, err := core.Run(f, recs, core.Options{Threads: 2, BatchSize: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,10 +59,10 @@ func TestRunBasic(t *testing.T) {
 }
 
 func TestRunNilFile(t *testing.T) {
-	if _, err := Run(nil, nil, Options{}); err == nil {
+	if _, err := core.Run(nil, nil, core.Options{}); err == nil {
 		t.Error("nil file accepted")
 	}
-	if _, err := Run(&gbz.File{}, nil, Options{}); err == nil {
+	if _, err := core.Run(&gbz.File{}, nil, core.Options{}); err == nil {
 		t.Error("empty file accepted")
 	}
 }
@@ -81,13 +82,13 @@ func TestProxyMatchesParent(t *testing.T) {
 	}
 	for _, scheduler := range []sched.Kind{sched.Dynamic, sched.WorkStealing, sched.Static} {
 		for _, capacity := range []int{-1, 64, 256, 4096} {
-			res, err := Run(f, parent.Captured, Options{
+			res, err := core.Run(f, parent.Captured, core.Options{
 				Threads: 3, BatchSize: 4, Scheduler: scheduler, CacheCapacity: capacity,
 			})
 			if err != nil {
 				t.Fatal(err)
 			}
-			rep, err := Validate(parent.Extensions, res.Extensions)
+			rep, err := core.Validate(parent.Extensions, res.Extensions)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -100,12 +101,12 @@ func TestProxyMatchesParent(t *testing.T) {
 
 func TestValidateDetectsDrift(t *testing.T) {
 	f, recs, _ := fixture(t, 0.03)
-	res, err := Run(f, recs, Options{Threads: 1})
+	res, err := core.Run(f, recs, core.Options{Threads: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Identical → match.
-	rep, err := Validate(res.Extensions, res.Extensions)
+	rep, err := core.Validate(res.Extensions, res.Extensions)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestValidateDetectsDrift(t *testing.T) {
 	if !found {
 		t.Skip("no extensions to mutate")
 	}
-	rep, err = Validate(res.Extensions, mutated)
+	rep, err = core.Validate(res.Extensions, mutated)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestValidateDetectsDrift(t *testing.T) {
 		t.Errorf("report string %q lacks FAIL", rep.String())
 	}
 	// Length mismatch is an error.
-	if _, err := Validate(res.Extensions, res.Extensions[:1]); err == nil {
+	if _, err := core.Validate(res.Extensions, res.Extensions[:1]); err == nil {
 		t.Error("length mismatch accepted")
 	}
 }
@@ -152,7 +153,7 @@ func TestRunDeterministicAcrossSchedulers(t *testing.T) {
 	f, recs, _ := fixture(t, 0.05)
 	var all [][][]extend.Extension
 	for _, kind := range []sched.Kind{sched.Dynamic, sched.WorkStealing, sched.Static} {
-		res, err := Run(f, recs, Options{Threads: 4, BatchSize: 4, Scheduler: kind})
+		res, err := core.Run(f, recs, core.Options{Threads: 4, BatchSize: 4, Scheduler: kind})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -167,12 +168,12 @@ func TestRunDeterministicAcrossSchedulers(t *testing.T) {
 
 func TestWriteCSV(t *testing.T) {
 	f, recs, _ := fixture(t, 0.03)
-	res, err := Run(f, recs, Options{Threads: 1})
+	res, err := core.Run(f, recs, core.Options{Threads: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := WriteCSV(&buf, recs, res); err != nil {
+	if err := core.WriteCSV(&buf, recs, res); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
@@ -187,7 +188,7 @@ func TestWriteCSV(t *testing.T) {
 		t.Errorf("%d CSV rows for %d extensions", len(lines)-1, total)
 	}
 	// Mismatched lengths rejected.
-	if err := WriteCSV(&buf, recs[:1], res); err == nil {
+	if err := core.WriteCSV(&buf, recs[:1], res); err == nil {
 		t.Error("mismatched record count accepted")
 	}
 }
@@ -195,7 +196,7 @@ func TestWriteCSV(t *testing.T) {
 func TestRunWithTraceAndStats(t *testing.T) {
 	f, recs, _ := fixture(t, 0.04)
 	rec := trace.NewRecorder(2)
-	res, err := Run(f, recs, Options{Threads: 2, BatchSize: 4, Trace: rec})
+	res, err := core.Run(f, recs, core.Options{Threads: 2, BatchSize: 4, Trace: rec})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +220,7 @@ func TestRunWithTraceAndStats(t *testing.T) {
 func TestRunSingleThreadProbe(t *testing.T) {
 	f, recs, _ := fixture(t, 0.03)
 	h := counters.NewDefaultHierarchy()
-	if _, err := Run(f, recs, Options{Threads: 1, Probe: h}); err != nil {
+	if _, err := core.Run(f, recs, core.Options{Threads: 1, Probe: h}); err != nil {
 		t.Fatal(err)
 	}
 	if c := h.Snapshot(counters.DefaultCycleModel); c.Instr == 0 {
@@ -229,11 +230,11 @@ func TestRunSingleThreadProbe(t *testing.T) {
 
 func TestCacheCapacityAffectsStats(t *testing.T) {
 	f, recs, _ := fixture(t, 0.05)
-	disabled, err := Run(f, recs, Options{Threads: 1, CacheCapacity: -1})
+	disabled, err := core.Run(f, recs, core.Options{Threads: 1, CacheCapacity: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	cached, err := Run(f, recs, Options{Threads: 1, CacheCapacity: 4096})
+	cached, err := core.Run(f, recs, core.Options{Threads: 1, CacheCapacity: 4096})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +256,7 @@ func TestSortExtensions(t *testing.T) {
 		{Score: 5, StartPos: vgraph.Position{Node: 1}},
 		{Score: 5, StartPos: vgraph.Position{Node: 3}},
 	}
-	SortExtensions(exts)
+	core.SortExtensions(exts)
 	if exts[0].Score != 5 || exts[0].StartPos.Node != 1 {
 		t.Errorf("sort wrong: %+v", exts)
 	}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/distindex"
+	"repro/internal/extend"
+	"repro/internal/gbwt"
+	"repro/internal/gbz"
+	"repro/internal/sched"
+	"repro/internal/seeds"
+	"repro/internal/trace"
+)
+
+// Mapper is the reusable mapping engine: the prepared query structures
+// (distance index plus the bidirectional haplotype index, the expensive part
+// of a run's setup) built once and shared by every caller — the batch Run,
+// the parent emulator (package giraffe), and the streaming pipeline all map
+// records through the same Mapper, which is what keeps their outputs
+// identical by construction.
+type Mapper struct {
+	file *gbz.File
+	dist *distindex.Index
+	bi   *gbwt.Bidirectional
+	opts Options
+}
+
+// NewMapper prepares the indexes from a GBZ file: the graph distance index
+// and the reverse orientation of the embedded haplotype index, so both
+// extension directions are haplotype-constrained.
+func NewMapper(f *gbz.File, opts Options) (*Mapper, error) {
+	if f == nil || f.Graph == nil || f.Index == nil {
+		return nil, errors.New("core: nil GBZ file")
+	}
+	if f.Graph.NumPaths() == 0 {
+		return nil, errors.New("core: GBZ has no embedded haplotype paths")
+	}
+	paths := make([][]gbwt.NodeID, f.Graph.NumPaths())
+	for i := range paths {
+		paths[i] = f.Graph.Path(i)
+	}
+	bi, err := gbwt.FromForward(f.Index, paths)
+	if err != nil {
+		return nil, err
+	}
+	return NewMapperFromIndexes(f, distindex.New(f.Graph), bi, opts)
+}
+
+// NewMapperFromIndexes wraps indexes that were already built elsewhere
+// (e.g. giraffe.BuildIndexes) so the parent emulator and the proxy share one
+// mapping engine without rebuilding anything.
+func NewMapperFromIndexes(f *gbz.File, dist *distindex.Index, bi *gbwt.Bidirectional, opts Options) (*Mapper, error) {
+	if f == nil || f.Graph == nil {
+		return nil, errors.New("core: nil GBZ file")
+	}
+	if dist == nil || bi == nil {
+		return nil, errors.New("core: nil index")
+	}
+	return &Mapper{file: f, dist: dist, bi: bi, opts: opts.normalize()}, nil
+}
+
+// Options returns the mapper's normalized run options.
+func (m *Mapper) Options() Options { return m.opts }
+
+// WithoutProbe returns a mapper that maps without the hardware-counter
+// probe. Probes are single-threaded instruments; concurrent consumers (the
+// streaming pipeline, multi-threaded Run) must drop them.
+func (m *Mapper) WithoutProbe() *Mapper {
+	if m.opts.Probe == nil {
+		return m
+	}
+	c := *m
+	c.opts.Probe = nil
+	return &c
+}
+
+// NewReader builds a fresh per-batch CachedGBWT pair at the configured
+// initial capacity — Giraffe's per-batch cache lifetime, the mechanism
+// behind the paper's most significant tuning parameter (§VII-B).
+func (m *Mapper) NewReader() gbwt.BiReader { return m.bi.NewBiReader(m.opts.CacheCapacity) }
+
+// MapRecord runs the two critical functions (cluster_seeds and
+// process_until_threshold_c) for one record. index is the record's global
+// position in the workload; worker tags trace spans. The reader carries the
+// batch's cache state and must not be shared across goroutines.
+func (m *Mapper) MapRecord(worker int, reader gbwt.BiReader, rec *seeds.ReadSeeds, index int) []extend.Extension {
+	var endCl func()
+	if m.opts.Trace != nil {
+		endCl = m.opts.Trace.Begin(worker, trace.RegionCluster)
+	}
+	cls := cluster.ClusterSeeds(m.dist, rec.Seeds, m.opts.Cluster, m.opts.Probe, index)
+	if endCl != nil {
+		endCl()
+	}
+	var endTh func()
+	if m.opts.Trace != nil {
+		endTh = m.opts.Trace.Begin(worker, trace.RegionThresholdC)
+	}
+	env := &extend.Env{Graph: m.file.Graph, Bi: reader, Probe: m.opts.Probe}
+	exts := extend.ProcessUntilThresholdC(env, &rec.Read, rec.Seeds, cls, m.opts.Extend, index)
+	if endTh != nil {
+		endTh()
+	}
+	return exts
+}
+
+// MapBatch maps recs (whose global indices start at base) through a fresh
+// per-batch CachedGBWT, storing record j's extensions in out[j], and returns
+// the batch's drained cache statistics. len(out) must be len(recs).
+func (m *Mapper) MapBatch(worker int, recs []seeds.ReadSeeds, base int, out [][]extend.Extension) gbwt.CacheStats {
+	reader := m.NewReader()
+	for j := range recs {
+		out[j] = m.MapRecord(worker, reader, &recs[j], base+j)
+	}
+	return ReaderCacheStats(reader)
+}
+
+// ReaderCacheStats drains the cache counters of both directions of a
+// BiReader (zero when caching is disabled).
+func ReaderCacheStats(r gbwt.BiReader) (s gbwt.CacheStats) {
+	for _, rd := range []gbwt.Reader{r.Fwd, r.Rev} {
+		if c, ok := rd.(*gbwt.CachedGBWT); ok {
+			s.Add(c.Stats())
+		}
+	}
+	return s
+}
+
+// Run executes the batch proxy over records on the prepared mapper: the
+// whole workload is scheduled at once under the configured policy, with each
+// batch getting a fresh CachedGBWT.
+func (m *Mapper) Run(records []seeds.ReadSeeds) (*Result, error) {
+	opts := m.opts
+	// Worker count resolution mirrors sched.Run's normalisation so the
+	// per-worker stats slices are sized correctly.
+	threads := opts.Threads
+	if threads <= 0 {
+		threads = defaultThreads()
+	}
+	if threads > len(records) && len(records) > 0 {
+		threads = len(records)
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	run := m
+	if threads != 1 {
+		run = m.WithoutProbe()
+	}
+	res := &Result{Extensions: make([][]extend.Extension, len(records))}
+	cacheStats := make([]gbwt.CacheStats, threads)
+
+	start := time.Now()
+	stats, err := sched.RunBatches(sched.Config{
+		Kind:      opts.Scheduler,
+		Threads:   threads,
+		BatchSize: opts.BatchSize,
+	}, len(records), func(worker, lo, hi int) {
+		cacheStats[worker].Add(run.MapBatch(worker, records[lo:hi], lo, res.Extensions[lo:hi]))
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Makespan = time.Since(start)
+	res.Sched = stats
+	for _, s := range cacheStats {
+		res.Cache.Add(s)
+	}
+	return res, nil
+}

@@ -9,6 +9,8 @@ package distindex
 
 import (
 	"container/heap"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/snarl"
 	"repro/internal/vgraph"
@@ -29,11 +31,13 @@ type Index struct {
 	// decomposable class.
 	tree *snarl.Tree
 	// memo caches exact node-to-node start distances for repeated queries;
-	// bounded to keep memory predictable.
+	// bounded to keep memory predictable. Guarded by memoMu: the index is
+	// shared by every mapping worker (and the streaming pipeline's pool).
+	memoMu   sync.RWMutex
 	memo     map[nodePair]int32
 	memoCap  int
-	queries  int64
-	memoHits int64
+	queries  int64 // atomic
+	memoHits int64 // atomic
 }
 
 type nodePair struct {
@@ -78,7 +82,7 @@ func (ix *Index) BackboneDistance(a, b vgraph.Position) int {
 // the bases strictly between the two positions, so adjacent bases are at
 // distance 1 and identical positions at distance 0.
 func (ix *Index) MinDistance(a, b vgraph.Position, limit int) int {
-	ix.queries++
+	atomic.AddInt64(&ix.queries, 1)
 	if ix.tree != nil {
 		d := ix.tree.MinDistance(a, b)
 		if d == snarl.Unreachable || d > limit {
@@ -118,8 +122,11 @@ func (ix *Index) directed(a, b vgraph.Position, limit int) int {
 // bounded by limit, via Dijkstra weighted by intermediate node lengths.
 func (ix *Index) nodeStartDistance(from, to vgraph.NodeID, limit int32) int {
 	key := nodePair{from, to}
-	if d, ok := ix.memo[key]; ok {
-		ix.memoHits++
+	ix.memoMu.RLock()
+	d, ok := ix.memo[key]
+	ix.memoMu.RUnlock()
+	if ok {
+		atomic.AddInt64(&ix.memoHits, 1)
 		if d == Unreachable || d > limit {
 			return Unreachable
 		}
@@ -131,8 +138,12 @@ func (ix *Index) nodeStartDistance(from, to vgraph.NodeID, limit int32) int {
 	dist := ix.dijkstra(from, to, limit)
 	// Only reachable distances are limit-independent facts; memoising an
 	// Unreachable computed under a small limit would poison larger queries.
-	if dist != Unreachable && len(ix.memo) < ix.memoCap {
-		ix.memo[key] = int32(dist)
+	if dist != Unreachable {
+		ix.memoMu.Lock()
+		if len(ix.memo) < ix.memoCap {
+			ix.memo[key] = int32(dist)
+		}
+		ix.memoMu.Unlock()
 	}
 	return dist
 }
@@ -188,4 +199,6 @@ func (ix *Index) dijkstra(from, to vgraph.NodeID, limit int32) int {
 }
 
 // Stats reports query and memo-hit counts (for instrumentation).
-func (ix *Index) Stats() (queries, memoHits int64) { return ix.queries, ix.memoHits }
+func (ix *Index) Stats() (queries, memoHits int64) {
+	return atomic.LoadInt64(&ix.queries), atomic.LoadInt64(&ix.memoHits)
+}

@@ -31,6 +31,15 @@ type CacheStats struct {
 	Rehashes int64
 }
 
+// Add accumulates another cache's counters into s (workers drain their
+// per-batch caches into a per-run aggregate).
+func (s *CacheStats) Add(o CacheStats) {
+	s.Accesses += o.Accesses
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Rehashes += o.Rehashes
+}
+
 // DefaultCacheCapacity is Giraffe's default initial CachedGBWT capacity.
 const DefaultCacheCapacity = 256
 

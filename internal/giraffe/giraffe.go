@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/counters"
 	"repro/internal/distindex"
 	"repro/internal/dna"
@@ -137,12 +138,28 @@ func BuildIndexes(f *gbz.File) (*Indexes, error) {
 	return &Indexes{File: f, MinIx: minIx, Dist: distindex.New(f.Graph), Bi: bi}, nil
 }
 
-// Map runs the full Giraffe-like pipeline over the reads.
+// Map runs the full Giraffe-like pipeline over the reads. The two critical
+// functions are executed through the shared core.Mapper, the same engine the
+// proxy and its streaming pipeline use — which is what makes the §VI-a
+// 100% output match hold by construction.
 func Map(ix *Indexes, reads []dna.Read, opts Options) (*Result, error) {
 	if ix == nil {
 		return nil, errors.New("giraffe: nil indexes")
 	}
+	rawCapacity := opts.CacheCapacity
 	opts = opts.normalize()
+	// core.Options shares giraffe's pre-normalize capacity convention
+	// (0 = default, negative = disabled), so pass the raw value through.
+	mapper, err := core.NewMapperFromIndexes(ix.File, ix.Dist, ix.Bi, core.Options{
+		CacheCapacity: rawCapacity,
+		Trace:         opts.Trace,
+		Probe:         opts.Probe,
+		Extend:        opts.Extend,
+		Cluster:       opts.Cluster,
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{
 		Alignments: make([]Alignment, len(reads)),
 		Extensions: make([][]extend.Extension, len(reads)),
@@ -155,10 +172,6 @@ func Map(ix *Indexes, reads []dna.Read, opts Options) (*Result, error) {
 	var errOnce sync.Once
 	processRead := func(worker, i int, reader gbwt.BiReader) {
 		read := &reads[i]
-		var probe counters.Probe
-		if opts.Probe != nil {
-			probe = opts.Probe
-		}
 		// Preprocess: minimizers + seeds.
 		var endMin func()
 		if opts.Trace != nil {
@@ -175,25 +188,10 @@ func Map(ix *Indexes, reads []dna.Read, opts Options) (*Result, error) {
 		if opts.CaptureSeeds {
 			res.Captured[i] = seeds.ReadSeeds{Read: *read, Seeds: ss}
 		}
-		// Critical function 1: cluster_seeds.
-		var endCl func()
-		if opts.Trace != nil {
-			endCl = opts.Trace.Begin(worker, trace.RegionCluster)
-		}
-		cls := cluster.ClusterSeeds(ix.Dist, ss, opts.Cluster, probe, i)
-		if endCl != nil {
-			endCl()
-		}
-		// Critical function 2: process_until_threshold_c.
-		var endTh func()
-		if opts.Trace != nil {
-			endTh = opts.Trace.Begin(worker, trace.RegionThresholdC)
-		}
-		env := &extend.Env{Graph: ix.File.Graph, Bi: reader, Probe: probe}
-		exts := extend.ProcessUntilThresholdC(env, read, ss, cls, opts.Extend, i)
-		if endTh != nil {
-			endTh()
-		}
+		// The two critical functions (cluster_seeds and
+		// process_until_threshold_c), through the shared mapping engine.
+		rec := seeds.ReadSeeds{Read: *read, Seeds: ss}
+		exts := mapper.MapRecord(worker, reader, &rec, i)
 		res.Extensions[i] = exts
 		// Post-processing (the phase the proxy omits).
 		var endPost func()
@@ -216,8 +214,7 @@ func Map(ix *Indexes, reads []dna.Read, opts Options) (*Result, error) {
 	}
 
 	start := time.Now()
-	newReader := func() gbwt.BiReader { return ix.Bi.NewBiReader(opts.CacheCapacity) }
-	runVGScheduler(len(reads), opts, newReader, processRead)
+	runVGScheduler(len(reads), opts, mapper.NewReader, processRead)
 	res.Makespan = time.Since(start)
 	if firstErr != nil {
 		return nil, firstErr

@@ -1,0 +1,124 @@
+package pipeline
+
+import (
+	"sync"
+
+	"repro/internal/sched"
+)
+
+// claimQueue is the bounded hand-off between the ingest stage and the
+// persistent worker pool. It holds at most depth in-flight batches (the
+// backpressure bound: a full queue blocks ingest), and the scheduling policy
+// decides which queued batch a worker claims — the streaming analogue of
+// sched.RunBatches' claim disciplines:
+//
+//   - Dynamic: one shared FIFO, workers claim in arrival order.
+//   - Static: batch seq is pinned to worker seq mod W; no balancing.
+//   - WorkStealing: pinned like Static, but an idle worker steals the
+//     oldest batch from another worker's backlog, round-robin.
+type claimQueue struct {
+	mu    sync.Mutex
+	avail *sync.Cond // a batch was queued, or the queue closed/aborted
+	space *sync.Cond // a batch was claimed, or the queue aborted
+
+	kind    sched.Kind
+	queues  [][]*batch // one FIFO for Dynamic, one per worker otherwise
+	queued  int
+	depth   int
+	closed  bool
+	aborted bool
+}
+
+func newClaimQueue(kind sched.Kind, workers, depth int) *claimQueue {
+	n := workers
+	if kind == sched.Dynamic {
+		n = 1
+	}
+	q := &claimQueue{kind: kind, queues: make([][]*batch, n), depth: depth}
+	q.avail = sync.NewCond(&q.mu)
+	q.space = sync.NewCond(&q.mu)
+	return q
+}
+
+// push blocks until there is room for b, returning false if the pipeline
+// aborted while waiting.
+func (q *claimQueue) push(b *batch) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.queued >= q.depth && !q.aborted {
+		q.space.Wait()
+	}
+	if q.aborted {
+		return false
+	}
+	slot := 0
+	if q.kind != sched.Dynamic {
+		slot = b.seq % len(q.queues)
+	}
+	q.queues[slot] = append(q.queues[slot], b)
+	q.queued++
+	q.avail.Broadcast()
+	return true
+}
+
+// pop blocks until worker w claims a batch. stolen reports that the batch
+// came from another worker's backlog (WorkStealing only); ok is false once
+// the queue is closed and drained, or aborted.
+func (q *claimQueue) pop(w int) (b *batch, stolen, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.aborted {
+			return nil, false, false
+		}
+		own := 0
+		if q.kind != sched.Dynamic {
+			own = w
+		}
+		if len(q.queues[own]) > 0 {
+			return q.take(own), false, true
+		}
+		if q.kind == sched.WorkStealing {
+			for off := 1; off < len(q.queues); off++ {
+				v := (w + off) % len(q.queues)
+				if len(q.queues[v]) > 0 {
+					return q.take(v), true, true
+				}
+			}
+		}
+		if q.closed && q.queued == 0 {
+			return nil, false, false
+		}
+		q.avail.Wait()
+	}
+}
+
+// take removes the oldest batch from slot (caller holds q.mu).
+func (q *claimQueue) take(slot int) *batch {
+	b := q.queues[slot][0]
+	q.queues[slot] = q.queues[slot][1:]
+	q.queued--
+	q.space.Broadcast()
+	if q.closed && q.queued == 0 {
+		// Wake workers pinned to other (now permanently empty) slots.
+		q.avail.Broadcast()
+	}
+	return b
+}
+
+// close marks the end of ingest; drained workers exit.
+func (q *claimQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.avail.Broadcast()
+}
+
+// abort unblocks everyone; pending batches are dropped.
+func (q *claimQueue) abort() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.aborted = true
+	q.avail.Broadcast()
+	q.space.Broadcast()
+}

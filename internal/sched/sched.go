@@ -212,11 +212,19 @@ func runWorkStealing(cfg Config, n int, fn func(worker, start, end int), stats *
 		cursors[w] = int64(w * n / t)
 		hi[w] = int64((w + 1) * n / t)
 	}
-	// grab claims up to batch items from region w via atomic RMW.
+	// grab claims up to batch items from region w via atomic RMW. An
+	// exhausted region answers with a plain load so steal probes against
+	// drained victims don't pay (or cause) RMW cache-line traffic, and a
+	// raced-past cursor is clamped back to hi so it cannot inflate by one
+	// batch per probe for the rest of the run.
 	grab := func(w int) (start, end int, ok bool) {
-		s := atomic.AddInt64(&cursors[w], int64(cfg.BatchSize)) - int64(cfg.BatchSize)
 		h := hi[w]
+		if atomic.LoadInt64(&cursors[w]) >= h {
+			return 0, 0, false
+		}
+		s := atomic.AddInt64(&cursors[w], int64(cfg.BatchSize)) - int64(cfg.BatchSize)
 		if s >= h {
+			atomic.CompareAndSwapInt64(&cursors[w], s+int64(cfg.BatchSize), h)
 			return 0, 0, false
 		}
 		e := s + int64(cfg.BatchSize)

@@ -116,6 +116,83 @@ func TestStaticNoSteals(t *testing.T) {
 	}
 }
 
+// TestRunBatchesEdgeCases pins the batch-granularity contract on the shapes
+// that have historically broken schedulers: workloads smaller than a batch,
+// more threads than items, empty workloads, and unit batches. Every index
+// must be visited exactly once, in well-formed batch ranges.
+func TestRunBatchesEdgeCases(t *testing.T) {
+	cases := []struct{ n, threads, batch int }{
+		{n: 5, threads: 2, batch: 8},   // n < BatchSize
+		{n: 3, threads: 9, batch: 2},   // Threads > n
+		{n: 0, threads: 4, batch: 8},   // n == 0
+		{n: 97, threads: 4, batch: 1},  // BatchSize == 1
+		{n: 1, threads: 1, batch: 1},   // minimal
+		{n: 16, threads: 16, batch: 1}, // one item per worker, max steal pressure
+	}
+	for _, kind := range allKinds() {
+		for _, c := range cases {
+			counts := make([]int64, c.n)
+			var batches int64
+			stats, err := RunBatches(Config{Kind: kind, Threads: c.threads, BatchSize: c.batch}, c.n,
+				func(worker, start, end int) {
+					atomic.AddInt64(&batches, 1)
+					if start < 0 || end > c.n || start >= end {
+						t.Errorf("%v n=%d t=%d b=%d: malformed batch [%d,%d)", kind, c.n, c.threads, c.batch, start, end)
+						return
+					}
+					if end-start > c.batch {
+						t.Errorf("%v n=%d t=%d b=%d: batch [%d,%d) exceeds batch size", kind, c.n, c.threads, c.batch, start, end)
+					}
+					for i := start; i < end; i++ {
+						atomic.AddInt64(&counts[i], 1)
+					}
+				})
+			if err != nil {
+				t.Fatalf("%v n=%d t=%d b=%d: %v", kind, c.n, c.threads, c.batch, err)
+			}
+			for i, cnt := range counts {
+				if cnt != 1 {
+					t.Fatalf("%v n=%d t=%d b=%d: index %d visited %d times", kind, c.n, c.threads, c.batch, i, cnt)
+				}
+			}
+			if c.n == 0 && batches != 0 {
+				t.Errorf("%v: %d batches delivered for empty workload", kind, batches)
+			}
+			var total int64
+			for _, p := range stats.Processed {
+				total += p
+			}
+			if total != int64(c.n) {
+				t.Errorf("%v n=%d t=%d b=%d: stats total %d", kind, c.n, c.threads, c.batch, total)
+			}
+		}
+	}
+}
+
+// TestWorkStealingGrabExhaustion hammers tiny regions with many thieves so
+// every worker probes exhausted victims repeatedly — the path where the grab
+// cursor used to inflate by a batch per probe.
+func TestWorkStealingGrabExhaustion(t *testing.T) {
+	for iter := 0; iter < 50; iter++ {
+		const n, threads = 7, 8
+		counts := make([]int64, n)
+		_, err := RunBatches(Config{Kind: WorkStealing, Threads: threads, BatchSize: 1}, n,
+			func(worker, start, end int) {
+				for i := start; i < end; i++ {
+					atomic.AddInt64(&counts[i], 1)
+				}
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("iter %d: index %d visited %d times", iter, i, c)
+			}
+		}
+	}
+}
+
 func TestParseKind(t *testing.T) {
 	cases := map[string]Kind{
 		"dynamic": Dynamic, "openmp-dynamic": Dynamic, "omp": Dynamic,

@@ -261,6 +261,32 @@ func WriteFile(path string, records []ReadSeeds) error {
 	return out.Close()
 }
 
+// File is a ReadSeeds stream backed by an open file: the incremental input
+// the streaming pipeline consumes record by record, so the workload is never
+// materialized in memory. Close it when done.
+type File struct {
+	*Reader
+	f *os.File
+}
+
+// Open validates the header of the capture file at path and returns the
+// incremental reader over its records.
+func Open(path string) (*File, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := NewReader(in)
+	if err != nil {
+		in.Close()
+		return nil, err
+	}
+	return &File{Reader: r, f: in}, nil
+}
+
+// Close releases the underlying file.
+func (f *File) Close() error { return f.f.Close() }
+
 // ReadFile loads all records from a file at path.
 func ReadFile(path string) ([]ReadSeeds, error) {
 	in, err := os.Open(path)

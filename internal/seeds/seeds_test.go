@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
@@ -251,5 +252,49 @@ func TestExtractOrientation(t *testing.T) {
 		if !fwdSet[anchor{s.Pos, s.ReadOff}] {
 			t.Errorf("reverse seed %+v has no forward counterpart", s)
 		}
+	}
+}
+
+func TestOpenIncremental(t *testing.T) {
+	recs := sampleRecords(3, 5)
+	path := filepath.Join(t.TempDir(), "seeds.bin")
+	if err := WriteFile(path, recs); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer f.Close()
+	if f.Remaining() != len(recs) {
+		t.Fatalf("Remaining = %d, want %d", f.Remaining(), len(recs))
+	}
+	for i := range recs {
+		rs, err := f.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if rs.Read.Name != recs[i].Read.Name || len(rs.Seeds) != len(recs[i].Seeds) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	if _, err := f.Next(); err != io.EOF {
+		t.Errorf("after last record: err = %v, want io.EOF", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "missing.bin")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.bin")
+	if err := os.WriteFile(bad, []byte("not a capture"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(bad); err == nil {
+		t.Error("bad magic accepted")
 	}
 }

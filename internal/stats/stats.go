@@ -14,6 +14,48 @@ import (
 // ErrEmpty reports an empty input.
 var ErrEmpty = errors.New("stats: empty input")
 
+// Online accumulates streaming summary statistics with Welford's algorithm:
+// count, running mean, variance, min, and max, without retaining samples.
+// The streaming pipeline uses it for per-batch latency and throughput
+// reporting where the sample count is unbounded.
+type Online struct {
+	N    int64
+	Mean float64
+	Min  float64
+	Max  float64
+	m2   float64
+}
+
+// Add folds one observation into the summary.
+func (o *Online) Add(x float64) {
+	o.N++
+	if o.N == 1 {
+		o.Min, o.Max = x, x
+	} else {
+		if x < o.Min {
+			o.Min = x
+		}
+		if x > o.Max {
+			o.Max = x
+		}
+	}
+	d := x - o.Mean
+	o.Mean += d / float64(o.N)
+	o.m2 += d * (x - o.Mean)
+}
+
+// Variance returns the unbiased sample variance (0 with fewer than two
+// observations).
+func (o Online) Variance() float64 {
+	if o.N < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.N-1)
+}
+
+// Std returns the sample standard deviation.
+func (o Online) Std() float64 { return math.Sqrt(o.Variance()) }
+
 // GeoMean returns the geometric mean of strictly positive values.
 func GeoMean(xs []float64) (float64, error) {
 	if len(xs) == 0 {

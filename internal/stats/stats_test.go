@@ -257,3 +257,41 @@ func TestSpeedups(t *testing.T) {
 		}
 	}
 }
+
+func TestOnline(t *testing.T) {
+	var o Online
+	if o.Variance() != 0 || o.Std() != 0 {
+		t.Error("empty Online has nonzero spread")
+	}
+	xs := []float64{4, 7, 13, 16}
+	for _, x := range xs {
+		o.Add(x)
+	}
+	if o.N != 4 {
+		t.Errorf("N = %d", o.N)
+	}
+	if o.Mean != 10 {
+		t.Errorf("Mean = %f, want 10", o.Mean)
+	}
+	if o.Min != 4 || o.Max != 16 {
+		t.Errorf("Min/Max = %f/%f, want 4/16", o.Min, o.Max)
+	}
+	// Sample variance of {4,7,13,16} is 30.
+	if v := o.Variance(); math.Abs(v-30) > 1e-9 {
+		t.Errorf("Variance = %f, want 30", v)
+	}
+	if s := o.Std(); math.Abs(s-math.Sqrt(30)) > 1e-9 {
+		t.Errorf("Std = %f", s)
+	}
+}
+
+func TestOnlineSingleObservation(t *testing.T) {
+	var o Online
+	o.Add(-2.5)
+	if o.Mean != -2.5 || o.Min != -2.5 || o.Max != -2.5 {
+		t.Errorf("single observation summary wrong: %+v", o)
+	}
+	if o.Variance() != 0 {
+		t.Errorf("Variance = %f, want 0", o.Variance())
+	}
+}

@@ -18,6 +18,8 @@ import (
 // regions.
 const (
 	RegionIO         = "io"
+	RegionIngest     = "ingest"
+	RegionEmit       = "emit"
 	RegionParse      = "parse_input"
 	RegionMinimizer  = "find_minimizers"
 	RegionSeeds      = "make_seeds"
@@ -58,6 +60,16 @@ func NewRecorder(workers int) *Recorder {
 
 // Workers returns the number of per-worker buffers.
 func (r *Recorder) Workers() int { return len(r.buffers) }
+
+// Grow extends the recorder to at least `workers` per-worker buffers, so a
+// consumer with extra stages (e.g. the streaming pipeline's ingest and emit
+// goroutines) can record alongside the map workers. Not safe to call while
+// spans are being recorded; call it before the run starts.
+func (r *Recorder) Grow(workers int) {
+	for len(r.buffers) < workers {
+		r.buffers = append(r.buffers, nil)
+	}
+}
 
 // Begin starts timing a region on a worker; call the returned func to end
 // it. Each worker must only be driven by one goroutine at a time.

@@ -129,3 +129,20 @@ func TestNewRecorderMinWorkers(t *testing.T) {
 		t.Errorf("workers = %d, want 1", r.Workers())
 	}
 }
+
+func TestGrow(t *testing.T) {
+	r := NewRecorder(2)
+	r.Grow(5)
+	if r.Workers() != 5 {
+		t.Fatalf("workers = %d, want 5", r.Workers())
+	}
+	r.Grow(3) // never shrinks
+	if r.Workers() != 5 {
+		t.Fatalf("workers after smaller Grow = %d, want 5", r.Workers())
+	}
+	end := r.Begin(4, RegionEmit)
+	end()
+	if len(r.Spans(4)) != 1 {
+		t.Errorf("grown buffer did not record: %d spans", len(r.Spans(4)))
+	}
+}
