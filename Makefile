@@ -2,7 +2,12 @@
 # so "works on my machine" and "works in CI" are the same command.
 GO ?= go
 
-.PHONY: build vet fmt-check test verify race bench-smoke ci
+# Pinned third-party checker versions (the CI lint job installs exactly
+# these; locally, staticcheck/govulncheck are skipped when not installed).
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+.PHONY: build vet fmt-check test verify race bench-smoke lint staticcheck govulncheck ci
 
 build:
 	$(GO) build ./...
@@ -21,12 +26,37 @@ test:
 # verify is the repo's tier-1 gate (see ROADMAP.md).
 verify: build test
 
-# The heavily concurrent packages run under the race detector.
+# The heavily concurrent packages run under the race detector. The giraffe
+# emulator and trace recorder ride along in -short mode (their slowest
+# single-threaded tests are skipped; the multi-threaded ones still run).
 race:
-	$(GO) test -race ./internal/sched/... ./internal/pipeline/... ./internal/core/...
+	$(GO) test -race ./internal/sched/... ./internal/pipeline/... ./internal/core/... ./internal/trace/...
+	$(GO) test -race -short ./internal/giraffe/...
 
 # Compile-and-run every benchmark once so kernel benchmarks can't rot.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-ci: verify vet fmt-check race bench-smoke
+# lint runs the project-specific analyzers (atomicmix, hotalloc,
+# nakedgoroutine, tracepair) over the whole tree. Zero findings required.
+lint:
+	$(GO) run ./cmd/vetgiraffe ./...
+
+# staticcheck/govulncheck run when the pinned binaries are on PATH (the CI
+# lint job installs them); locally they skip with a hint rather than fail,
+# so `make ci` works offline.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
+
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION))"; \
+	fi
+
+ci: verify vet fmt-check lint staticcheck govulncheck race bench-smoke

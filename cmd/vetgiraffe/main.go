@@ -1,0 +1,90 @@
+// Command vetgiraffe is the project's multichecker: it runs the
+// miniGiraffe-specific analyzers (internal/analysis/...) over the given
+// package patterns and exits non-zero on any finding. `make lint` runs it
+// over ./... as a CI gate.
+//
+// Usage:
+//
+//	vetgiraffe [-only atomicmix,tracepair] [-list] [packages...]
+//
+// Findings can be suppressed case by case with a trailing or preceding-line
+// `//vetgiraffe:ignore <analyzer> <reason>` comment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/atomicmix"
+	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/nakedgoroutine"
+	"repro/internal/analysis/tracepair"
+)
+
+var all = []*analysis.Analyzer{
+	atomicmix.Analyzer,
+	hotalloc.Analyzer,
+	nakedgoroutine.Analyzer,
+	tracepair.Analyzer,
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected := all
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer, len(all))
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "vetgiraffe: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	patterns := flag.Args()
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vetgiraffe: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, selected)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vetgiraffe: %v\n", err)
+		os.Exit(2)
+	}
+
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "vetgiraffe: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

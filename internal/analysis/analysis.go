@@ -1,0 +1,154 @@
+// Package analysis is a small, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
+// type-checked package at a time and reports Diagnostics. The repo cannot
+// vendor x/tools (the build is offline by policy), so the framework is built
+// on the standard library only — go/ast, go/types, and export data served by
+// the go tool (see load.go).
+//
+// The project-specific analyzers living in the subpackages encode the
+// invariants the miniGiraffe reproduction depends on — atomic-counter
+// discipline, paired trace regions, allocation-free hot kernels, and
+// leak-free goroutine construction — and cmd/vetgiraffe runs them as a CI
+// gate (`make lint`).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check, run independently over each package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// `//vetgiraffe:ignore <name>` suppression directives.
+	Name string
+	// Doc is a one-paragraph description, shown by `vetgiraffe -help`.
+	Doc string
+	// Run inspects pass and reports findings via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String formats the diagnostic the way `go vet` does.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one package's syntax and type information through an
+// analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Posn formats a position for inclusion inside a diagnostic message (e.g.
+// "field f is updated atomically at sched.go:170").
+func (p *Pass) Posn(pos token.Pos) string {
+	posn := p.Fset.Position(pos)
+	// Keep messages compact: file base name, not the full path.
+	name := posn.Filename
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return fmt.Sprintf("%s:%d", name, posn.Line)
+}
+
+// IgnoreDirective is the comment that suppresses a finding on its line (or
+// the line directly above it): `//vetgiraffe:ignore <analyzer> [reason]`.
+const IgnoreDirective = "//vetgiraffe:ignore"
+
+// Run applies each analyzer to each package, drops findings suppressed by an
+// ignore directive, and returns the remaining diagnostics sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		suppressed := suppressions(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+			}
+			for _, d := range pass.diags {
+				if suppressed[suppressKey{d.Pos.Filename, d.Pos.Line, a.Name}] ||
+					suppressed[suppressKey{d.Pos.Filename, d.Pos.Line - 1, a.Name}] {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+type suppressKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// suppressions indexes every ignore directive in the package by (file, line,
+// analyzer). A directive on line L suppresses findings on L and L+1, so both
+// trailing and preceding-line placement work.
+func suppressions(pkg *Package) map[suppressKey]bool {
+	out := make(map[suppressKey]bool)
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, IgnoreDirective)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				posn := pkg.Fset.Position(c.Pos())
+				out[suppressKey{posn.Filename, posn.Line, fields[0]}] = true
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+// Fixture for the hotalloc analyzer: //minigiraffe:hot functions must be
+// free of fmt, string concatenation, map allocation, and unpreallocated
+// append growth.
+package a
+
+import "fmt"
+
+//minigiraffe:hot
+func hotConcat(a, b string) string {
+	return a + b // want `string concatenation in hot function hotConcat`
+}
+
+//minigiraffe:hot
+func hotFmt(x int) string {
+	return fmt.Sprintf("%d", x) // want `call to fmt.Sprintf in hot function hotFmt`
+}
+
+//minigiraffe:hot
+func hotMakeMap(n int) map[int]bool {
+	return make(map[int]bool, n) // want `map allocation in hot function hotMakeMap`
+}
+
+//minigiraffe:hot
+func hotMapLiteral() map[string]int {
+	return map[string]int{"a": 1} // want `map allocation in hot function hotMapLiteral`
+}
+
+//minigiraffe:hot
+func hotAppendGrowth(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want `append grows out inside a loop`
+	}
+	return out
+}
+
+//minigiraffe:hot
+func hotAppendPreallocated(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+//minigiraffe:hot
+func hotAppendOutsideLoop(xs []int, x int) []int {
+	return append(xs, x) // a single bounded append is amortized, not growth
+}
+
+//minigiraffe:hot
+func hotConstConcat() string {
+	const prefix = "a" + "b" // folded at compile time
+	return prefix
+}
+
+// coldAllOfIt is unannotated: none of this is reported.
+func coldAllOfIt(a, b string) string {
+	m := map[string]int{}
+	m[a] = 1
+	return fmt.Sprintf("%s%d", a+b, m[a])
+}

@@ -1,0 +1,12 @@
+package nakedgoroutine_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nakedgoroutine"
+)
+
+func TestNakedGoroutine(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", nakedgoroutine.Analyzer)
+}

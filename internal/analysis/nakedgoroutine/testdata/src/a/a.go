@@ -1,0 +1,69 @@
+// Fixture for the nakedgoroutine analyzer: every go statement must be tied
+// to a WaitGroup, context, or channel.
+package a
+
+import (
+	"context"
+	"sync"
+)
+
+func okWaitGroup(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func okContext(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func okChannelSend() chan int {
+	out := make(chan int, 1)
+	go func() {
+		out <- 1
+	}()
+	return out
+}
+
+func okChannelClose(done chan struct{}) {
+	go func() {
+		close(done)
+	}()
+}
+
+func worker(wg *sync.WaitGroup) { defer wg.Done() }
+
+func okNamedWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go worker(&wg)
+	wg.Wait()
+}
+
+func okNamedContext(ctx context.Context, f func(context.Context)) {
+	go f(ctx)
+}
+
+func leakLiteral() {
+	go func() { // want `not tied to a WaitGroup, context, or channel`
+		for i := 0; i < 10; i++ {
+			_ = i
+		}
+	}()
+}
+
+func leakNamed(f func()) {
+	go f() // want `not tied to a WaitGroup, context, or channel`
+}
+
+func suppressed(f func()) {
+	//vetgiraffe:ignore nakedgoroutine intentional fire-and-forget
+	go f()
+}

@@ -1,0 +1,63 @@
+// Fixture for the tracepair analyzer: every trace region begun must end on
+// all return paths.
+package a
+
+import "repro/internal/trace"
+
+func deferredInline(r *trace.Recorder) {
+	defer r.Begin(0, trace.RegionExtend)()
+}
+
+func deferredVar(r *trace.Recorder) int {
+	end := r.Begin(0, trace.RegionCluster)
+	defer end()
+	return 1
+}
+
+func straightLine(r *trace.Recorder, n int) int {
+	end := r.Begin(0, trace.RegionEmit)
+	v := n * 2
+	end()
+	return v
+}
+
+func guarded(r *trace.Recorder, on bool, n int) int {
+	var end func()
+	if on {
+		end = r.Begin(0, trace.RegionIngest)
+	}
+	v := n + 1
+	if end != nil {
+		end()
+	}
+	return v
+}
+
+func discarded(r *trace.Recorder) {
+	r.Begin(0, trace.RegionAlign) // want `result of Begin discarded`
+}
+
+func blankAssigned(r *trace.Recorder) {
+	_ = r.Begin(0, trace.RegionAlign) // want `result of Begin discarded`
+}
+
+func neverCalled(r *trace.Recorder) {
+	end := r.Begin(0, trace.RegionAlign) // want `never called`
+	_ = end
+}
+
+func earlyReturn(r *trace.Recorder, n int) int {
+	end := r.Begin(0, trace.RegionAlign)
+	if n < 0 {
+		return 0 // want `return leaves the trace region`
+	}
+	end()
+	return n
+}
+
+func nestedLiteral(r *trace.Recorder) func() {
+	return func() {
+		end := r.Begin(0, trace.RegionAlign) // want `never called`
+		_ = end
+	}
+}

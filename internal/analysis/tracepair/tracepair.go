@@ -1,0 +1,216 @@
+// Package tracepair checks that every trace region begun is also ended:
+// the result of (*trace.Recorder).Begin is the region's end function, and a
+// begun region that never ends silently corrupts the per-thread span data
+// behind the paper's Figure 2/3 regeneration — timings look plausible but the
+// open region's duration is simply missing.
+//
+// Accepted patterns, per function:
+//
+//	defer r.Begin(w, region)()            // deferred end, covers all paths
+//	end := r.Begin(w, region)             // ... later: defer end()
+//	end := r.Begin(w, region); ...; end() // with no return before end()
+//
+// Reported: discarding the end function (expression statement or blank
+// assignment), never invoking it, and any return statement between Begin and
+// the first end() call (an early return leaves the region open — use defer).
+package tracepair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the tracepair check.
+var Analyzer = &analysis.Analyzer{
+	Name: "tracepair",
+	Doc: "report trace regions begun via (*trace.Recorder).Begin whose end " +
+		"function is discarded, never called, or skipped by an early return",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFunc(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkFunc(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFunc analyzes one function body. Nested function literals are skipped;
+// ast.Inspect in run visits them as functions in their own right.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Walk the body once, classifying every Begin call by its syntactic
+	// context and collecting the statements needed for the path check.
+	deferred := make(map[*ast.CallExpr]bool)  // Begin calls invoked under defer
+	immediate := make(map[*ast.CallExpr]bool) // r.Begin(...)() — begins and ends in place
+	type binding struct {
+		begin *ast.CallExpr
+		obj   types.Object
+	}
+	var bindings []binding
+	bound := make(map[*ast.CallExpr]bool)
+	var returns []*ast.ReturnStmt
+	var begins []*ast.CallExpr
+
+	walkShallow(body, func(n ast.Node) {
+		switch s := n.(type) {
+		case *ast.DeferStmt:
+			if inner, ok := s.Call.Fun.(*ast.CallExpr); ok && isBeginCall(pass, inner) {
+				deferred[inner] = true
+			}
+		case *ast.CallExpr:
+			if isBeginCall(pass, s) {
+				begins = append(begins, s)
+			} else if inner, ok := s.Fun.(*ast.CallExpr); ok && isBeginCall(pass, inner) {
+				immediate[inner] = true
+			}
+		case *ast.AssignStmt:
+			if len(s.Rhs) != 1 || len(s.Lhs) != 1 {
+				return
+			}
+			call, ok := s.Rhs[0].(*ast.CallExpr)
+			if !ok || !isBeginCall(pass, call) {
+				return
+			}
+			id, ok := s.Lhs[0].(*ast.Ident)
+			if !ok {
+				return
+			}
+			bound[call] = true
+			if id.Name == "_" {
+				bindings = append(bindings, binding{begin: call}) // discarded
+				return
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			bindings = append(bindings, binding{begin: call, obj: obj})
+		case *ast.ReturnStmt:
+			returns = append(returns, s)
+		}
+	})
+
+	for _, b := range bindings {
+		if b.obj == nil {
+			pass.Reportf(b.begin.Pos(),
+				"result of Begin discarded: the trace region never ends")
+			continue
+		}
+		endDeferred, firstCall := endUses(pass, body, b.obj)
+		if endDeferred {
+			continue // defer covers every return path
+		}
+		if firstCall == token.NoPos {
+			pass.Reportf(b.begin.Pos(),
+				"end function %s for this trace region is never called", b.obj.Name())
+			continue
+		}
+		for _, ret := range returns {
+			if ret.Pos() > b.begin.Pos() && ret.Pos() < firstCall {
+				pass.Reportf(ret.Pos(),
+					"return leaves the trace region begun at %s open: call %s() first or use defer",
+					pass.Posn(b.begin.Pos()), b.obj.Name())
+			}
+		}
+	}
+
+	for _, call := range begins {
+		if deferred[call] || immediate[call] || bound[call] {
+			continue
+		}
+		if isExprStmt(body, call) {
+			pass.Reportf(call.Pos(),
+				"result of Begin discarded: the trace region never ends")
+		}
+		// Other contexts (argument, return value, struct field) escape this
+		// function; the pairing cannot be decided locally.
+	}
+}
+
+// endUses scans for invocations of the end-function variable obj: whether it
+// is ever deferred, and the position of its first direct call.
+func endUses(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) (deferredEnd bool, firstCall token.Pos) {
+	firstCall = token.NoPos
+	walkShallow(body, func(n ast.Node) {
+		switch s := n.(type) {
+		case *ast.DeferStmt:
+			if id, ok := s.Call.Fun.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				deferredEnd = true
+			}
+		case *ast.CallExpr:
+			if id, ok := s.Fun.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				if firstCall == token.NoPos || s.Pos() < firstCall {
+					firstCall = s.Pos()
+				}
+			}
+		}
+	})
+	return deferredEnd, firstCall
+}
+
+// isExprStmt reports whether call appears as a bare expression statement
+// anywhere in body.
+func isExprStmt(body *ast.BlockStmt, call *ast.CallExpr) (found bool) {
+	walkShallow(body, func(n ast.Node) {
+		if es, ok := n.(*ast.ExprStmt); ok && es.X == call {
+			found = true
+		}
+	})
+	return found
+}
+
+// walkShallow visits every node in body except the interiors of nested
+// function literals.
+func walkShallow(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// isBeginCall reports whether call invokes (*trace.Recorder).Begin from the
+// project's trace package.
+func isBeginCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "Begin" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Recorder" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/trace")
+}

@@ -1,0 +1,12 @@
+package tracepair_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/tracepair"
+)
+
+func TestTracePair(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", tracepair.Analyzer)
+}

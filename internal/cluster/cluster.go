@@ -88,6 +88,8 @@ func (u *unionFind) union(a, b int) {
 // coordinate, then unions each seed with its nearby neighbours whenever
 // their exact graph distance is within the limit. Same-orientation seeds
 // only: a forward and a reverse seed never share a cluster.
+//
+//minigiraffe:hot
 func ClusterSeeds(ix *distindex.Index, ss []seeds.Seed, p Params, probe counters.Probe, readIdx int) []Cluster {
 	p = p.normalize()
 	if len(ss) == 0 {
@@ -142,16 +144,36 @@ func ClusterSeeds(ix *distindex.Index, ss []seeds.Seed, p Params, probe counters
 		}
 	}
 
-	// Collect clusters and score them.
-	groups := make(map[int][]int)
-	for i := range ss {
-		r := uf.find(i)
-		groups[r] = append(groups[r], i)
+	// Collect clusters and score them. Ordering seed indices by union-find
+	// root (ties by index) makes every cluster one contiguous run, so the
+	// per-read map the grouping used to allocate is unnecessary and each
+	// SeedIdx slice comes out ascending for free.
+	byRoot := make([]int, len(ss))
+	nGroups := 0
+	for i := range byRoot {
+		byRoot[i] = i
+		if uf.find(i) == i {
+			nGroups++
+		}
 	}
-	out := make([]Cluster, 0, len(groups))
-	for _, idxs := range groups {
-		sort.Ints(idxs)
+	sort.Slice(byRoot, func(a, b int) bool {
+		ra, rb := uf.find(byRoot[a]), uf.find(byRoot[b])
+		if ra != rb {
+			return ra < rb
+		}
+		return byRoot[a] < byRoot[b]
+	})
+	out := make([]Cluster, 0, nGroups)
+	for lo := 0; lo < len(byRoot); {
+		root := uf.find(byRoot[lo])
+		hi := lo + 1
+		for hi < len(byRoot) && uf.find(byRoot[hi]) == root {
+			hi++
+		}
+		idxs := make([]int, hi-lo)
+		copy(idxs, byRoot[lo:hi])
 		out = append(out, Cluster{SeedIdx: idxs, Score: scoreCluster(ss, idxs)})
+		lo = hi
 	}
 	// Deterministic order: score descending, then first seed index.
 	sort.Slice(out, func(a, b int) bool {

@@ -85,6 +85,8 @@ func (m *Mapper) NewReader() gbwt.BiReader { return m.bi.NewBiReader(m.opts.Cach
 // process_until_threshold_c) for one record. index is the record's global
 // position in the workload; worker tags trace spans. The reader carries the
 // batch's cache state and must not be shared across goroutines.
+//
+//minigiraffe:hot
 func (m *Mapper) MapRecord(worker int, reader gbwt.BiReader, rec *seeds.ReadSeeds, index int) []extend.Extension {
 	var endCl func()
 	if m.opts.Trace != nil {
@@ -109,6 +111,8 @@ func (m *Mapper) MapRecord(worker int, reader gbwt.BiReader, rec *seeds.ReadSeed
 // MapBatch maps recs (whose global indices start at base) through a fresh
 // per-batch CachedGBWT, storing record j's extensions in out[j], and returns
 // the batch's drained cache statistics. len(out) must be len(recs).
+//
+//minigiraffe:hot
 func (m *Mapper) MapBatch(worker int, recs []seeds.ReadSeeds, base int, out [][]extend.Extension) gbwt.CacheStats {
 	reader := m.NewReader()
 	for j := range recs {

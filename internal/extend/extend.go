@@ -132,6 +132,17 @@ type Env struct {
 	Probe counters.Probe // nil disables accounting
 }
 
+// extKey is the comparable identity used to deduplicate extensions on the
+// hot path. Extension.Key() builds the same identity as a string, which
+// costs one fmt.Sprintf per candidate; it is kept for cold-path validation
+// and debugging output only.
+type extKey struct {
+	node               vgraph.NodeID
+	off                int32
+	readStart, readEnd int32
+	rev                bool
+}
+
 // ProcessUntilThresholdC runs the extension stage for one read: clusters
 // (score-descending, as produced by cluster.ClusterSeeds) are processed
 // until the score threshold or the cluster cap stops the loop; every
@@ -139,6 +150,8 @@ type Env struct {
 // extensions are returned sorted by descending score (ties broken by
 // position for determinism). readIdx identifies the read for the probe's
 // address map.
+//
+//minigiraffe:hot
 func ProcessUntilThresholdC(env *Env, read *dna.Read, ss []seeds.Seed, clusters []cluster.Cluster, p Params, readIdx int) []Extension {
 	p = p.normalize()
 	if len(clusters) == 0 {
@@ -147,8 +160,11 @@ func ProcessUntilThresholdC(env *Env, read *dna.Read, ss []seeds.Seed, clusters 
 	best := clusters[0].Score
 	var fwd, rev dna.Sequence
 	fwd = read.Seq
-	seen := make(map[string]bool)
-	var out []Extension
+	// Deduplicate via a linear scan over comparable keys: the candidate set
+	// is capped at MaxClusters×MaxSeedsPerCluster (64 at the defaults), so a
+	// scan beats hashing and keeps this function map- and Sprintf-free.
+	keys := make([]extKey, 0, p.MaxClusters*p.MaxSeedsPerCluster)
+	out := make([]Extension, 0, p.MaxClusters*p.MaxSeedsPerCluster)
 
 	processed := 0
 	for _, cl := range clusters {
@@ -178,11 +194,24 @@ func ProcessUntilThresholdC(env *Env, read *dna.Read, ss []seeds.Seed, clusters 
 			if !ok {
 				continue
 			}
-			key := ext.Key()
-			if seen[key] {
+			key := extKey{
+				node:      ext.StartPos.Node,
+				off:       ext.StartPos.Off,
+				readStart: ext.ReadStart,
+				readEnd:   ext.ReadEnd,
+				rev:       ext.Rev,
+			}
+			dup := false
+			for _, k := range keys {
+				if k == key {
+					dup = true
+					break
+				}
+			}
+			if dup {
 				continue
 			}
-			seen[key] = true
+			keys = append(keys, key)
 			out = append(out, ext)
 		}
 	}
@@ -233,6 +262,8 @@ type walkResult struct {
 
 // extendSeed extends a single seed bidirectionally. Returns false if the
 // anchor itself is invalid (position outside the node).
+//
+//minigiraffe:hot
 func extendSeed(env *Env, r dna.Sequence, seed seeds.Seed, p Params, readIdx int) (Extension, bool) {
 	g := env.Graph
 	node := seed.Pos.Node
@@ -266,17 +297,24 @@ func extendSeed(env *Env, r dna.Sequence, seed seeds.Seed, p Params, readIdx int
 		ReadEnd:   right.readPos,
 		Rev:       seed.Rev,
 	}
-	// Assemble mismatches: left's are collected walking backward.
-	for i := len(left.mism) - 1; i >= 0; i-- {
-		ext.Mismatches = append(ext.Mismatches, left.mism[i])
+	// Assemble mismatches: left's are collected walking backward. Sized up
+	// front; stays nil when the alignment is mismatch-free.
+	if n := len(left.mism) + len(right.mism); n > 0 {
+		mism := make([]int32, 0, n)
+		for i := len(left.mism) - 1; i >= 0; i-- {
+			mism = append(mism, left.mism[i])
+		}
+		mism = append(mism, right.mism...)
+		ext.Mismatches = mism
 	}
-	ext.Mismatches = append(ext.Mismatches, right.mism...)
 	// Path: left path is collected walking backward (excluding seed node);
 	// right path starts with the seed node.
+	path := make([]vgraph.NodeID, 0, len(left.path)+len(right.path))
 	for i := len(left.path) - 1; i >= 0; i-- {
-		ext.Path = append(ext.Path, left.path[i])
+		path = append(path, left.path[i])
 	}
-	ext.Path = append(ext.Path, right.path...)
+	path = append(path, right.path...)
+	ext.Path = path
 
 	matched := ext.Len() - int32(len(ext.Mismatches))
 	ext.Score = matched*p.MatchScore - int32(len(ext.Mismatches))*p.MismatchPenalty
@@ -292,10 +330,14 @@ func extendSeed(env *Env, r dna.Sequence, seed seeds.Seed, p Params, readIdx int
 // extendRight walks the graph forward from (node, off) matching r[i:],
 // following GBWT haplotypes, branching at node boundaries and keeping the
 // best-scoring completion. The returned path includes the starting node.
+//
+//minigiraffe:hot
 func extendRight(env *Env, r dna.Sequence, i int32, node vgraph.NodeID, off int32, state gbwt.BiState, mismUsed int, p Params, readIdx int) walkResult {
 	g := env.Graph
 	label := g.Seq(node)
-	var mism []int32
+	// At most MaxMismatches-mismUsed mismatches can be consumed here: the
+	// budget check below stops the walk before the slice would grow.
+	mism := make([]int32, 0, p.MaxMismatches-mismUsed)
 	if env.Probe != nil {
 		n := int32(len(label)) - off
 		if rem := int32(len(r)) - i; rem < n {
@@ -387,10 +429,16 @@ func score1(reach, mism int32, p Params) int32 {
 // the graph position of the leftmost matched base; readPos is the inclusive
 // read start; path lists nodes *before* the seed node, in walk
 // (right-to-left) order.
+//
+//minigiraffe:hot
 func extendLeft(env *Env, r dna.Sequence, i int32, node vgraph.NodeID, off int32, state gbwt.BiState, mismBudget int, p Params, readIdx int) walkResult {
 	g := env.Graph
-	var mism []int32
-	var path []vgraph.NodeID
+	mb := mismBudget
+	if mb < 0 {
+		mb = 0
+	}
+	mism := make([]int32, 0, mb)
+	path := make([]vgraph.NodeID, 0, 4)
 	curNode, curOff := node, off
 	for {
 		label := g.Seq(curNode)
@@ -452,6 +500,8 @@ func extendLeft(env *Env, r dna.Sequence, i int32, node vgraph.NodeID, off int32
 // state's first node whose label tail best matches the read ending at i,
 // together with the left-extended state, or Invalid when no haplotype
 // continues leftward.
+//
+//minigiraffe:hot
 func bestPredecessor(env *Env, r dna.Sequence, i int32, state gbwt.BiState, p Params) (vgraph.NodeID, gbwt.BiState) {
 	g := env.Graph
 	rec := env.Bi.Rev.Record(state.Rev.Node)

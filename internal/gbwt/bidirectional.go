@@ -106,6 +106,8 @@ func (b *Bidirectional) NewBiReader(capacity int) BiReader {
 
 // smallerEdgeCount counts, within rec.Ranks[start:end), occurrences of edges
 // ordered strictly before `to`.
+//
+//minigiraffe:hot
 func smallerEdgeCount(rec *DecodedRecord, start, end int32, to NodeID) int32 {
 	var n int32
 	for _, v := range rec.Ranks[start:end] {
@@ -120,6 +122,8 @@ func smallerEdgeCount(rec *DecodedRecord, start, end int32, to NodeID) int32 {
 // forward range takes an LF step; the reverse range shrinks in place, its
 // offset advanced by the in-range occurrences of successors smaller than
 // `to`.
+//
+//minigiraffe:hot
 func ExtendRightWith(r BiReader, s BiState, to NodeID) BiState {
 	if s.Empty() {
 		return BiState{Fwd: SearchState{Node: to}, Rev: s.Rev}
@@ -145,6 +149,8 @@ func ExtendRightWith(r BiReader, s BiState, to NodeID) BiState {
 // range takes an LF step (u follows the first node in the reversed paths);
 // the forward range shrinks in place by the count of in-range predecessors
 // smaller than u.
+//
+//minigiraffe:hot
 func ExtendLeftWith(r BiReader, s BiState, u NodeID) BiState {
 	if s.Empty() {
 		return BiState{Fwd: s.Fwd, Rev: SearchState{Node: u}}

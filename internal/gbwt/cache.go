@@ -88,6 +88,8 @@ func (c *CachedGBWT) hash(v NodeID) int {
 }
 
 // Record implements Reader with memoisation.
+//
+//minigiraffe:hot
 func (c *CachedGBWT) Record(v NodeID) *DecodedRecord {
 	c.stats.Accesses++
 	if c.disabled {

@@ -51,6 +51,8 @@ type DecodedRecord struct {
 func (r *DecodedRecord) NumVisits() int { return len(r.Ranks) }
 
 // edgeRank returns the index of `to` in the sorted edge list, or -1.
+//
+//minigiraffe:hot
 func (r *DecodedRecord) edgeRank(to NodeID) int {
 	i := sort.Search(len(r.Edges), func(i int) bool { return r.Edges[i].To >= to })
 	if i < len(r.Edges) && r.Edges[i].To == to {
@@ -60,6 +62,8 @@ func (r *DecodedRecord) edgeRank(to NodeID) int {
 }
 
 // rankAt counts occurrences of edge-rank e in Ranks[0:i).
+//
+//minigiraffe:hot
 func (r *DecodedRecord) rankAt(e int, i int32) int32 {
 	var n int32
 	b := byte(e)
@@ -157,6 +161,8 @@ func (g *GBWT) FullState(v NodeID) SearchState {
 // ExtendWith advances state along the edge to `to` using reader r,
 // LF-mapping the visit range into to's record. The result is empty if no
 // haplotype in the state continues to `to`.
+//
+//minigiraffe:hot
 func ExtendWith(r Reader, s SearchState, to NodeID) SearchState {
 	if s.Empty() {
 		return SearchState{Node: to}

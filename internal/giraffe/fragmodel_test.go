@@ -5,6 +5,9 @@ import (
 )
 
 func TestEstimateFragmentModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow end-to-end path already covered threaded; skipped in -short race runs")
+	}
 	b, ix, res := pairFixture(t)
 	model, err := EstimateFragmentModel(ix, b.Reads, res, 10)
 	if err != nil {
@@ -26,6 +29,9 @@ func TestEstimateFragmentModel(t *testing.T) {
 }
 
 func TestEstimateFragmentModelTooFew(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow end-to-end path already covered threaded; skipped in -short race runs")
+	}
 	b, ix, _ := pairFixture(t)
 	// An empty result has no mapped pairs.
 	empty := &Result{Alignments: make([]Alignment, len(b.Reads))}
@@ -64,6 +70,9 @@ func TestConsistent(t *testing.T) {
 }
 
 func TestModelDrivenRescueEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow end-to-end path already covered threaded; skipped in -short race runs")
+	}
 	// The full Giraffe flow: map, estimate the fragment model, rescue with
 	// model-derived parameters.
 	b, ix, res := pairFixture(t)

@@ -21,6 +21,9 @@ func testBundle(t testing.TB, scale float64) *workload.Bundle {
 }
 
 func TestBuildIndexes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow end-to-end path already covered threaded; skipped in -short race runs")
+	}
 	b := testBundle(t, 0.02)
 	ix, err := BuildIndexes(b.GBZ())
 	if err != nil {
@@ -38,6 +41,9 @@ func TestBuildIndexes(t *testing.T) {
 }
 
 func TestMapSingleThread(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow end-to-end path already covered threaded; skipped in -short race runs")
+	}
 	b := testBundle(t, 0.05)
 	ix, err := BuildIndexes(b.GBZ())
 	if err != nil {
@@ -97,6 +103,9 @@ func TestMapParallelMatchesSerial(t *testing.T) {
 }
 
 func TestMapCapturesSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow end-to-end path already covered threaded; skipped in -short race runs")
+	}
 	b := testBundle(t, 0.03)
 	ix, err := BuildIndexes(b.GBZ())
 	if err != nil {
@@ -179,6 +188,9 @@ func TestMapNilIndexes(t *testing.T) {
 }
 
 func TestPostprocessUnmapped(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow end-to-end path already covered threaded; skipped in -short race runs")
+	}
 	b := testBundle(t, 0.02)
 	ix, err := BuildIndexes(b.GBZ())
 	if err != nil {

@@ -11,6 +11,9 @@ import (
 // gapless extension stops at the indel, and the alignment phase must lift
 // the refined score above the raw extension score.
 func TestRefinementRecoversIndelRead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow end-to-end path already covered threaded; skipped in -short race runs")
+	}
 	b, err := workload.Generate(workload.AHuman().Scaled(0.02))
 	if err != nil {
 		t.Fatal(err)
@@ -79,6 +82,9 @@ func TestRefinementFullCoverageIdentity(t *testing.T) {
 // TestRefinementDoesNotTouchExtensions ensures the validation data is
 // untouched by the alignment phase.
 func TestRefinementDoesNotTouchExtensions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow end-to-end path already covered threaded; skipped in -short race runs")
+	}
 	b, err := workload.Generate(workload.AHuman().Scaled(0.02))
 	if err != nil {
 		t.Fatal(err)

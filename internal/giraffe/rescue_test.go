@@ -27,6 +27,9 @@ func pairFixture(t *testing.T) (*workload.Bundle, *Indexes, *Result) {
 }
 
 func TestRescuePairsNoFragmentLen(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow end-to-end path already covered threaded; skipped in -short race runs")
+	}
 	b, ix, res := pairFixture(t)
 	stats, err := RescuePairs(ix, b.Reads, res, RescueParams{}, Options{})
 	if err != nil {
@@ -125,6 +128,9 @@ func TestRescueRecoversCorruptedMate(t *testing.T) {
 }
 
 func TestRescueIgnoresSingleEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow end-to-end path already covered threaded; skipped in -short race runs")
+	}
 	b, err := workload.Generate(workload.AHuman().Scaled(0.02))
 	if err != nil {
 		t.Fatal(err)
@@ -147,6 +153,9 @@ func TestRescueIgnoresSingleEnd(t *testing.T) {
 }
 
 func TestRescueBothUnmappedSkipped(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow end-to-end path already covered threaded; skipped in -short race runs")
+	}
 	// Two garbage paired reads: rescue has no anchor, must not attempt.
 	b, ix, _ := pairFixture(t)
 	garbage := make([]dna.Read, 2)

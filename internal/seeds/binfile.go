@@ -23,9 +23,21 @@ import (
 //	    seqLen, packed 2-bit bases
 //	    numSeeds
 //	    per seed: node, off, readOff, flags (bit0 = rev), score float32 LE
+//
+// Version 2 is the streaming variant for capture paths that do not know the
+// record count up front (e.g. an emulator capturing while it maps): the
+// header count field is written as zero and ignored, records stream as in
+// version 1, and the file ends with a footer — the sentinel value 2^64-1
+// where the next record's nameLen varint would be, followed by the actual
+// record count as uint64 LE so readers can verify the stream is complete.
 var (
 	binMagic   = [4]byte{'M', 'G', 'S', 'B'}
 	binVersion = uint16(1)
+	// binVersionStream marks the count-free footer variant.
+	binVersionStream = uint16(2)
+	// streamEndSentinel terminates a version-2 record stream. It can never
+	// begin a real record: name lengths are capped far below it.
+	streamEndSentinel = ^uint64(0)
 )
 
 // Errors reported by the reader.
@@ -40,23 +52,36 @@ type Writer struct {
 	scratch [binary.MaxVarintLen64]byte
 	n       uint64
 	counted uint64
+	stream  bool
 	err     error
 }
 
 // NewWriter writes the header for `count` records and returns the streaming
 // writer.
 func NewWriter(w io.Writer, count int) (*Writer, error) {
+	return newWriter(w, binVersion, uint64(count))
+}
+
+// NewStreamWriter returns a version-2 writer that does not need the record
+// count up front: records are appended until Close, which writes the
+// end-of-stream footer carrying the actual count. Use it on capture paths
+// that produce records incrementally.
+func NewStreamWriter(w io.Writer) (*Writer, error) {
+	return newWriter(w, binVersionStream, 0)
+}
+
+func newWriter(w io.Writer, version uint16, count uint64) (*Writer, error) {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(binMagic[:]); err != nil {
 		return nil, err
 	}
 	var hdr [12]byte
-	binary.LittleEndian.PutUint16(hdr[0:], binVersion)
-	binary.LittleEndian.PutUint64(hdr[4:], uint64(count))
+	binary.LittleEndian.PutUint16(hdr[0:], version)
+	binary.LittleEndian.PutUint64(hdr[4:], count)
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return nil, err
 	}
-	return &Writer{bw: bw, n: uint64(count)}, nil
+	return &Writer{bw: bw, n: count, stream: version == binVersionStream}, nil
 }
 
 func (w *Writer) put(v uint64) {
@@ -79,7 +104,7 @@ func (w *Writer) Write(rs *ReadSeeds) error {
 	if w.err != nil {
 		return w.err
 	}
-	if w.counted >= w.n {
+	if !w.stream && w.counted >= w.n {
 		w.err = fmt.Errorf("seeds: writing more than the declared %d records", w.n)
 		return w.err
 	}
@@ -109,21 +134,34 @@ func (w *Writer) Write(rs *ReadSeeds) error {
 	return w.err
 }
 
-// Close flushes the stream and verifies the declared record count.
+// Close flushes the stream. Count-up-front writers verify the declared
+// record count; stream writers append the end-of-stream footer instead.
 func (w *Writer) Close() error {
 	if w.err != nil {
 		return w.err
 	}
-	if w.counted != w.n {
+	if w.stream {
+		w.put(streamEndSentinel)
+		var cnt [8]byte
+		binary.LittleEndian.PutUint64(cnt[:], w.counted)
+		w.write(cnt[:])
+		if w.err != nil {
+			return w.err
+		}
+	} else if w.counted != w.n {
 		return fmt.Errorf("seeds: wrote %d of %d declared records", w.counted, w.n)
 	}
 	return w.bw.Flush()
 }
 
-// Reader streams ReadSeeds records from an input.
+// Reader streams ReadSeeds records from an input. It accepts both the
+// count-up-front version 1 and the footer-terminated streaming version 2.
 type Reader struct {
 	br        *bufio.Reader
 	remaining uint64
+	stream    bool // version 2: remaining is unknown until the footer
+	done      bool
+	read      uint64
 }
 
 // NewReader validates the header and returns a streaming reader.
@@ -140,25 +178,52 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("seeds: reading header: %w", err)
 	}
-	if v := binary.LittleEndian.Uint16(hdr[0:]); v != binVersion {
+	switch v := binary.LittleEndian.Uint16(hdr[0:]); v {
+	case binVersion:
+		return &Reader{br: br, remaining: binary.LittleEndian.Uint64(hdr[4:])}, nil
+	case binVersionStream:
+		return &Reader{br: br, stream: true}, nil
+	default:
 		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
 	}
-	return &Reader{br: br, remaining: binary.LittleEndian.Uint64(hdr[4:])}, nil
 }
 
-// Remaining returns how many records are left.
-func (r *Reader) Remaining() int { return int(r.remaining) }
+// Remaining returns how many records are left, or -1 when the stream is a
+// version-2 capture whose count is only known once the footer is reached.
+func (r *Reader) Remaining() int {
+	if r.stream {
+		if r.done {
+			return 0
+		}
+		return -1
+	}
+	return int(r.remaining)
+}
 
 // Next reads the next record, or io.EOF after the last one.
 func (r *Reader) Next() (*ReadSeeds, error) {
-	if r.remaining == 0 {
+	if r.done || (!r.stream && r.remaining == 0) {
 		return nil, io.EOF
 	}
-	r.remaining--
+	if !r.stream {
+		r.remaining--
+	}
 	get := func() (uint64, error) { return binary.ReadUvarint(r.br) }
 	nameLen, err := get()
 	if err != nil {
 		return nil, fmt.Errorf("seeds: name length: %w", err)
+	}
+	if r.stream && nameLen == streamEndSentinel {
+		// End-of-stream footer: verify the trailing count.
+		var cnt [8]byte
+		if _, err := io.ReadFull(r.br, cnt[:]); err != nil {
+			return nil, fmt.Errorf("seeds: stream footer: %w", err)
+		}
+		if n := binary.LittleEndian.Uint64(cnt[:]); n != r.read {
+			return nil, fmt.Errorf("seeds: stream footer declares %d records, read %d", n, r.read)
+		}
+		r.done = true
+		return nil, io.EOF
 	}
 	if nameLen > 1<<16 {
 		return nil, fmt.Errorf("seeds: implausible name length %d", nameLen)
@@ -234,6 +299,7 @@ func (r *Reader) Next() (*ReadSeeds, error) {
 			Score:   math.Float32frombits(binary.LittleEndian.Uint32(f[:])),
 		}
 	}
+	r.read++
 	return rs, nil
 }
 
@@ -298,7 +364,11 @@ func ReadFile(path string) ([]ReadSeeds, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]ReadSeeds, 0, r.Remaining())
+	capHint := r.Remaining()
+	if capHint < 0 {
+		capHint = 0
+	}
+	out := make([]ReadSeeds, 0, capHint)
 	for {
 		rs, err := r.Next()
 		if err == io.EOF {

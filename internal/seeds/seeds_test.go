@@ -148,6 +148,158 @@ func TestWriterCountEnforced(t *testing.T) {
 	}
 }
 
+func TestStreamRoundTrip(t *testing.T) {
+	recs := sampleRecords(7, 25)
+	var buf bytes.Buffer
+	w, err := NewStreamWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			t.Fatalf("Write(%d): %v", i, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Remaining() != -1 {
+		t.Fatalf("Remaining before footer = %d, want -1 (unknown)", r.Remaining())
+	}
+	for i := range recs {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("Next(%d): %v", i, err)
+		}
+		if got.Read.Name != recs[i].Read.Name ||
+			got.Read.Fragment != recs[i].Read.Fragment ||
+			got.Read.End != recs[i].Read.End {
+			t.Fatalf("record %d metadata mismatch: %+v vs %+v", i, got.Read, recs[i].Read)
+		}
+		if !got.Read.Seq.Equal(recs[i].Read.Seq) {
+			t.Fatalf("record %d sequence mismatch", i)
+		}
+		if len(got.Seeds) > 0 && !reflect.DeepEqual(got.Seeds, recs[i].Seeds) {
+			t.Fatalf("record %d seeds mismatch", i)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("after last record: err = %v, want io.EOF", err)
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("Remaining after footer = %d, want 0", r.Remaining())
+	}
+	// Repeated Next after the footer stays io.EOF.
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("second Next after footer: err = %v, want io.EOF", err)
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewStreamWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("empty stream: err = %v, want io.EOF", err)
+	}
+}
+
+func TestStreamFooterVerified(t *testing.T) {
+	recs := sampleRecords(8, 3)
+	var buf bytes.Buffer
+	w, err := NewStreamWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Corrupt the footer count (last 8 bytes) and expect a mismatch error.
+	corrupt := append([]byte{}, data...)
+	corrupt[len(corrupt)-1] ^= 0xFF
+	r, err := NewReader(bytes.NewReader(corrupt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	for {
+		if _, lastErr = r.Next(); lastErr != nil {
+			break
+		}
+	}
+	if lastErr == io.EOF || lastErr == nil {
+		t.Error("corrupted footer count not detected")
+	}
+
+	// Truncate inside the footer: the reader must error, not report EOF.
+	r2, err := NewReader(bytes.NewReader(data[:len(data)-4]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lastErr = nil; lastErr == nil; {
+		_, lastErr = r2.Next()
+	}
+	if lastErr == io.EOF {
+		t.Error("truncated footer read as clean EOF")
+	}
+}
+
+func TestReadFileStreamVariant(t *testing.T) {
+	recs := sampleRecords(9, 6)
+	path := filepath.Join(t.TempDir(), "stream.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewStreamWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("%d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if !got[i].Read.Seq.Equal(recs[i].Read.Seq) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
 func TestReaderRejectsBadHeader(t *testing.T) {
 	if _, err := NewReader(bytes.NewReader([]byte("XXXX0123456789ab"))); !errors.Is(err, ErrBadMagic) {
 		t.Errorf("err = %v, want ErrBadMagic", err)

@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -144,5 +145,72 @@ func TestGrow(t *testing.T) {
 	end()
 	if len(r.Spans(4)) != 1 {
 		t.Errorf("grown buffer did not record: %d spans", len(r.Spans(4)))
+	}
+}
+
+// TestConcurrentRecordMerge locks in the recorder's concurrency contract
+// under the race detector: the record path takes no locks, so concurrent
+// workers recording on distinct worker indices must be race-free, and
+// concurrent Merges of per-stage recorders into one aggregate (the only
+// cross-recorder operation, guarded by the recorder mutex) must serialize
+// cleanly against each other.
+func TestConcurrentRecordMerge(t *testing.T) {
+	const (
+		workers       = 8
+		stages        = 6
+		spansPerActor = 200
+	)
+
+	// Shared recorder: one goroutine per worker index, lock-free records.
+	shared := NewRecorder(workers)
+	// Aggregate: per-stage private recorders merged in concurrently.
+	agg := NewRecorder(workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < spansPerActor; i++ {
+				if i%2 == 0 {
+					end := shared.Begin(w, RegionExtend)
+					end()
+				} else {
+					shared.Record(w, RegionCluster, time.Now(), time.Microsecond)
+				}
+			}
+		}(w)
+	}
+	for s := 0; s < stages; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			private := NewRecorder(workers)
+			for i := 0; i < spansPerActor; i++ {
+				private.Record(i%workers, RegionEmit, time.Now(), time.Microsecond)
+			}
+			agg.Merge(private)
+		}(s)
+	}
+	wg.Wait()
+
+	// The shared recorder's own spans merge in after its workers are done.
+	agg.Merge(shared)
+
+	total := 0
+	for w := 0; w < agg.Workers(); w++ {
+		total += len(agg.Spans(w))
+	}
+	if want := (workers + stages) * spansPerActor; total != want {
+		t.Fatalf("aggregate holds %d spans, want %d", total, want)
+	}
+	perWorker := (workers + stages) * spansPerActor / workers
+	for w := 0; w < workers; w++ {
+		if got := len(shared.Spans(w)); got != spansPerActor {
+			t.Errorf("shared worker %d: %d spans, want %d", w, got, spansPerActor)
+		}
+		if got := len(agg.Spans(w)); got != perWorker {
+			t.Errorf("aggregate worker %d: %d spans, want %d", w, got, perWorker)
+		}
 	}
 }
