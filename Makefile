@@ -7,7 +7,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: build vet fmt-check test verify race bench-smoke lint staticcheck govulncheck ci
+.PHONY: build vet fmt-check test verify race bench-smoke fuzz-smoke lint staticcheck govulncheck ci
 
 build:
 	$(GO) build ./...
@@ -28,16 +28,25 @@ verify: build test
 
 # The heavily concurrent packages run under the race detector. The giraffe
 # emulator and trace recorder ride along in -short mode (their slowest
-# single-threaded tests are skipped; the multi-threaded ones still run).
+# single-threaded tests are skipped; the multi-threaded ones still run) —
+# that includes the streaming extraction path (ExtractSource prefetcher and
+# its differential harness) plus the fastq/seeds readers feeding it.
 race:
-	$(GO) test -race ./internal/sched/... ./internal/pipeline/... ./internal/core/... ./internal/trace/...
+	$(GO) test -race ./internal/sched/... ./internal/pipeline/... ./internal/core/... ./internal/trace/... ./internal/fastq/... ./internal/seeds/...
 	$(GO) test -race -short ./internal/giraffe/...
 
 # Compile-and-run every benchmark once so kernel benchmarks can't rot.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-# lint runs the project-specific analyzers (atomicmix, hotalloc,
+# Short native-fuzz runs over the two untrusted input surfaces (the capture
+# binary format and FASTQ). The checked-in corpora under testdata/fuzz seed
+# the mutation; 10 seconds each is a smoke test, not a campaign.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzReadSeeds -fuzztime=10s ./internal/seeds
+	$(GO) test -run='^$$' -fuzz=FuzzFASTQ -fuzztime=10s ./internal/fastq
+
+# lint runs the project-specific analyzers (atomicmix, cachepow2, hotalloc,
 # nakedgoroutine, tracepair) over the whole tree. Zero findings required.
 lint:
 	$(GO) run ./cmd/vetgiraffe ./...
@@ -59,4 +68,4 @@ govulncheck:
 		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION))"; \
 	fi
 
-ci: verify vet fmt-check lint staticcheck govulncheck race bench-smoke
+ci: verify vet fmt-check lint staticcheck govulncheck race bench-smoke fuzz-smoke

@@ -1,7 +1,8 @@
 // Command benchreport regenerates every table and figure of the paper's
 // evaluation in one run: Tables I, IV, V, VI, VII, VIII and Figures 2-8,
-// plus the §VI-a functional validation and the §VII-B ANOVA. Raw CSV
-// artefacts (timeline, heat map) are written to -outdir.
+// plus the §VI-a functional validation, the §VII-B ANOVA, and the streaming
+// ingest comparison (batch vs capture-file vs fastq-stream makespans). Raw
+// CSV artefacts (timeline, heat map) are written to -outdir.
 //
 // Usage:
 //
@@ -46,6 +47,7 @@ func main() {
 	steps := []step{
 		{"table1", func() error { _, err := s.Table1(""); return err }},
 		{"validation", func() error { _, err := s.FunctionalValidationAll(); return err }},
+		{"streaming", func() error { _, err := s.StreamingComparison(); return err }},
 		{"figure2", func() error {
 			f, err := os.Create(filepath.Join(*outdir, "figure2-timeline.csv"))
 			if err != nil {

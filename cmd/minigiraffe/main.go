@@ -11,10 +11,17 @@
 // rather than the workload, while the CSV output stays byte-identical to
 // batch mode.
 //
+// With -fastq (instead of -seeds), the proxy needs no captured-seed file at
+// all: the giraffe emulator's preprocessing runs inline as the pipeline's
+// ingest stage (giraffe.ExtractSource), extracting seeds from the FASTQ
+// reads on the fly with bounded lookahead — the paper's capture→proxy loop
+// as a single process. -fastq implies -stream.
+//
 // Usage:
 //
 //	minigiraffe -gbz A-human.gbz -seeds A-human-seeds.bin \
 //	    -threads 16 -batch 512 -capacity 256 -sched dynamic -out out.csv
+//	minigiraffe -gbz A-human.gbz -fastq A-human.fq -out out.csv
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/gbz"
+	"repro/internal/giraffe"
 	"repro/internal/pipeline"
 	"repro/internal/sched"
 	"repro/internal/seeds"
@@ -37,19 +45,21 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("minigiraffe: ")
 	gbzPath := flag.String("gbz", "", "pangenome .gbz file (required)")
-	seedsPath := flag.String("seeds", "", "captured sequence-seeds .bin file (required)")
+	seedsPath := flag.String("seeds", "", "captured sequence-seeds .bin file (this or -fastq required)")
+	fastqPath := flag.String("fastq", "", "stream directly from these FASTQ reads, extracting seeds on the fly (implies -stream)")
 	threads := flag.Int("threads", 0, "worker threads (0 = all CPUs)")
 	batch := flag.Int("batch", 512, "batch size")
 	capacity := flag.Int("capacity", 256, "initial CachedGBWT capacity (-1 disables caching)")
 	schedName := flag.String("sched", "dynamic", "scheduler: dynamic, work-stealing, static")
 	stream := flag.Bool("stream", false, "stream records through the pipeline (bounded memory)")
 	depth := flag.Int("depth", 0, "stream mode: max in-flight batches (0 = 2x threads)")
+	lookahead := flag.Int("lookahead", 0, "fastq mode: extraction prefetch bound in records (0 = 512)")
 	out := flag.String("out", "", "extension CSV output (default stdout)")
 	timeline := flag.String("timeline", "", "write the region timeline CSV here")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile here")
 	memprofile := flag.String("memprofile", "", "write a heap profile here")
 	flag.Parse()
-	if *gbzPath == "" || *seedsPath == "" {
+	if *gbzPath == "" || (*seedsPath == "") == (*fastqPath == "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -99,9 +109,12 @@ func main() {
 		Scheduler:     kind,
 		Trace:         rec,
 	}
-	if *stream {
+	switch {
+	case *fastqPath != "":
+		runStreamFromFASTQ(f, *fastqPath, w, opts, *depth, *lookahead)
+	case *stream:
 		runStream(f, *seedsPath, w, opts, *depth)
-	} else {
+	default:
 		runBatch(f, *seedsPath, w, opts)
 	}
 
@@ -170,6 +183,31 @@ func runStream(f *gbz.File, seedsPath string, w *os.File, opts core.Options, dep
 		log.Fatal(err)
 	}
 	defer src.Close()
+	runPipeline(m, src, w, opts, depth)
+}
+
+// runStreamFromFASTQ completes the capture→proxy loop in one process: the
+// emulator's preprocessing feeds the pipeline directly from FASTQ, with no
+// captured-seed file on disk.
+func runStreamFromFASTQ(f *gbz.File, fastqPath string, w *os.File, opts core.Options, depth, lookahead int) {
+	ix, err := giraffe.BuildIndexes(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Reuse the emulator's indexes instead of rebuilding them for the proxy.
+	m, err := core.NewMapperFromIndexes(f, ix.Dist, ix.Bi, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, err := giraffe.OpenExtractSource(ix.MinIx, fastqPath, lookahead)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer src.Close()
+	runPipeline(m, src, w, opts, depth)
+}
+
+func runPipeline(m *core.Mapper, src pipeline.Source, w *os.File, opts core.Options, depth int) {
 	st, err := pipeline.RunToCSV(m, src, w, pipeline.Options{
 		Workers:   opts.Threads,
 		BatchSize: opts.BatchSize,
@@ -180,12 +218,12 @@ func runStream(f *gbz.File, seedsPath string, w *os.File, opts core.Options, dep
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr,
-		"streamed %d reads in %d batches in %v (%.0f reads/s), scheduler %s, cache hits %d/%d (%.1f%%), %d rehashes, %d steals, imbalance %.2f, batch latency mean %.2fms max %.2fms\n",
+		"streamed %d reads in %d batches in %v (%.0f reads/s), scheduler %s, cache hits %d/%d (%.1f%%), %d rehashes, %d steals, imbalance %.2f, batch latency mean %.2fms max %.2fms, ingest mean %.2fms\n",
 		st.Reads, st.Batches, st.Makespan, st.Throughput(), opts.Scheduler,
 		st.Cache.Hits, st.Cache.Accesses,
 		100*float64(st.Cache.Hits)/float64(max64(st.Cache.Accesses, 1)),
 		st.Cache.Rehashes, st.Sched.Steals, st.Sched.Imbalance(),
-		1000*st.BatchLatency.Mean, 1000*st.BatchLatency.Max)
+		1000*st.BatchLatency.Mean, 1000*st.BatchLatency.Max, 1000*st.IngestLatency.Mean)
 }
 
 func max64(a, b int64) int64 {

@@ -5,6 +5,10 @@
 // expected match is in the proxy output, (2) the proxy output contains no
 // unexpected match. The paper reports a 100% match; so does this pipeline.
 //
+// A third leg validates the streaming extraction path: the pipeline maps
+// the same FASTQ file through giraffe.ExtractSource — no captured-seed file
+// on disk — and its extensions must also match the parent 100%.
+//
 // Usage:
 //
 //	validate -gbz A-human.gbz -reads A-human.fq -threads 4
@@ -17,11 +21,24 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/extend"
 	"repro/internal/fastq"
 	"repro/internal/gbz"
 	"repro/internal/giraffe"
+	"repro/internal/pipeline"
 	"repro/internal/sched"
+	"repro/internal/seeds"
 )
+
+// collectEmitter accumulates each record's extensions in workload order.
+type collectEmitter struct {
+	exts [][]extend.Extension
+}
+
+func (c *collectEmitter) Emit(_ *seeds.ReadSeeds, exts []extend.Extension) error {
+	c.exts = append(c.exts, exts)
+	return nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -72,7 +89,33 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println(rep)
-	if !rep.Match() {
+
+	// Streaming leg: pipeline over ExtractSource, straight from the FASTQ
+	// file — no captured-seed file on disk.
+	fmt.Printf("running streaming proxy (ExtractSource over %s)...\n", *readsPath)
+	m, err := core.NewMapperFromIndexes(f, ix.Dist, ix.Bi, core.Options{
+		Scheduler: kind, CacheCapacity: *capacity,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, err := giraffe.OpenExtractSource(ix.MinIx, *readsPath, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer src.Close()
+	var col collectEmitter
+	st, err := pipeline.Run(m, src, &col, pipeline.Options{Workers: *threads, Scheduler: kind})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streaming proxy done in %v\n", st.Makespan)
+	streamRep, err := core.Validate(parent.Extensions, col.exts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streaming %s\n", streamRep)
+	if !rep.Match() || !streamRep.Match() {
 		os.Exit(1)
 	}
 }

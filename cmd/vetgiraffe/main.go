@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/atomicmix"
+	"repro/internal/analysis/cachepow2"
 	"repro/internal/analysis/hotalloc"
 	"repro/internal/analysis/nakedgoroutine"
 	"repro/internal/analysis/tracepair"
@@ -27,6 +28,7 @@ import (
 
 var all = []*analysis.Analyzer{
 	atomicmix.Analyzer,
+	cachepow2.Analyzer,
 	hotalloc.Analyzer,
 	nakedgoroutine.Analyzer,
 	tracepair.Analyzer,

@@ -1,0 +1,155 @@
+// Package cachepow2 flags CachedGBWT capacities that are not powers of two
+// at construction sites. The cache's open-addressed table rounds any
+// requested capacity up to the next power of two (gbwt.NewCached), and its
+// hash folds with `& (len-1)`, so a non-power-of-two constant silently
+// allocates more slots than asked for — an experiment sweeping the paper's
+// main tuning knob (§VII-B) would label its points with capacities that were
+// never actually in effect. The check covers direct constructor calls
+// (gbwt.NewCached, Bidirectional.NewBiReader) and the CacheCapacity option
+// field that feeds them (composite literals and assignments).
+//
+// Non-positive constants are exempt: 0 selects the default capacity and
+// negative values disable caching, both deliberate sentinels. Deliberate
+// off-grid capacities (e.g. an ablation) can be suppressed with
+// `//vetgiraffe:ignore cachepow2 <reason>`.
+package cachepow2
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the cachepow2 check.
+var Analyzer = &analysis.Analyzer{
+	Name: "cachepow2",
+	Doc: "report constant cache capacities that are not powers of two " +
+		"(CachedGBWT rounds them up, so the configured knob misleads)",
+	Run: run,
+}
+
+// capacityConstructors maps gbwt constructor names to the index-from-end of
+// their capacity argument (both take it last).
+var capacityConstructors = map[string]bool{
+	"NewCached":   true,
+	"NewBiReader": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.CompositeLit:
+				checkComposite(pass, n)
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCall flags gbwt.NewCached(g, n) / bi.NewBiReader(n) with a constant
+// non-power-of-two capacity.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	var name *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun
+	case *ast.SelectorExpr:
+		name = fun.Sel
+	default:
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[name].(*types.Func)
+	if !ok || !capacityConstructors[fn.Name()] || len(call.Args) == 0 {
+		return
+	}
+	if pkg := fn.Pkg(); pkg == nil || !strings.HasSuffix(pkg.Path(), "internal/gbwt") {
+		return
+	}
+	arg := call.Args[len(call.Args)-1]
+	if v, ok := constCapacity(pass, arg); ok && !powerOfTwo(v) {
+		pass.Reportf(arg.Pos(),
+			"cache capacity %d passed to %s is not a power of two (the cache rounds it up to %d)",
+			v, fn.Name(), roundUp(v))
+	}
+}
+
+// checkComposite flags Options{CacheCapacity: n} literals.
+func checkComposite(pass *analysis.Pass, lit *ast.CompositeLit) {
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || !isCapacityField(pass, key) {
+			continue
+		}
+		if v, ok := constCapacity(pass, kv.Value); ok && !powerOfTwo(v) {
+			pass.Reportf(kv.Value.Pos(),
+				"CacheCapacity %d is not a power of two (the cache rounds it up to %d)",
+				v, roundUp(v))
+		}
+	}
+}
+
+// checkAssign flags opts.CacheCapacity = n assignments.
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		sel, ok := lhs.(*ast.SelectorExpr)
+		if !ok || !isCapacityField(pass, sel.Sel) {
+			continue
+		}
+		if v, ok := constCapacity(pass, as.Rhs[i]); ok && !powerOfTwo(v) {
+			pass.Reportf(as.Rhs[i].Pos(),
+				"CacheCapacity %d is not a power of two (the cache rounds it up to %d)",
+				v, roundUp(v))
+		}
+	}
+}
+
+// isCapacityField reports whether id resolves to a struct field named
+// CacheCapacity.
+func isCapacityField(pass *analysis.Pass, id *ast.Ident) bool {
+	if id.Name != "CacheCapacity" {
+		return false
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	return ok && v.IsField()
+}
+
+// constCapacity extracts a positive constant integer capacity from e.
+// Non-constant expressions and the 0 / negative sentinels are not checked.
+func constCapacity(pass *analysis.Pass, e ast.Expr) (int64, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	if !ok || v <= 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+func powerOfTwo(v int64) bool { return v&(v-1) == 0 }
+
+// roundUp returns the next power of two >= v, matching gbwt.NewCached.
+func roundUp(v int64) int64 {
+	n := int64(1)
+	for n < v {
+		n <<= 1
+	}
+	return n
+}

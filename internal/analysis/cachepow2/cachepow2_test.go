@@ -1,0 +1,12 @@
+package cachepow2_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/cachepow2"
+)
+
+func TestCachePow2(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", cachepow2.Analyzer)
+}

@@ -1,0 +1,38 @@
+// Fixture for the cachepow2 analyzer: constant cache capacities must be
+// powers of two at every construction site — direct gbwt constructor calls
+// and the CacheCapacity option field feeding them.
+package a
+
+import (
+	"repro/internal/core"
+	"repro/internal/gbwt"
+)
+
+func constructors(g *gbwt.GBWT, b *gbwt.Bidirectional) {
+	_ = gbwt.NewCached(g, 256)
+	_ = gbwt.NewCached(g, gbwt.DefaultCacheCapacity)
+	_ = gbwt.NewCached(g, 300) // want `cache capacity 300 passed to NewCached is not a power of two`
+	_ = gbwt.NewCached(g, 0)   // 0 = default: a sentinel, not a capacity
+	_ = gbwt.NewCached(g, -1)  // negative = caching disabled
+	_ = b.NewBiReader(64)
+	_ = b.NewBiReader(1000) // want `cache capacity 1000 passed to NewBiReader is not a power of two`
+}
+
+func nonConstant(g *gbwt.GBWT, capacity int) {
+	_ = gbwt.NewCached(g, capacity) // runtime values cannot be checked here
+}
+
+func optionFields() {
+	_ = core.Options{Threads: 2, CacheCapacity: 512}
+	_ = core.Options{CacheCapacity: 300} // want `CacheCapacity 300 is not a power of two`
+	var o core.Options
+	o.CacheCapacity = 100 // want `CacheCapacity 100 is not a power of two`
+	o.CacheCapacity = 128
+	o.CacheCapacity = -1
+	_ = o
+}
+
+func suppressed() {
+	o := core.Options{CacheCapacity: 300} //vetgiraffe:ignore cachepow2 deliberate off-grid ablation point
+	_ = o
+}

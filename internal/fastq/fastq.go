@@ -40,59 +40,103 @@ func WriteFile(path string, reads []dna.Read) error {
 	return f.Close()
 }
 
-// Read parses FASTQ records. Names ending in "/1" or "/2" are paired:
-// consecutive /1-/2 records form a fragment, numbered in file order.
-func Read(r io.Reader) ([]dna.Read, error) {
+// Scanner reads FASTQ records one at a time — the incremental front end of
+// the streaming extraction path (giraffe.ExtractSource), where buffering the
+// whole read set would defeat the pipeline's bounded-memory guarantee. It
+// carries the pairing state across records: names ending in "/1" or "/2"
+// are paired, consecutive /1-/2 records form a fragment, numbered in file
+// order — exactly the numbering the batch Read produces, so streamed and
+// materialized workloads are record-for-record identical.
+type Scanner struct {
+	sc       *bufio.Scanner
+	line     int
+	fragment int
+	err      error
+}
+
+// NewScanner wraps r for incremental record reading.
+func NewScanner(r io.Reader) *Scanner {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	var out []dna.Read
-	fragment := 0
-	line := 0
-	for sc.Scan() {
-		header := sc.Text()
-		line++
+	return &Scanner{sc: sc}
+}
+
+// Next returns the next record, or io.EOF after the last one. Parse errors
+// are sticky: once Next fails, every later call returns the same error.
+func (s *Scanner) Next() (dna.Read, error) {
+	if s.err != nil {
+		return dna.Read{}, s.err
+	}
+	rd, err := s.next()
+	if err != nil {
+		s.err = err
+	}
+	return rd, err
+}
+
+func (s *Scanner) next() (dna.Read, error) {
+	for s.sc.Scan() {
+		header := s.sc.Text()
+		s.line++
 		if header == "" {
 			continue
 		}
 		if !strings.HasPrefix(header, "@") {
-			return nil, fmt.Errorf("fastq: line %d: expected @header, got %q", line, header)
+			return dna.Read{}, fmt.Errorf("fastq: line %d: expected @header, got %q", s.line, header)
 		}
-		if !sc.Scan() {
-			return nil, fmt.Errorf("fastq: record %q truncated before sequence", header)
+		if !s.sc.Scan() {
+			return dna.Read{}, fmt.Errorf("fastq: record %q truncated before sequence", header)
 		}
-		line++
-		seq, err := dna.Parse(sc.Text())
+		s.line++
+		seq, err := dna.Parse(s.sc.Text())
 		if err != nil {
-			return nil, fmt.Errorf("fastq: record %q: %w", header, err)
+			return dna.Read{}, fmt.Errorf("fastq: record %q: %w", header, err)
 		}
-		if !sc.Scan() || !strings.HasPrefix(sc.Text(), "+") {
-			return nil, fmt.Errorf("fastq: record %q missing separator line", header)
+		if !s.sc.Scan() || !strings.HasPrefix(s.sc.Text(), "+") {
+			return dna.Read{}, fmt.Errorf("fastq: record %q missing separator line", header)
 		}
-		line++
-		if !sc.Scan() {
-			return nil, fmt.Errorf("fastq: record %q truncated before quality", header)
+		s.line++
+		if !s.sc.Scan() {
+			return dna.Read{}, fmt.Errorf("fastq: record %q truncated before quality", header)
 		}
-		line++
-		if len(sc.Text()) != len(seq) {
-			return nil, fmt.Errorf("fastq: record %q quality length %d != sequence %d", header, len(sc.Text()), len(seq))
+		s.line++
+		if len(s.sc.Text()) != len(seq) {
+			return dna.Read{}, fmt.Errorf("fastq: record %q quality length %d != sequence %d", header, len(s.sc.Text()), len(seq))
 		}
 		name := strings.TrimPrefix(header, "@")
 		read := dna.Read{Name: name, Seq: seq, Fragment: -1}
 		switch {
 		case strings.HasSuffix(name, "/1"):
-			read.Fragment = fragment
+			read.Fragment = s.fragment
 			read.End = 0
 		case strings.HasSuffix(name, "/2"):
-			read.Fragment = fragment
+			read.Fragment = s.fragment
 			read.End = 1
-			fragment++
+			s.fragment++
 		}
-		out = append(out, read)
+		return read, nil
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
+	if err := s.sc.Err(); err != nil {
+		return dna.Read{}, err
 	}
-	return out, nil
+	return dna.Read{}, io.EOF
+}
+
+// Read parses FASTQ records. Names ending in "/1" or "/2" are paired:
+// consecutive /1-/2 records form a fragment, numbered in file order.
+func Read(r io.Reader) ([]dna.Read, error) {
+	sc := NewScanner(r)
+	var out []dna.Read
+	for {
+		rd, err := sc.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rd)
+	}
 }
 
 // ReadFile loads a FASTQ file.

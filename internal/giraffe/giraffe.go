@@ -172,25 +172,26 @@ func Map(ix *Indexes, reads []dna.Read, opts Options) (*Result, error) {
 	var errOnce sync.Once
 	processRead := func(worker, i int, reader gbwt.BiReader) {
 		read := &reads[i]
-		// Preprocess: minimizers + seeds.
+		// Preprocess: minimizers + seeds — the same Preprocess the streaming
+		// ExtractSource and capture paths run, so every route into the
+		// kernels sees identical records.
 		var endMin func()
 		if opts.Trace != nil {
 			endMin = opts.Trace.Begin(worker, trace.RegionMinimizer)
 		}
-		ss, err := seeds.Extract(ix.MinIx, read)
+		rec, err := Preprocess(ix.MinIx, read)
 		if endMin != nil {
 			endMin()
 		}
 		if err != nil {
-			errOnce.Do(func() { firstErr = fmt.Errorf("giraffe: read %s: %w", read.Name, err) })
+			errOnce.Do(func() { firstErr = err })
 			return
 		}
 		if opts.CaptureSeeds {
-			res.Captured[i] = seeds.ReadSeeds{Read: *read, Seeds: ss}
+			res.Captured[i] = rec
 		}
 		// The two critical functions (cluster_seeds and
 		// process_until_threshold_c), through the shared mapping engine.
-		rec := seeds.ReadSeeds{Read: *read, Seeds: ss}
 		exts := mapper.MapRecord(worker, reader, &rec, i)
 		res.Extensions[i] = exts
 		// Post-processing (the phase the proxy omits).

@@ -1,0 +1,272 @@
+package giraffe
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fastq"
+	"repro/internal/pipeline"
+	"repro/internal/sched"
+	"repro/internal/seeds"
+	"repro/internal/workload"
+)
+
+// streamFixture generates a bundle and writes its reads to a FASTQ file —
+// the on-disk input the streaming extraction path starts from.
+func streamFixture(t testing.TB, spec workload.Spec) (*workload.Bundle, string) {
+	t.Helper()
+	b, err := workload.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), spec.Name+".fq")
+	if err := fastq.WriteFile(path, b.Reads); err != nil {
+		t.Fatal(err)
+	}
+	return b, path
+}
+
+// TestExtractSourceMatchesCapture locks the streaming extraction to the
+// batch capture: record for record, the ExtractSource must yield exactly
+// what the materializing capture path produces.
+func TestExtractSourceMatchesCapture(t *testing.T) {
+	b, path := streamFixture(t, workload.AHuman().Scaled(0.04))
+	want, err := b.CaptureSeeds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := OpenExtractSource(b.MinIx, path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	var got []seeds.ReadSeeds
+	for {
+		rec, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, *rec)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d records, capture has %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("record %d differs:\nstream  %+v\ncapture %+v", i, got[i], want[i])
+		}
+	}
+	if src.Reads() != len(want) {
+		t.Errorf("Reads() = %d, want %d", src.Reads(), len(want))
+	}
+	if src.TotalSeeds() == 0 {
+		t.Error("TotalSeeds() = 0")
+	}
+}
+
+// TestDifferentialCSV is the differential harness of the PR: the same
+// workload mapped three ways — (a) the batch core.Mapper, (b) the pipeline
+// over a captured-seed file, (c) the pipeline over the streaming
+// ExtractSource with no capture file on disk — must produce byte-identical
+// CSV output, on both synthetic workloads.
+func TestDifferentialCSV(t *testing.T) {
+	specs := []workload.Spec{
+		workload.AHuman().Scaled(0.04),
+		workload.BYeast().Scaled(0.004),
+	}
+	for _, spec := range specs {
+		t.Run(spec.Name, func(t *testing.T) {
+			b, fqPath := streamFixture(t, spec)
+			recs, err := b.CaptureSeeds()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// (a) Batch proxy.
+			res, err := core.Run(b.GBZ(), recs, core.Options{Threads: 2, BatchSize: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var batchCSV bytes.Buffer
+			if err := core.WriteCSV(&batchCSV, recs, res); err != nil {
+				t.Fatal(err)
+			}
+
+			m, err := core.NewMapper(b.GBZ(), core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// (b) Pipeline over a captured-seed file.
+			capPath := filepath.Join(t.TempDir(), "capture.bin")
+			if err := seeds.WriteFile(capPath, recs); err != nil {
+				t.Fatal(err)
+			}
+			fileSrc, err := seeds.Open(capPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fileSrc.Close()
+			var fileCSV bytes.Buffer
+			if _, err := pipeline.RunToCSV(m, fileSrc, &fileCSV, pipeline.Options{
+				Workers: 3, BatchSize: 8, Scheduler: sched.WorkStealing,
+			}); err != nil {
+				t.Fatal(err)
+			}
+
+			// (c) Pipeline over the streaming ExtractSource — no capture file.
+			extSrc, err := OpenExtractSource(b.MinIx, fqPath, 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer extSrc.Close()
+			var streamCSV bytes.Buffer
+			st, err := pipeline.RunToCSV(m, extSrc, &streamCSV, pipeline.Options{
+				Workers: 3, BatchSize: 8, Scheduler: sched.Dynamic,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if !bytes.Equal(batchCSV.Bytes(), fileCSV.Bytes()) {
+				t.Error("capture-file pipeline CSV differs from batch CSV")
+			}
+			if !bytes.Equal(batchCSV.Bytes(), streamCSV.Bytes()) {
+				t.Error("fastq-stream pipeline CSV differs from batch CSV")
+			}
+			if st.Reads != len(recs) {
+				t.Errorf("streamed %d of %d reads", st.Reads, len(recs))
+			}
+			if st.IngestLatency.N != int64(st.Batches) {
+				t.Errorf("ingest latency has %d samples for %d batches", st.IngestLatency.N, st.Batches)
+			}
+			// The streaming ingest stage did the extraction work, so it
+			// cannot be free.
+			if st.IngestLatency.Mean <= 0 {
+				t.Error("zero ingest latency on the extraction path")
+			}
+		})
+	}
+}
+
+// TestCaptureSeedsStreamRoundTrip locks the streaming v2 capture to the v1
+// writer: both paths must store identical records, including paired-end
+// fragment numbering.
+func TestCaptureSeedsStreamRoundTrip(t *testing.T) {
+	b, path := streamFixture(t, workload.CHPRC().Scaled(0.008))
+	want, err := b.CaptureSeeds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v1: count-up-front, from materialized records.
+	v1Path := filepath.Join(t.TempDir(), "v1.bin")
+	if err := seeds.WriteFile(v1Path, want); err != nil {
+		t.Fatal(err)
+	}
+	v1, err := seeds.ReadFile(v1Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v2: streamed record by record from the FASTQ file, no materialization.
+	fq, err := fastq.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fqText bytes.Buffer
+	if err := fastq.Write(&fqText, fq); err != nil {
+		t.Fatal(err)
+	}
+	var capture bytes.Buffer
+	st, err := CaptureSeeds(b.MinIx, &fqText, &capture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Reads != len(want) {
+		t.Fatalf("streamed capture wrote %d records, want %d", st.Reads, len(want))
+	}
+	r, err := seeds.NewReader(bytes.NewReader(capture.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v2 []seeds.ReadSeeds
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2 = append(v2, *rec)
+	}
+	if !reflect.DeepEqual(v1, v2) {
+		t.Fatal("streamed v2 capture differs from v1 capture")
+	}
+}
+
+// TestExtractSourceParseError propagates a malformed FASTQ through the
+// pipeline as an ingest error.
+func TestExtractSourceParseError(t *testing.T) {
+	b, _ := streamFixture(t, workload.AHuman().Scaled(0.02))
+	m, err := core.NewMapper(b.GBZ(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewExtractSource(b.MinIx, strings.NewReader("not a fastq file\n"), 2)
+	defer src.Close()
+	var buf bytes.Buffer
+	_, err = pipeline.RunToCSV(m, src, &buf, pipeline.Options{Workers: 2})
+	if err == nil || !strings.Contains(err.Error(), "expected @header") {
+		t.Fatalf("parse error not propagated: %v", err)
+	}
+}
+
+// TestExtractSourceCloseEarly stops the prefetcher mid-stream: Close must
+// not block even with unconsumed lookahead, and may be called twice.
+func TestExtractSourceCloseEarly(t *testing.T) {
+	b, path := streamFixture(t, workload.AHuman().Scaled(0.04))
+	src, err := OpenExtractSource(b.MinIx, path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestPreprocessSharedByBatchAndStream pins the refactor: Map's captured
+// records are exactly Preprocess output.
+func TestPreprocessSharedByBatchAndStream(t *testing.T) {
+	b := testBundle(t, 0.03)
+	ix, err := BuildIndexes(b.GBZ())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Map(ix, b.Reads, Options{Threads: 2, CaptureSeeds: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b.Reads {
+		want, err := Preprocess(ix.MinIx, &b.Reads[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.Captured[i], want) {
+			t.Fatalf("captured record %d differs from Preprocess output", i)
+		}
+	}
+}

@@ -57,7 +57,9 @@ func (o Options) normalize() Options {
 }
 
 // Source yields records incrementally; Next returns io.EOF after the last
-// one. *seeds.Reader (and seeds.File) satisfy it directly.
+// one. *seeds.Reader (and seeds.File) satisfy it directly, as does
+// giraffe.ExtractSource, which extracts records from FASTQ on the fly
+// instead of reading a capture file.
 type Source interface {
 	Next() (*seeds.ReadSeeds, error)
 }
@@ -125,6 +127,13 @@ type Stats struct {
 	BatchLatency stats.Online
 	// MapLatency summarises per-batch time in the map stage in seconds.
 	MapLatency stats.Online
+	// IngestLatency summarises per-batch time in the ingest stage in
+	// seconds: what the source spent producing the batch's records. For a
+	// captured-seed file that is decode I/O; for a streaming extraction
+	// source (giraffe.ExtractSource) it includes minimizer lookup and seed
+	// creation, which is what lets cmd/benchreport compare
+	// streamed-from-FASTQ against captured-file ingest cost directly.
+	IngestLatency stats.Online
 	// Makespan is the end-to-end wall time of the streaming run.
 	Makespan time.Duration
 }
@@ -139,12 +148,13 @@ func (s *Stats) Throughput() float64 {
 
 // batch is one in-flight unit of work.
 type batch struct {
-	seq      int // ingest order; emit replays in this order
-	base     int // global index of recs[0] in the workload
-	recs     []seeds.ReadSeeds
-	exts     [][]extend.Extension
-	ingested time.Time
-	mapSecs  float64
+	seq        int // ingest order; emit replays in this order
+	base       int // global index of recs[0] in the workload
+	recs       []seeds.ReadSeeds
+	exts       [][]extend.Extension
+	ingested   time.Time
+	ingestSecs float64
+	mapSecs    float64
 }
 
 // Run streams records from src through m's mapping kernels into emit. The
@@ -209,7 +219,9 @@ func Run(m *core.Mapper, src Source, emit Emitter, opts Options) (*Stats, error)
 			if rec != nil {
 				end = rec.Begin(opts.Workers, trace.RegionIngest)
 			}
+			t0 := time.Now()
 			recs, err := readBatch(src, opts.BatchSize)
+			ingestSecs := time.Since(t0).Seconds()
 			if end != nil {
 				end()
 			}
@@ -219,11 +231,12 @@ func Run(m *core.Mapper, src Source, emit Emitter, opts Options) (*Stats, error)
 			}
 			if len(recs) > 0 {
 				b := &batch{
-					seq:      seq,
-					base:     base,
-					recs:     recs,
-					exts:     make([][]extend.Extension, len(recs)),
-					ingested: time.Now(),
+					seq:        seq,
+					base:       base,
+					recs:       recs,
+					exts:       make([][]extend.Extension, len(recs)),
+					ingested:   time.Now(),
+					ingestSecs: ingestSecs,
 				}
 				if !cq.push(b) {
 					return
@@ -286,6 +299,7 @@ func Run(m *core.Mapper, src Source, emit Emitter, opts Options) (*Stats, error)
 			st.Batches++
 			st.Reads += len(nb.recs)
 			st.MapLatency.Add(nb.mapSecs)
+			st.IngestLatency.Add(nb.ingestSecs)
 			if aborted() {
 				continue // drain without emitting
 			}

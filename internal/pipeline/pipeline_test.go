@@ -270,6 +270,12 @@ func TestStatsAndTrace(t *testing.T) {
 	if st.BatchLatency.N != int64(st.Batches) || st.MapLatency.N != int64(st.Batches) {
 		t.Errorf("latency samples %d/%d for %d batches", st.BatchLatency.N, st.MapLatency.N, st.Batches)
 	}
+	if st.IngestLatency.N != int64(st.Batches) {
+		t.Errorf("ingest latency samples %d for %d batches", st.IngestLatency.N, st.Batches)
+	}
+	if st.IngestLatency.Max <= 0 {
+		t.Error("ingest latency never recorded a positive sample")
+	}
 	if st.Makespan <= 0 || st.Throughput() <= 0 {
 		t.Errorf("makespan %v throughput %f", st.Makespan, st.Throughput())
 	}

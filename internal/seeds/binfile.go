@@ -262,6 +262,13 @@ func (r *Reader) Next() (*ReadSeeds, error) {
 	if nSeeds > 1<<24 {
 		return nil, fmt.Errorf("seeds: implausible seed count %d", nSeeds)
 	}
+	// Preallocate from the declared count only up to a modest bound: a
+	// corrupt or hostile count must not translate into a huge allocation
+	// before any seed bytes have been read.
+	capHint := nSeeds
+	if capHint > 4096 {
+		capHint = 4096
+	}
 	rs := &ReadSeeds{
 		Read: dna.Read{
 			Name:     string(name),
@@ -269,9 +276,9 @@ func (r *Reader) Next() (*ReadSeeds, error) {
 			Fragment: int(fragP1) - 1,
 			End:      int(end),
 		},
-		Seeds: make([]Seed, nSeeds),
+		Seeds: make([]Seed, 0, capHint),
 	}
-	for i := range rs.Seeds {
+	for i := 0; i < int(nSeeds); i++ {
 		node, err := get()
 		if err != nil {
 			return nil, fmt.Errorf("seeds: seed %d node: %w", i, err)
@@ -292,12 +299,12 @@ func (r *Reader) Next() (*ReadSeeds, error) {
 		if _, err := io.ReadFull(r.br, f[:]); err != nil {
 			return nil, fmt.Errorf("seeds: seed %d score: %w", i, err)
 		}
-		rs.Seeds[i] = Seed{
+		rs.Seeds = append(rs.Seeds, Seed{
 			Pos:     vgraph.Position{Node: vgraph.NodeID(node), Off: int32(off)},
 			ReadOff: int32(readOff),
 			Rev:     flags&1 != 0,
 			Score:   math.Float32frombits(binary.LittleEndian.Uint32(f[:])),
-		}
+		})
 	}
 	r.read++
 	return rs, nil
@@ -364,9 +371,13 @@ func ReadFile(path string) ([]ReadSeeds, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The v1 header count is untrusted input — use it as a capacity hint
+	// only within a modest bound.
 	capHint := r.Remaining()
 	if capHint < 0 {
 		capHint = 0
+	} else if capHint > 1<<16 {
+		capHint = 1 << 16
 	}
 	out := make([]ReadSeeds, 0, capHint)
 	for {

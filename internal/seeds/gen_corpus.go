@@ -1,0 +1,92 @@
+//go:build ignore
+
+// Regenerates the checked-in fuzz corpus for FuzzReadSeeds. The corpus
+// seeds the fuzzer with both capture-format versions plus the interesting
+// corruption classes (truncation, clipped footer, varint overflow, bad
+// magic). Run from the repository root:
+//
+//	go run internal/seeds/gen_corpus.go
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dna"
+	"repro/internal/seeds"
+	"repro/internal/vgraph"
+)
+
+func main() {
+	recs := []seeds.ReadSeeds{
+		{
+			Read: dna.Read{Name: "r0/1", Seq: dna.MustParse("ACGTACGTACGTA"), Fragment: 0, End: 0},
+			Seeds: []seeds.Seed{
+				{Pos: vgraph.Position{Node: 5, Off: 3}, ReadOff: 2, Rev: true, Score: 1.5},
+				{Pos: vgraph.Position{Node: 9, Off: 0}, ReadOff: 7, Score: -2},
+			},
+		},
+		{
+			Read: dna.Read{Name: "r0/2", Seq: dna.MustParse("TTTT"), Fragment: 0, End: 1},
+		},
+		{
+			Read:  dna.Read{Name: "solo", Seq: dna.MustParse("G"), Fragment: -1},
+			Seeds: []seeds.Seed{{Pos: vgraph.Position{Node: 1, Off: 1}, ReadOff: 0, Score: 0.25}},
+		},
+	}
+
+	var v1 bytes.Buffer
+	w, err := seeds.NewWriter(&v1, len(recs))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	var v2 bytes.Buffer
+	sw, err := seeds.NewStreamWriter(&v2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range recs {
+		if err := sw.Write(&recs[i]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	badVarint := append([]byte{}, v1.Bytes()[:16]...)
+	for i := 0; i < 11; i++ {
+		badVarint = append(badVarint, 0x80)
+	}
+	entries := map[string][]byte{
+		"valid-v1":          v1.Bytes(),
+		"valid-v2-stream":   v2.Bytes(),
+		"truncated-v1":      v1.Bytes()[:v1.Len()/2],
+		"clipped-footer-v2": v2.Bytes()[:v2.Len()-4],
+		"bad-varint":        badVarint,
+		"garbage-header":    []byte("not a capture file"),
+	}
+	dir := filepath.Join("internal", "seeds", "testdata", "fuzz", "FuzzReadSeeds")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for name, data := range entries {
+		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", filepath.Join(dir, name), len(data))
+	}
+}
