@@ -30,9 +30,10 @@ verify: build test
 # emulator and trace recorder ride along in -short mode (their slowest
 # single-threaded tests are skipped; the multi-threaded ones still run) —
 # that includes the streaming extraction path (ExtractSource prefetcher and
-# its differential harness) plus the fastq/seeds readers feeding it.
+# its differential harness) plus the fastq/seeds readers feeding it. The obs
+# registry is scraped concurrently with recording, so it runs here too.
 race:
-	$(GO) test -race ./internal/sched/... ./internal/pipeline/... ./internal/core/... ./internal/trace/... ./internal/fastq/... ./internal/seeds/...
+	$(GO) test -race ./internal/sched/... ./internal/pipeline/... ./internal/core/... ./internal/trace/... ./internal/fastq/... ./internal/seeds/... ./internal/obs/...
 	$(GO) test -race -short ./internal/giraffe/...
 
 # Compile-and-run every benchmark once so kernel benchmarks can't rot.
@@ -47,7 +48,8 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzFASTQ -fuzztime=10s ./internal/fastq
 
 # lint runs the project-specific analyzers (atomicmix, cachepow2, hotalloc,
-# nakedgoroutine, tracepair) over the whole tree. Zero findings required.
+# metricname, nakedgoroutine, tracepair) over the whole tree. Zero findings
+# required.
 lint:
 	$(GO) run ./cmd/vetgiraffe ./...
 

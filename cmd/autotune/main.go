@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/autotune"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -29,11 +30,14 @@ func main() {
 	repeats := flag.Int("repeats", 1, "repeats per combo")
 	experiment := flag.String("experiment", "all", "figure6, figure7, figure8, or all")
 	heatmap := flag.String("heatmap", "", "write the Figure 8 heat map CSV here")
+	manifest := flag.String("manifest", "autotune-manifest.json", "run manifest JSON path (\"off\" disables)")
 	flag.Parse()
 
 	s := experiments.NewSuite(experiments.Config{
 		Scale: *scale, Threads: *threads, Repeats: *repeats, Out: os.Stdout,
 	})
+	man := obs.NewManifest("autotune")
+	man.AddFlagSet(flag.CommandLine)
 	space := autotune.DefaultSpace()
 	run := func(name string, f func() error) {
 		if *experiment != "all" && *experiment != name {
@@ -42,6 +46,7 @@ func main() {
 		if err := f(); err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
+		man.Notes["ran_"+name] = "true"
 	}
 	run("figure6", func() error { _, err := s.Figure6(); return err })
 	run("figure7", func() error { _, err := s.Figure7AndTable8(space); return err })
@@ -58,4 +63,13 @@ func main() {
 		_, err := s.Figure8(space, w)
 		return err
 	})
+	if *manifest != "off" && *manifest != "" {
+		if *heatmap != "" {
+			man.AddResult(*heatmap)
+		}
+		man.Finish(nil)
+		if err := man.Write(*manifest); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/autotune"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/plot"
 )
 
@@ -30,10 +31,20 @@ func main() {
 	repeats := flag.Int("repeats", 1, "repeats per measured point")
 	outdir := flag.String("outdir", "results", "directory for CSV artefacts")
 	only := flag.String("only", "", "run a single experiment (table1, figure2, ... anova)")
+	manifest := flag.String("manifest", "", "run manifest JSON path (default <outdir>/run-manifest.json; \"off\" disables)")
 	flag.Parse()
 
 	if err := os.MkdirAll(*outdir, 0o755); err != nil {
 		log.Fatal(err)
+	}
+	man := obs.NewManifest("benchreport")
+	man.AddFlagSet(flag.CommandLine)
+	manifestPath := *manifest
+	if manifestPath == "" {
+		manifestPath = filepath.Join(*outdir, "run-manifest.json")
+	}
+	if manifestPath == "off" {
+		manifestPath = ""
 	}
 	s := experiments.NewSuite(experiments.Config{
 		Scale: *scale, Threads: *threads, Repeats: *repeats, Out: os.Stdout,
@@ -126,7 +137,25 @@ func main() {
 		if err := st.fn(); err != nil {
 			log.Fatalf("%s: %v", st.name, err)
 		}
-		fmt.Printf("[%s done in %v]\n", st.name, time.Since(t0).Round(time.Millisecond))
+		elapsed := time.Since(t0).Round(time.Millisecond)
+		man.Notes["step_"+st.name] = elapsed.String()
+		fmt.Printf("[%s done in %v]\n", st.name, elapsed)
+	}
+	if manifestPath != "" {
+		entries, err := os.ReadDir(*outdir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, e := range entries {
+			if !e.IsDir() && e.Name() != filepath.Base(manifestPath) {
+				man.AddResult(filepath.Join(*outdir, e.Name()))
+			}
+		}
+		man.Finish(nil)
+		if err := man.Write(manifestPath); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("run manifest written to %s\n", manifestPath)
 	}
 	fmt.Printf("\nbenchreport complete in %v; CSV artefacts in %s/\n",
 		time.Since(start).Round(time.Millisecond), *outdir)

@@ -31,10 +31,12 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/gbz"
 	"repro/internal/giraffe"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/sched"
 	"repro/internal/seeds"
@@ -56,6 +58,11 @@ func main() {
 	lookahead := flag.Int("lookahead", 0, "fastq mode: extraction prefetch bound in records (0 = 512)")
 	out := flag.String("out", "", "extension CSV output (default stdout)")
 	timeline := flag.String("timeline", "", "write the region timeline CSV here")
+	perfetto := flag.String("perfetto", "", "write a Perfetto/chrome://tracing trace-event JSON here")
+	manifest := flag.String("manifest", "", "run manifest JSON path (default <out>.manifest.json when -out is set; \"off\" disables)")
+	obsOn := flag.Bool("obs", false, "enable the metrics registry (kernel/stage histograms, scheduler counters) even without -debug-addr")
+	debugAddr := flag.String("debug-addr", "", "serve pprof, expvar, /metrics and /progress on this address (e.g. localhost:6060); enables the metrics registry")
+	progressEvery := flag.Duration("progress-interval", time.Second, "debug endpoint: /progress sampling interval")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile here")
 	memprofile := flag.String("memprofile", "", "write a heap profile here")
 	flag.Parse()
@@ -79,12 +86,44 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	// Observability is default-off: the registry exists only when asked for,
+	// and a nil registry keeps every instrumented path timing-free.
+	var reg *obs.Registry
+	if *obsOn || *debugAddr != "" {
+		n := *threads
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		// +2: the pipeline's ingest and emit stages record into their own
+		// shards past the map workers.
+		reg = obs.NewRegistry(n + 2)
+	}
+	var dbg *obs.DebugServer
+	if *debugAddr != "" {
+		var err error
+		dbg, err = obs.StartDebugServer(*debugAddr, reg, *progressEvery)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/\n", dbg.Addr())
+	}
+	man := obs.NewManifest("minigiraffe")
+	man.AddFlagSet(flag.CommandLine)
+	manifestPath := *manifest
+	if manifestPath == "" && *out != "" {
+		manifestPath = *out + ".manifest.json"
+	}
+	if manifestPath == "off" {
+		manifestPath = ""
+	}
+
 	f, err := gbz.Load(*gbzPath)
 	if err != nil {
 		log.Fatal(err)
 	}
 	var rec *trace.Recorder
-	if *timeline != "" {
+	if *timeline != "" || *perfetto != "" {
 		n := *threads
 		if n <= 0 {
 			n = 64
@@ -108,6 +147,7 @@ func main() {
 		CacheCapacity: *capacity,
 		Scheduler:     kind,
 		Trace:         rec,
+		Obs:           reg,
 	}
 	switch {
 	case *fastqPath != "":
@@ -131,7 +171,7 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	if rec != nil {
+	if rec != nil && *timeline != "" {
 		file, err := os.Create(*timeline)
 		if err != nil {
 			log.Fatal(err)
@@ -142,6 +182,42 @@ func main() {
 		if err := file.Close(); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if *perfetto != "" {
+		file, err := os.Create(*perfetto)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := obs.WritePerfettoTrace(file, rec); err != nil {
+			log.Fatal(err)
+		}
+		if err := file.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if manifestPath != "" {
+		// Workload hashing happens after the run so it never competes with
+		// mapping for I/O bandwidth.
+		if err := man.AddWorkload("gbz", *gbzPath); err != nil {
+			log.Fatal(err)
+		}
+		input, label := *seedsPath, "seeds"
+		if *fastqPath != "" {
+			input, label = *fastqPath, "fastq"
+		}
+		if err := man.AddWorkload(label, input); err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range []string{*out, *timeline, *perfetto} {
+			if p != "" {
+				man.AddResult(p)
+			}
+		}
+		man.Finish(reg)
+		if err := man.Write(manifestPath); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "run manifest written to %s\n", manifestPath)
 	}
 }
 
@@ -199,7 +275,7 @@ func runStreamFromFASTQ(f *gbz.File, fastqPath string, w *os.File, opts core.Opt
 	if err != nil {
 		log.Fatal(err)
 	}
-	src, err := giraffe.OpenExtractSource(ix.MinIx, fastqPath, lookahead)
+	src, err := giraffe.OpenExtractSourceObs(ix.MinIx, fastqPath, lookahead, opts.Obs)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -24,11 +25,14 @@ func main() {
 	threads := flag.Int("threads", 0, "local measurement threads (0 = all CPUs)")
 	repeats := flag.Int("repeats", 1, "repeats per measured point")
 	experiment := flag.String("experiment", "all", "figure4, figure5, table7, or all")
+	manifest := flag.String("manifest", "scalability-manifest.json", "run manifest JSON path (\"off\" disables)")
 	flag.Parse()
 
 	s := experiments.NewSuite(experiments.Config{
 		Scale: *scale, Threads: *threads, Repeats: *repeats, Out: os.Stdout,
 	})
+	man := obs.NewManifest("scalability")
+	man.AddFlagSet(flag.CommandLine)
 	run := func(name string, f func() error) {
 		if *experiment != "all" && *experiment != name {
 			return
@@ -36,8 +40,15 @@ func main() {
 		if err := f(); err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
+		man.Notes["ran_"+name] = "true"
 	}
 	run("figure4", func() error { _, err := s.Figure4(nil); return err })
 	run("figure5", func() error { _, err := s.Figure5(); return err })
 	run("table7", func() error { _, err := s.Table7(); return err })
+	if *manifest != "off" && *manifest != "" {
+		man.Finish(nil)
+		if err := man.Write(*manifest); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

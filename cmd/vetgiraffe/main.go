@@ -22,6 +22,7 @@ import (
 	"repro/internal/analysis/atomicmix"
 	"repro/internal/analysis/cachepow2"
 	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/metricname"
 	"repro/internal/analysis/nakedgoroutine"
 	"repro/internal/analysis/tracepair"
 )
@@ -30,6 +31,7 @@ var all = []*analysis.Analyzer{
 	atomicmix.Analyzer,
 	cachepow2.Analyzer,
 	hotalloc.Analyzer,
+	metricname.Analyzer,
 	nakedgoroutine.Analyzer,
 	tracepair.Analyzer,
 }

@@ -1,0 +1,93 @@
+// Package metricname checks that every metric and trace-region name is a
+// compile-time constant: the name argument of (*obs.Registry).Counter,
+// Gauge, and Histogram, and the region argument of (*trace.Recorder).Begin
+// and Record. Scrapes, manifests, and the Perfetto exporter all aggregate by
+// name, so a name assembled at runtime (fmt.Sprintf, concatenation with a
+// variable, a loop index) silently explodes the metric cardinality — every
+// distinct string becomes its own time series — and defeats the grep-ability
+// of the internal/obs/metrics.go catalogue. Constant expressions (string
+// literals, named constants, and concatenations of constants) are accepted.
+package metricname
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the metricname check.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricname",
+	Doc: "report metric or trace-region names that are not compile-time " +
+		"constants (obs Registry lookups and trace Begin/Record regions)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			idx, what := nameArg(pass, call)
+			if idx < 0 || idx >= len(call.Args) {
+				return true
+			}
+			arg := call.Args[idx]
+			if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.Value != nil {
+				return true // constant-foldable: literal or named constant
+			}
+			pass.Reportf(arg.Pos(),
+				"%s name must be a string literal or named constant, not a runtime value: "+
+					"dynamic names explode scrape cardinality (declare it in internal/obs/metrics.go or internal/trace)",
+				what)
+			return true
+		})
+	}
+	return nil
+}
+
+// nameArg classifies call: the index of its name argument and what kind of
+// name it is, or (-1, "") when the call is not one the check covers.
+func nameArg(pass *analysis.Pass, call *ast.CallExpr) (int, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return -1, ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return -1, ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return -1, ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return -1, ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return -1, ""
+	}
+	switch {
+	case obj.Name() == "Registry" && strings.HasSuffix(obj.Pkg().Path(), "internal/obs"):
+		switch fn.Name() {
+		case "Counter", "Gauge", "Histogram":
+			return 0, "metric"
+		}
+	case obj.Name() == "Recorder" && strings.HasSuffix(obj.Pkg().Path(), "internal/trace"):
+		switch fn.Name() {
+		case "Begin", "Record":
+			return 1, "trace region"
+		}
+	}
+	return -1, ""
+}

@@ -1,0 +1,49 @@
+// Fixture for the metricname analyzer: metric and trace-region names must be
+// compile-time constants.
+package a
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+const localMetric = "local_metric_total"
+
+func literals(reg *obs.Registry) {
+	reg.Counter("reads_total").Inc(0)
+	reg.Gauge("in_flight").Set(0, 1)
+	reg.Histogram("latency_seconds").Observe(0, time.Millisecond)
+}
+
+func namedConstants(reg *obs.Registry) {
+	reg.Counter(obs.MetricPipelineReads).Inc(0)
+	reg.Counter(localMetric).Inc(0)
+	// Concatenating constants still folds at compile time.
+	reg.Histogram(localMetric+"_seconds").Observe(0, time.Second)
+}
+
+func dynamicMetric(reg *obs.Registry, worker int) {
+	reg.Counter(fmt.Sprintf("worker_%d_reads", worker)).Inc(worker) // want `metric name must be a string literal or named constant`
+	name := "gauge_" + fmt.Sprint(worker)
+	reg.Gauge(name).Set(worker, 1) // want `metric name must be a string literal or named constant`
+}
+
+func dynamicHistogram(reg *obs.Registry, stage string) {
+	reg.Histogram("stage_"+stage).Observe(0, time.Second) // want `metric name must be a string literal or named constant`
+}
+
+func traceRegions(r *trace.Recorder, worker int, stage string) {
+	end := r.Begin(worker, trace.RegionCluster)
+	end()
+	r.Record(worker, "fixed_region", time.Now(), time.Millisecond)
+	r.Record(worker, stage, time.Now(), time.Millisecond) // want `trace region name must be a string literal or named constant`
+	end2 := r.Begin(worker, "region_"+stage)              // want `trace region name must be a string literal or named constant`
+	end2()
+}
+
+func suppressed(reg *obs.Registry, name string) {
+	reg.Counter(name).Inc(0) //vetgiraffe:ignore metricname fixture exercises the suppression path
+}

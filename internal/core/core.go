@@ -25,6 +25,7 @@ import (
 	"repro/internal/extend"
 	"repro/internal/gbwt"
 	"repro/internal/gbz"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/seeds"
 	"repro/internal/trace"
@@ -44,6 +45,10 @@ type Options struct {
 	Scheduler sched.Kind
 	// Trace records per-region spans when non-nil.
 	Trace *trace.Recorder
+	// Obs, when non-nil, receives kernel latency histograms (cluster,
+	// process_until_threshold_c, per-batch cache rebuild) and scheduler
+	// counters. Nil keeps the hot path free of timing calls.
+	Obs *obs.Registry
 	// Probe drives the hardware-counter model; only honoured with
 	// Threads == 1.
 	Probe counters.Probe

@@ -9,10 +9,29 @@ import (
 	"repro/internal/extend"
 	"repro/internal/gbwt"
 	"repro/internal/gbz"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/seeds"
 	"repro/internal/trace"
 )
+
+// mapperMetrics caches the obs handles the mapping kernels record into.
+// All handles are nil when observability is off; the handle methods are
+// nil-safe no-ops, so the kernels carry no configuration branches beyond
+// the single instr check that gates the time.Now calls.
+type mapperMetrics struct {
+	cluster    *obs.Histogram
+	threshold  *obs.Histogram
+	cacheBuild *obs.Histogram
+}
+
+func newMapperMetrics(reg *obs.Registry) mapperMetrics {
+	return mapperMetrics{
+		cluster:    reg.Histogram(obs.MetricClusterLatency),
+		threshold:  reg.Histogram(obs.MetricThresholdLatency),
+		cacheBuild: reg.Histogram(obs.MetricCacheBuild),
+	}
+}
 
 // Mapper is the reusable mapping engine: the prepared query structures
 // (distance index plus the bidirectional haplotype index, the expensive part
@@ -25,6 +44,10 @@ type Mapper struct {
 	dist *distindex.Index
 	bi   *gbwt.Bidirectional
 	opts Options
+	met  mapperMetrics
+	// instr gates the kernel timing calls: true when either the trace
+	// recorder or the obs registry wants per-region durations.
+	instr bool
 }
 
 // NewMapper prepares the indexes from a GBZ file: the graph distance index
@@ -58,7 +81,15 @@ func NewMapperFromIndexes(f *gbz.File, dist *distindex.Index, bi *gbwt.Bidirecti
 	if dist == nil || bi == nil {
 		return nil, errors.New("core: nil index")
 	}
-	return &Mapper{file: f, dist: dist, bi: bi, opts: opts.normalize()}, nil
+	opts = opts.normalize()
+	return &Mapper{
+		file:  f,
+		dist:  dist,
+		bi:    bi,
+		opts:  opts,
+		met:   newMapperMetrics(opts.Obs),
+		instr: opts.Trace != nil || opts.Obs != nil,
+	}, nil
 }
 
 // Options returns the mapper's normalized run options.
@@ -88,22 +119,27 @@ func (m *Mapper) NewReader() gbwt.BiReader { return m.bi.NewBiReader(m.opts.Cach
 //
 //minigiraffe:hot
 func (m *Mapper) MapRecord(worker int, reader gbwt.BiReader, rec *seeds.ReadSeeds, index int) []extend.Extension {
-	var endCl func()
-	if m.opts.Trace != nil {
-		endCl = m.opts.Trace.Begin(worker, trace.RegionCluster)
+	var t0 time.Time
+	if m.instr {
+		t0 = time.Now()
 	}
 	cls := cluster.ClusterSeeds(m.dist, rec.Seeds, m.opts.Cluster, m.opts.Probe, index)
-	if endCl != nil {
-		endCl()
-	}
-	var endTh func()
-	if m.opts.Trace != nil {
-		endTh = m.opts.Trace.Begin(worker, trace.RegionThresholdC)
+	if m.instr {
+		d := time.Since(t0)
+		if m.opts.Trace != nil {
+			m.opts.Trace.Record(worker, trace.RegionCluster, t0, d)
+		}
+		m.met.cluster.Observe(worker, d)
+		t0 = time.Now()
 	}
 	env := &extend.Env{Graph: m.file.Graph, Bi: reader, Probe: m.opts.Probe}
 	exts := extend.ProcessUntilThresholdC(env, &rec.Read, rec.Seeds, cls, m.opts.Extend, index)
-	if endTh != nil {
-		endTh()
+	if m.instr {
+		d := time.Since(t0)
+		if m.opts.Trace != nil {
+			m.opts.Trace.Record(worker, trace.RegionThresholdC, t0, d)
+		}
+		m.met.threshold.Observe(worker, d)
 	}
 	return exts
 }
@@ -114,7 +150,20 @@ func (m *Mapper) MapRecord(worker int, reader gbwt.BiReader, rec *seeds.ReadSeed
 //
 //minigiraffe:hot
 func (m *Mapper) MapBatch(worker int, recs []seeds.ReadSeeds, base int, out [][]extend.Extension) gbwt.CacheStats {
+	var t0 time.Time
+	if m.instr {
+		t0 = time.Now()
+	}
 	reader := m.NewReader()
+	if m.instr {
+		// The per-batch CachedGBWT rebuild is Giraffe's cache lifetime —
+		// the cost the §VII-B capacity parameter trades against hit rate.
+		d := time.Since(t0)
+		if m.opts.Trace != nil {
+			m.opts.Trace.Record(worker, trace.RegionCacheBuild, t0, d)
+		}
+		m.met.cacheBuild.Observe(worker, d)
+	}
 	for j := range recs {
 		out[j] = m.MapRecord(worker, reader, &recs[j], base+j)
 	}
@@ -161,6 +210,7 @@ func (m *Mapper) Run(records []seeds.ReadSeeds) (*Result, error) {
 		Kind:      opts.Scheduler,
 		Threads:   threads,
 		BatchSize: opts.BatchSize,
+		Obs:       opts.Obs,
 	}, len(records), func(worker, lo, hi int) {
 		cacheStats[worker].Add(run.MapBatch(worker, records[lo:hi], lo, res.Extensions[lo:hi]))
 	})

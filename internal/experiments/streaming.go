@@ -8,6 +8,7 @@ import (
 	"repro/internal/extend"
 	"repro/internal/fastq"
 	"repro/internal/giraffe"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/seeds"
 	"repro/internal/workload"
@@ -83,7 +84,7 @@ func (s *Suite) StreamingComparison() ([]StreamingRow, error) {
 			batchRow := StreamingRow{
 				Input: spec.Name, Mode: "batch",
 				Seconds:     res.Makespan.Seconds(),
-				ReadsPerSec: float64(len(recs)) / res.Makespan.Seconds(),
+				ReadsPerSec: obs.Rate(float64(len(recs)), res.Makespan),
 			}
 
 			// Capture-file: pipeline over the incremental seed reader.

@@ -5,10 +5,12 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 
 	"repro/internal/dna"
 	"repro/internal/fastq"
 	"repro/internal/minimizer"
+	"repro/internal/obs"
 	"repro/internal/seeds"
 )
 
@@ -56,6 +58,14 @@ type ExtractSource struct {
 	closeOnce sync.Once
 	closer    io.Closer
 
+	// Extraction metrics, recorded by the single prefetch goroutine into
+	// shard 0. All handles are nil (no-op) when the source was built without
+	// a registry; instr additionally gates the time.Now calls.
+	instr       bool
+	mReads      *obs.Counter
+	mSeeds      *obs.Counter
+	hPreprocess *obs.Histogram
+
 	reads      int
 	totalSeeds int
 }
@@ -64,12 +74,24 @@ type ExtractSource struct {
 // against the minimizer index. lookahead bounds the prefetch window (≤0
 // means DefaultLookahead).
 func NewExtractSource(ix *minimizer.Index, r io.Reader, lookahead int) *ExtractSource {
+	return NewExtractSourceObs(ix, r, lookahead, nil)
+}
+
+// NewExtractSourceObs is NewExtractSource with an observability registry:
+// the prefetch stage counts extracted reads and seeds and records per-read
+// preprocessing latency (extract_reads_total, extract_seeds_total,
+// extract_preprocess_seconds). A nil registry is exactly NewExtractSource.
+func NewExtractSourceObs(ix *minimizer.Index, r io.Reader, lookahead int, reg *obs.Registry) *ExtractSource {
 	if lookahead <= 0 {
 		lookahead = DefaultLookahead
 	}
 	s := &ExtractSource{
-		ch:   make(chan extracted, lookahead),
-		quit: make(chan struct{}),
+		ch:          make(chan extracted, lookahead),
+		quit:        make(chan struct{}),
+		instr:       reg != nil,
+		mReads:      reg.Counter(obs.MetricExtractReads),
+		mSeeds:      reg.Counter(obs.MetricExtractSeeds),
+		hPreprocess: reg.Histogram(obs.MetricExtractPreprocess),
 	}
 	go func() {
 		defer close(s.ch)
@@ -81,11 +103,17 @@ func NewExtractSource(ix *minimizer.Index, r io.Reader, lookahead int) *ExtractS
 // OpenExtractSource streams extraction from the FASTQ file at path; the file
 // is released by Close.
 func OpenExtractSource(ix *minimizer.Index, path string, lookahead int) (*ExtractSource, error) {
+	return OpenExtractSourceObs(ix, path, lookahead, nil)
+}
+
+// OpenExtractSourceObs is OpenExtractSource with an observability registry
+// (see NewExtractSourceObs).
+func OpenExtractSourceObs(ix *minimizer.Index, path string, lookahead int, reg *obs.Registry) (*ExtractSource, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	s := NewExtractSource(ix, f, lookahead)
+	s := NewExtractSourceObs(ix, f, lookahead, reg)
 	s.closer = f
 	return s, nil
 }
@@ -103,11 +131,20 @@ func (s *ExtractSource) extract(ix *minimizer.Index, r io.Reader) {
 		if err != nil {
 			e = extracted{err: fmt.Errorf("giraffe: extract: %w", err)}
 		} else {
+			var t0 time.Time
+			if s.instr {
+				t0 = time.Now()
+			}
 			rec, perr := Preprocess(ix, &read)
+			if s.instr {
+				s.hPreprocess.Observe(0, time.Since(t0))
+			}
 			if perr != nil {
 				e = extracted{err: perr}
 			} else {
 				e = extracted{rec: &rec}
+				s.mReads.Inc(0)
+				s.mSeeds.Add(0, int64(len(rec.Seeds)))
 			}
 		}
 		select {

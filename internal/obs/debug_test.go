@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDebugServerEndpoints(t *testing.T) {
+	reg := NewRegistry(2)
+	reg.Counter(MetricPipelineReads).Add(0, 1200)
+	reg.Counter(MetricPipelineBatches).Add(1, 3)
+	reg.Gauge(MetricPipelineInFlight).Set(0, 2)
+	reg.Histogram(MetricStageMap).Observe(0, 4*time.Millisecond)
+
+	d, err := StartDebugServer("127.0.0.1:0", reg, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	base := "http://" + d.Addr()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: reading body: %v", path, err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	metrics, ctype := get("/metrics")
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q", ctype)
+	}
+	for _, want := range []string{
+		"# TYPE " + MetricPipelineReads + " counter",
+		MetricPipelineReads + " 1200",
+		MetricPipelineInFlight + " 2",
+		MetricStageMap + `{quantile="0.5"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	progress, ctype := get("/progress")
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Errorf("/progress Content-Type = %q", ctype)
+	}
+	var p Progress
+	if err := json.Unmarshal([]byte(progress), &p); err != nil {
+		t.Fatalf("/progress is not valid JSON: %v\n%s", err, progress)
+	}
+	// The reporter sampled once at startup, after the counters above.
+	if p.Reads != 1200 || p.Batches != 3 || p.InFlightBatches != 2 {
+		t.Errorf("/progress = %+v, want reads 1200, batches 3, in-flight 2", p)
+	}
+	if p.StageP50Seconds[MetricStageMap] <= 0 {
+		t.Errorf("/progress stage p50 for %s = %g, want > 0", MetricStageMap, p.StageP50Seconds[MetricStageMap])
+	}
+
+	vars, _ := get("/debug/vars")
+	if !json.Valid([]byte(vars)) {
+		t.Errorf("/debug/vars is not valid JSON:\n%s", vars)
+	}
+
+	index, _ := get("/")
+	for _, link := range []string{"/metrics", "/progress", "/debug/pprof/", "/debug/vars"} {
+		if !strings.Contains(index, link) {
+			t.Errorf("index page missing link to %s", link)
+		}
+	}
+
+	if _, err := http.Get(base + "/no-such-page"); err != nil {
+		t.Fatalf("GET unknown path: %v", err)
+	}
+	resp, err := http.Get(base + "/no-such-page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path status = %d, want 404", resp.StatusCode)
+	}
+
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// After Close the listener must be gone.
+	if _, err := http.Get(base + "/metrics"); err == nil {
+		t.Error("server still reachable after Close")
+	}
+}
+
+func TestReporterWindowedRate(t *testing.T) {
+	reg := NewRegistry(1)
+	r := StartReporter(reg, 10*time.Millisecond)
+	defer r.Stop()
+	reg.Counter(MetricPipelineReads).Add(0, 500)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		p := r.Progress()
+		if p.Reads == 500 && p.ReadsPerSec > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("reporter never observed the counter delta: %+v", p)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestReporterNilRegistry(t *testing.T) {
+	r := StartReporter(nil, time.Millisecond)
+	defer r.Stop()
+	p := r.Progress()
+	if p.Reads != 0 || p.ReadsPerSec != 0 {
+		t.Fatalf("nil-registry reporter published non-zero progress: %+v", p)
+	}
+	var nilR *Reporter
+	nilR.Stop() // must not panic
+	if nilR.Progress().Reads != 0 {
+		t.Fatal("nil reporter progress")
+	}
+	var nilD *DebugServer
+	if err := nilD.Close(); err != nil {
+		t.Fatalf("nil DebugServer Close: %v", err)
+	}
+}

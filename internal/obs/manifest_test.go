@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestManifestCapturesEnvironmentAndFlags(t *testing.T) {
+	m := NewManifest("testtool")
+	if m.Tool != "testtool" || m.GoVersion != runtime.Version() ||
+		m.GOMAXPROCS != runtime.GOMAXPROCS(0) || m.Start.IsZero() {
+		t.Fatalf("manifest missing environment capture: %+v", m)
+	}
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	fs.Int("threads", 4, "")
+	fs.String("sched", "dynamic", "")
+	if err := fs.Parse([]string{"-threads", "8"}); err != nil {
+		t.Fatal(err)
+	}
+	m.AddFlagSet(fs)
+	if m.Flags["threads"] != "8" {
+		t.Errorf("Flags[threads] = %q, want the parsed value 8", m.Flags["threads"])
+	}
+	if m.Flags["sched"] != "dynamic" {
+		t.Errorf("Flags[sched] = %q, want the default to be recorded too", m.Flags["sched"])
+	}
+}
+
+func TestManifestWorkloadHash(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.bin")
+	content := []byte("deterministic workload bytes")
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManifest("t")
+	if err := m.AddWorkload("seeds", path); err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(content)
+	w := m.Workloads[0]
+	if w.Label != "seeds" || w.Bytes != int64(len(content)) || w.SHA256 != hex.EncodeToString(sum[:]) {
+		t.Fatalf("workload record wrong: %+v", w)
+	}
+	if err := m.AddWorkload("missing", filepath.Join(dir, "nope")); err == nil {
+		t.Fatal("AddWorkload on a missing file should error")
+	}
+}
+
+func TestManifestFinishAndWriteRoundTrip(t *testing.T) {
+	reg := NewRegistry(1)
+	reg.Counter("reads_total").Add(0, 5)
+	reg.Histogram("lat_seconds").Observe(0, time.Millisecond)
+	m := NewManifest("t")
+	m.AddResult("out.csv")
+	m.Finish(reg)
+	if m.End.Before(m.Start) || m.ElapsedSeconds < 0 {
+		t.Fatalf("Finish produced an inverted interval: %+v", m)
+	}
+	if m.Metrics == nil || m.Metrics.Counters["reads_total"] != 5 {
+		t.Fatalf("Finish did not attach the metric snapshot: %+v", m.Metrics)
+	}
+
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := m.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("written manifest is not valid JSON: %v", err)
+	}
+	if back.Tool != "t" || back.Results[0] != "out.csv" || back.Metrics.Counters["reads_total"] != 5 {
+		t.Fatalf("round-tripped manifest lost fields: %+v", back)
+	}
+}
+
+func TestManifestEncodeSurvivesNonFiniteFloats(t *testing.T) {
+	m := NewManifest("t")
+	m.Finish(nil)
+	m.ElapsedSeconds = math.NaN()
+	m.Metrics = &Snapshot{Histograms: map[string]HistogramStats{
+		"bad": {Mean: math.Inf(1), P50: math.NaN()},
+	}}
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatalf("Encode must sanitize non-finite floats, got: %v", err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ElapsedSeconds != 0 || back.Metrics.Histograms["bad"].Mean != 0 {
+		t.Fatalf("sanitization did not zero non-finite values: %+v", back)
+	}
+}
+
+func TestManifestFinishNilRegistry(t *testing.T) {
+	m := NewManifest("t")
+	m.Finish(nil)
+	if m.Metrics != nil {
+		t.Fatal("nil registry must leave the metrics section empty")
+	}
+}

@@ -1,0 +1,33 @@
+package obs
+
+// Canonical metric names. Every name handed to the Registry must be a
+// string literal or a named constant (the metricname analyzer enforces
+// this): metric cardinality stays bounded and the /metrics scrape is
+// diffable between runs. Instrumented packages share these constants so
+// the reporter and tools can find the pipeline's metrics by name.
+const (
+	// Streaming pipeline (internal/pipeline).
+	MetricPipelineReads    = "pipeline_reads_total"
+	MetricPipelineBatches  = "pipeline_batches_total"
+	MetricPipelineInFlight = "pipeline_in_flight_batches"
+	MetricStageIngest      = "pipeline_stage_ingest_seconds"
+	MetricStageMap         = "pipeline_stage_map_seconds"
+	MetricStageEmit        = "pipeline_stage_emit_seconds"
+	MetricBatchLatency     = "pipeline_batch_seconds"
+
+	// Scheduler claim/steal discipline (internal/sched and the streaming
+	// claim queue).
+	MetricSchedClaims = "sched_claims_total"
+	MetricSchedSteals = "sched_steals_total"
+
+	// Mapper kernels (internal/core): the paper's two critical functions
+	// plus the per-batch CachedGBWT rebuild (§VII-B).
+	MetricClusterLatency   = "mapper_cluster_seeds_seconds"
+	MetricThresholdLatency = "mapper_process_until_threshold_c_seconds"
+	MetricCacheBuild       = "mapper_cache_build_seconds"
+
+	// Streaming seed extraction (internal/giraffe.ExtractSource).
+	MetricExtractReads      = "extract_reads_total"
+	MetricExtractSeeds      = "extract_seeds_total"
+	MetricExtractPreprocess = "extract_preprocess_seconds"
+)

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/trace"
+)
+
+// traceEvent is one Chrome trace-event JSON object — the format Perfetto
+// and chrome://tracing load. Complete events ("ph":"X") carry a start
+// timestamp and duration in microseconds; metadata events ("ph":"M") name
+// the threads.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// perfettoTrace is the JSON-object form of the trace-event format.
+type perfettoTrace struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// perfettoPid is the single process id every span is filed under; the
+// recorder's worker index becomes the thread id.
+const perfettoPid = 1
+
+// WritePerfettoTrace converts the recorder's spans to Chrome trace-event
+// JSON, loadable in ui.perfetto.dev or chrome://tracing: one named thread
+// per worker, one complete event per span, timestamps in microseconds from
+// the recorder's epoch. Spans are exported in canonical sorted order
+// (matching WriteTimelineCSV), so the same spans always produce the same
+// bytes. A nil recorder writes an empty, still-valid trace.
+func WritePerfettoTrace(w io.Writer, rec *trace.Recorder) error {
+	out := perfettoTrace{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
+	if rec != nil {
+		for worker := 0; worker < rec.Workers(); worker++ {
+			spans := rec.SortedSpans(worker)
+			if len(spans) == 0 {
+				continue
+			}
+			out.TraceEvents = append(out.TraceEvents, traceEvent{
+				Name: "thread_name",
+				Ph:   "M",
+				Pid:  perfettoPid,
+				Tid:  worker,
+				Args: map[string]any{"name": fmt.Sprintf("worker %d", worker)},
+			})
+			for _, s := range spans {
+				out.TraceEvents = append(out.TraceEvents, traceEvent{
+					Name: s.Region,
+					Cat:  "minigiraffe",
+					Ph:   "X",
+					Ts:   float64(s.Start.Nanoseconds()) / 1e3,
+					Dur:  float64(s.Dur.Nanoseconds()) / 1e3,
+					Pid:  perfettoPid,
+					Tid:  worker,
+				})
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}

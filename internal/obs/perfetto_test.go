@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the Perfetto golden file")
+
+// goldenRecorder builds a fixed-epoch recorder with a deterministic span
+// set: two workers plus an ingest row, out-of-order recording on worker 0 to
+// exercise the canonical sort.
+func goldenRecorder() *trace.Recorder {
+	epoch := time.Unix(1700000000, 0)
+	rec := trace.NewRecorderEpoch(3, epoch)
+	at := func(off time.Duration) time.Time { return epoch.Add(off) }
+	// Recorded out of start order: SortedSpans must fix it.
+	rec.Record(0, trace.RegionThresholdC, at(300*time.Microsecond), 450*time.Microsecond)
+	rec.Record(0, trace.RegionCluster, at(100*time.Microsecond), 200*time.Microsecond)
+	rec.Record(1, trace.RegionCacheBuild, at(50*time.Microsecond), 20*time.Microsecond)
+	rec.Record(1, trace.RegionMapBatch, at(50*time.Microsecond), 900*time.Microsecond)
+	rec.Record(2, trace.RegionIngest, at(0), 40*time.Microsecond)
+	return rec
+}
+
+func TestWritePerfettoTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfettoTrace(&buf, goldenRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "perfetto-golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update-golden to create it): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Perfetto output drifted from golden file.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestWritePerfettoTraceDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WritePerfettoTrace(&a, goldenRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePerfettoTrace(&b, goldenRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two exports of the same spans differ")
+	}
+}
+
+func TestWritePerfettoTraceShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfettoTrace(&buf, goldenRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if out.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", out.DisplayTimeUnit)
+	}
+	meta, complete := 0, 0
+	var prevTs float64
+	var prevTid = -1
+	for _, e := range out.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			if e.Tid == prevTid && e.Ts < prevTs {
+				t.Errorf("spans on tid %d not sorted: ts %g after %g", e.Tid, e.Ts, prevTs)
+			}
+			prevTid, prevTs = e.Tid, e.Ts
+		default:
+			t.Errorf("unexpected event phase %q", e.Ph)
+		}
+		if e.Pid != perfettoPid {
+			t.Errorf("event pid = %d, want %d", e.Pid, perfettoPid)
+		}
+	}
+	if meta != 3 {
+		t.Errorf("thread_name metadata events = %d, want 3 (one per non-empty worker)", meta)
+	}
+	if complete != 5 {
+		t.Errorf("complete events = %d, want 5", complete)
+	}
+}
+
+func TestWritePerfettoTraceNilRecorder(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfettoTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("nil-recorder export is not valid JSON: %v", err)
+	}
+	if events, ok := out["traceEvents"].([]any); !ok || len(events) != 0 {
+		t.Fatalf("nil-recorder export should hold an empty traceEvents array, got %v", out["traceEvents"])
+	}
+}

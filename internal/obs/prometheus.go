@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format: counters and gauges with their native types, histograms as
+// summaries (quantile labels plus _sum/_count). Output is sorted by metric
+// name so consecutive scrapes diff cleanly. Nil-safe: a nil registry writes
+// nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	if s == nil {
+		return nil
+	}
+	return s.WritePrometheus(w)
+}
+
+// WritePrometheus renders an already-taken snapshot (the debug endpoint
+// scrapes once and renders from the merged view).
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	for _, name := range sortedNames(s.Counters) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedNames(s.Gauges) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedNames(s.Histograms) {
+		h := s.Histograms[name]
+		if _, err := fmt.Fprintf(w,
+			"# TYPE %s summary\n%s{quantile=\"0.5\"} %g\n%s{quantile=\"0.9\"} %g\n%s{quantile=\"0.99\"} %g\n%s_sum %g\n%s_count %d\n",
+			name, name, h.P50, name, h.P90, name, h.P99, name, h.SumSeconds, name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterMergesShards(t *testing.T) {
+	reg := NewRegistry(4)
+	c := reg.Counter("c_total")
+	for shard := 0; shard < 4; shard++ {
+		c.Add(shard, int64(shard+1))
+	}
+	if got := c.Value(); got != 1+2+3+4 {
+		t.Fatalf("Value() = %d, want 10", got)
+	}
+	// Out-of-range and negative shards clamp to shard 0 instead of panicking.
+	c.Inc(99)
+	c.Inc(-1)
+	if got := c.Value(); got != 12 {
+		t.Fatalf("Value() after clamped adds = %d, want 12", got)
+	}
+}
+
+func TestGaugeAddSetValue(t *testing.T) {
+	reg := NewRegistry(2)
+	g := reg.Gauge("g")
+	g.Add(0, 5)
+	g.Add(1, -2)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("Value() = %d, want 3", got)
+	}
+	g.Set(0, 10)
+	if got := g.Value(); got != 8 {
+		t.Fatalf("Value() after Set = %d, want 8", got)
+	}
+}
+
+func TestRegistryReturnsSameHandle(t *testing.T) {
+	reg := NewRegistry(1)
+	if reg.Counter("x") != reg.Counter("x") {
+		t.Fatal("Counter returned distinct handles for one name")
+	}
+	if reg.Gauge("x") != reg.Gauge("x") {
+		t.Fatal("Gauge returned distinct handles for one name")
+	}
+	if reg.Histogram("x") != reg.Histogram("x") {
+		t.Fatal("Histogram returned distinct handles for one name")
+	}
+}
+
+func TestNilRegistryAndHandlesAreNoOps(t *testing.T) {
+	var reg *Registry
+	if reg.Shards() != 0 {
+		t.Fatal("nil registry Shards() != 0")
+	}
+	c := reg.Counter("c")
+	g := reg.Gauge("g")
+	h := reg.Histogram("h")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry handed out non-nil handles")
+	}
+	// None of these may panic.
+	c.Add(0, 1)
+	c.Inc(3)
+	g.Add(1, -1)
+	g.Set(0, 7)
+	h.Observe(2, time.Second)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatal("nil handles reported non-zero values")
+	}
+	if st := h.Stats(); st.Count != 0 {
+		t.Fatal("nil histogram reported observations")
+	}
+	if reg.Snapshot() != nil {
+		t.Fatal("nil registry Snapshot() != nil")
+	}
+}
+
+func TestHistogramQuantilesAndBounds(t *testing.T) {
+	reg := NewRegistry(2)
+	h := reg.Histogram("lat")
+	// 90 fast observations and 10 slow ones, split across shards: p50/p90
+	// must land in the fast bucket's bound, p99 in the slow one's.
+	fast, slow := 900*time.Nanosecond, 800*time.Microsecond
+	for i := 0; i < 90; i++ {
+		h.Observe(i%2, fast)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(i%2, slow)
+	}
+	st := h.Stats()
+	if st.Count != 100 {
+		t.Fatalf("Count = %d, want 100", st.Count)
+	}
+	wantSum := (90*fast + 10*slow).Seconds()
+	if math.Abs(st.SumSeconds-wantSum) > 1e-12 {
+		t.Fatalf("SumSeconds = %g, want %g", st.SumSeconds, wantSum)
+	}
+	// The log2 bucket upper bound over-estimates by at most 2x.
+	for _, q := range []struct {
+		name  string
+		got   float64
+		exact time.Duration
+	}{
+		{"p50", st.P50, fast},
+		{"p90", st.P90, fast},
+		{"p99", st.P99, slow},
+		{"max", st.Max, slow},
+	} {
+		lo, hi := q.exact.Seconds(), 2*q.exact.Seconds()
+		if q.got < lo || q.got > hi {
+			t.Errorf("%s = %g, want within [%g, %g]", q.name, q.got, lo, hi)
+		}
+	}
+	// A negative duration clamps to the zero bucket rather than corrupting
+	// the bucket index.
+	h.Observe(0, -time.Second)
+	if st := h.Stats(); st.Count != 101 {
+		t.Fatalf("Count after negative observe = %d, want 101", st.Count)
+	}
+}
+
+func TestHistogramZeroOnly(t *testing.T) {
+	reg := NewRegistry(1)
+	h := reg.Histogram("z")
+	h.Observe(0, 0)
+	st := h.Stats()
+	if st.P50 != 0 || st.P99 != 0 || st.Max != 0 {
+		t.Fatalf("zero-only histogram reported non-zero quantiles: %+v", st)
+	}
+}
+
+func TestSnapshotMarshalsToFiniteJSON(t *testing.T) {
+	reg := NewRegistry(2)
+	reg.Counter("reads_total").Add(0, 7)
+	reg.Gauge("in_flight").Add(1, 3)
+	reg.Histogram("lat_seconds").Observe(0, 3*time.Millisecond)
+	s := reg.Snapshot()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("snapshot does not marshal: %v", err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if back.Counters["reads_total"] != 7 || back.Gauges["in_flight"] != 3 {
+		t.Fatalf("round-tripped snapshot lost values: %+v", back)
+	}
+	if back.Histograms["lat_seconds"].Count != 1 {
+		t.Fatalf("round-tripped histogram lost observations: %+v", back.Histograms)
+	}
+}
+
+func TestSanitizeFloatAndRate(t *testing.T) {
+	for _, x := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if got := SanitizeFloat(x); got != 0 {
+			t.Errorf("SanitizeFloat(%v) = %g, want 0", x, got)
+		}
+	}
+	if got := SanitizeFloat(1.5); got != 1.5 {
+		t.Errorf("SanitizeFloat(1.5) = %g", got)
+	}
+	if got := Rate(100, 0); got != 0 {
+		t.Errorf("Rate over zero elapsed = %g, want 0", got)
+	}
+	if got := Rate(100, -time.Second); got != 0 {
+		t.Errorf("Rate over negative elapsed = %g, want 0", got)
+	}
+	if got := Rate(100, 2*time.Second); got != 50 {
+		t.Errorf("Rate(100, 2s) = %g, want 50", got)
+	}
+}
+
+// TestRegistryConcurrentStress hammers every metric kind from many goroutines
+// while a scraper concurrently snapshots — the -race configuration this runs
+// under (make race) is the real assertion; the count checks at the end catch
+// lost updates.
+func TestRegistryConcurrentStress(t *testing.T) {
+	const (
+		workers = 8
+		iters   = 2000
+	)
+	reg := NewRegistry(workers)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Scraper goroutine: snapshot and Prometheus-render concurrently with
+	// the writers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = reg.Snapshot()
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			c := reg.Counter("stress_total")
+			g := reg.Gauge("stress_gauge")
+			h := reg.Histogram("stress_seconds")
+			for i := 0; i < iters; i++ {
+				c.Inc(worker)
+				g.Add(worker, 1)
+				g.Add(worker, -1)
+				h.Observe(worker, time.Duration(i)*time.Microsecond)
+			}
+		}(w)
+	}
+	// Registration races against registration for the same names, too.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				reg.Counter("registered_total").Inc(worker)
+			}
+		}(w)
+	}
+	time.Sleep(time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if got := reg.Counter("stress_total").Value(); got != workers*iters {
+		t.Fatalf("lost counter updates: %d, want %d", got, workers*iters)
+	}
+	if got := reg.Gauge("stress_gauge").Value(); got != 0 {
+		t.Fatalf("gauge should settle at 0, got %d", got)
+	}
+	if st := reg.Histogram("stress_seconds").Stats(); st.Count != workers*iters {
+		t.Fatalf("lost histogram observations: %d, want %d", st.Count, workers*iters)
+	}
+	if got := reg.Counter("registered_total").Value(); got != 4*200 {
+		t.Fatalf("racing registration lost updates: %d, want 800", got)
+	}
+}

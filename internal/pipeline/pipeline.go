@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/extend"
 	"repro/internal/gbwt"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/seeds"
 	"repro/internal/stats"
@@ -138,12 +139,11 @@ type Stats struct {
 	Makespan time.Duration
 }
 
-// Throughput returns reads per second over the makespan.
+// Throughput returns reads per second over the makespan; zero (not NaN or
+// Inf) when the makespan is zero, so JSON consumers never see a non-finite
+// rate.
 func (s *Stats) Throughput() float64 {
-	if s.Makespan <= 0 {
-		return 0
-	}
-	return float64(s.Reads) / s.Makespan.Seconds()
+	return obs.Rate(float64(s.Reads), s.Makespan)
 }
 
 // batch is one in-flight unit of work.
@@ -183,6 +183,25 @@ func Run(m *core.Mapper, src Source, emit Emitter, opts Options) (*Stats, error)
 	if rec != nil {
 		rec.Grow(opts.Workers + 2)
 	}
+	// Observability handles. A nil registry yields nil handles whose methods
+	// are no-ops, so the stage code below records unconditionally. The stage
+	// timing itself is free: the pipeline already measures per-batch
+	// ingest/map durations for Stats regardless of observability.
+	// Single-writer stages use the same shard indices as their trace rows:
+	// ingest = Workers, emit = Workers+1 (the registry clamps out-of-range
+	// shards to 0, which stays correct — just shared — if it was sized
+	// smaller).
+	reg := m.Options().Obs
+	ingestShard, emitShard := opts.Workers, opts.Workers+1
+	mReads := reg.Counter(obs.MetricPipelineReads)
+	mBatches := reg.Counter(obs.MetricPipelineBatches)
+	mInFlight := reg.Gauge(obs.MetricPipelineInFlight)
+	hIngest := reg.Histogram(obs.MetricStageIngest)
+	hMap := reg.Histogram(obs.MetricStageMap)
+	hEmit := reg.Histogram(obs.MetricStageEmit)
+	hBatch := reg.Histogram(obs.MetricBatchLatency)
+	mClaims := reg.Counter(obs.MetricSchedClaims)
+	mSteals := reg.Counter(obs.MetricSchedSteals)
 
 	st := &Stats{Sched: sched.Stats{Processed: make([]int64, opts.Workers)}}
 	cacheStats := make([]gbwt.CacheStats, opts.Workers)
@@ -215,16 +234,13 @@ func Run(m *core.Mapper, src Source, emit Emitter, opts Options) (*Stats, error)
 		defer cq.close()
 		seq, base := 0, 0
 		for {
-			var end func()
-			if rec != nil {
-				end = rec.Begin(opts.Workers, trace.RegionIngest)
-			}
 			t0 := time.Now()
 			recs, err := readBatch(src, opts.BatchSize)
-			ingestSecs := time.Since(t0).Seconds()
-			if end != nil {
-				end()
+			d := time.Since(t0)
+			if rec != nil {
+				rec.Record(ingestShard, trace.RegionIngest, t0, d)
 			}
+			hIngest.Observe(ingestShard, d)
 			if err != nil && err != io.EOF {
 				fail(fmt.Errorf("pipeline: ingest: %w", err))
 				return
@@ -236,11 +252,12 @@ func Run(m *core.Mapper, src Source, emit Emitter, opts Options) (*Stats, error)
 					recs:       recs,
 					exts:       make([][]extend.Extension, len(recs)),
 					ingested:   time.Now(),
-					ingestSecs: ingestSecs,
+					ingestSecs: d.Seconds(),
 				}
 				if !cq.push(b) {
 					return
 				}
+				mInFlight.Add(ingestShard, 1)
 				seq++
 				base += len(recs)
 			}
@@ -262,12 +279,19 @@ func Run(m *core.Mapper, src Source, emit Emitter, opts Options) (*Stats, error)
 				if !ok {
 					return
 				}
+				mClaims.Inc(worker)
 				if stolen {
 					atomic.AddInt64(&st.Sched.Steals, 1)
+					mSteals.Inc(worker)
 				}
 				t0 := time.Now()
 				cacheStats[worker].Add(m.MapBatch(worker, b.recs, b.base, b.exts))
-				b.mapSecs = time.Since(t0).Seconds()
+				d := time.Since(t0)
+				b.mapSecs = d.Seconds()
+				if rec != nil {
+					rec.Record(worker, trace.RegionMapBatch, t0, d)
+				}
+				hMap.Observe(worker, d)
 				atomic.AddInt64(&st.Sched.Processed[worker], int64(len(b.recs)))
 				select {
 				case done <- b:
@@ -300,22 +324,26 @@ func Run(m *core.Mapper, src Source, emit Emitter, opts Options) (*Stats, error)
 			st.Reads += len(nb.recs)
 			st.MapLatency.Add(nb.mapSecs)
 			st.IngestLatency.Add(nb.ingestSecs)
+			mInFlight.Add(emitShard, -1)
+			mBatches.Inc(emitShard)
+			mReads.Add(emitShard, int64(len(nb.recs)))
 			if aborted() {
 				continue // drain without emitting
 			}
-			var end func()
-			if rec != nil {
-				end = rec.Begin(opts.Workers+1, trace.RegionEmit)
-			}
+			t0 := time.Now()
 			err := emitBatch(emit, nb)
-			if end != nil {
-				end()
+			d := time.Since(t0)
+			if rec != nil {
+				rec.Record(emitShard, trace.RegionEmit, t0, d)
 			}
+			hEmit.Observe(emitShard, d)
 			if err != nil {
 				fail(fmt.Errorf("pipeline: emit: %w", err))
 				continue
 			}
-			st.BatchLatency.Add(time.Since(nb.ingested).Seconds())
+			lat := time.Since(nb.ingested)
+			st.BatchLatency.Add(lat.Seconds())
+			hBatch.Observe(emitShard, lat)
 		}
 	}
 	st.Makespan = time.Since(start)

@@ -12,6 +12,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Kind selects a scheduling policy.
@@ -65,6 +67,9 @@ type Config struct {
 	Kind      Kind
 	Threads   int // ≤0 means GOMAXPROCS
 	BatchSize int // ≤0 means DefaultBatchSize
+	// Obs, when non-nil, receives the scheduler's claim/steal counters
+	// (sched_claims_total, sched_steals_total) live as batches are claimed.
+	Obs *obs.Registry
 }
 
 // normalize fills defaults.
@@ -135,6 +140,19 @@ func RunBatches(cfg Config, n int, fn func(worker, start, end int)) (Stats, erro
 	stats := Stats{Processed: make([]int64, cfg.Threads)}
 	if n == 0 {
 		return stats, nil
+	}
+	if cfg.Obs != nil {
+		// Live claim counting wraps fn; the steal total is mirrored after
+		// the run (batch runs are bounded, so post-hoc is fresh enough).
+		claims := cfg.Obs.Counter(obs.MetricSchedClaims)
+		inner := fn
+		fn = func(worker, start, end int) {
+			claims.Inc(worker)
+			inner(worker, start, end)
+		}
+		defer func() {
+			cfg.Obs.Counter(obs.MetricSchedSteals).Add(0, atomic.LoadInt64(&stats.Steals))
+		}()
 	}
 	switch cfg.Kind {
 	case Dynamic:

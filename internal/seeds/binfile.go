@@ -180,7 +180,14 @@ func NewReader(r io.Reader) (*Reader, error) {
 	}
 	switch v := binary.LittleEndian.Uint16(hdr[0:]); v {
 	case binVersion:
-		return &Reader{br: br, remaining: binary.LittleEndian.Uint64(hdr[4:])}, nil
+		// The declared count feeds Remaining()'s int result; a count no real
+		// capture can hold (each record is several bytes) is corruption, and
+		// letting it through would overflow Remaining negative.
+		count := binary.LittleEndian.Uint64(hdr[4:])
+		if count > 1<<56 {
+			return nil, fmt.Errorf("seeds: implausible record count %d", count)
+		}
+		return &Reader{br: br, remaining: count}, nil
 	case binVersionStream:
 		return &Reader{br: br, stream: true}, nil
 	default:
@@ -198,6 +205,15 @@ func (r *Reader) Remaining() int {
 		return -1
 	}
 	return int(r.remaining)
+}
+
+// noCleanEOF converts a clean io.EOF into io.ErrUnexpectedEOF: inside a
+// record, running out of bytes is a truncation, not an end of stream.
+func noCleanEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
 }
 
 // Next reads the next record, or io.EOF after the last one.
@@ -232,17 +248,21 @@ func (r *Reader) Next() (*ReadSeeds, error) {
 	if _, err := io.ReadFull(r.br, name); err != nil {
 		return nil, fmt.Errorf("seeds: name: %w", err)
 	}
+	// From here on the record has started: a clean EOF from the underlying
+	// reader is a truncation, and must surface as an error — never as the
+	// bare io.EOF that callers read as a complete stream (and that would
+	// leave a v2 Reader's Remaining() stuck at -1).
 	fragP1, err := get()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("seeds: fragment: %w", noCleanEOF(err))
 	}
 	end, err := get()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("seeds: end: %w", noCleanEOF(err))
 	}
 	seqLen, err := get()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("seeds: read length: %w", noCleanEOF(err))
 	}
 	if seqLen > 1<<20 {
 		return nil, fmt.Errorf("seeds: implausible read length %d", seqLen)
@@ -257,7 +277,7 @@ func (r *Reader) Next() (*ReadSeeds, error) {
 	}
 	nSeeds, err := get()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("seeds: seed count: %w", noCleanEOF(err))
 	}
 	if nSeeds > 1<<24 {
 		return nil, fmt.Errorf("seeds: implausible seed count %d", nSeeds)
@@ -281,19 +301,19 @@ func (r *Reader) Next() (*ReadSeeds, error) {
 	for i := 0; i < int(nSeeds); i++ {
 		node, err := get()
 		if err != nil {
-			return nil, fmt.Errorf("seeds: seed %d node: %w", i, err)
+			return nil, fmt.Errorf("seeds: seed %d node: %w", i, noCleanEOF(err))
 		}
 		off, err := get()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("seeds: seed %d offset: %w", i, noCleanEOF(err))
 		}
 		readOff, err := get()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("seeds: seed %d read offset: %w", i, noCleanEOF(err))
 		}
 		flags, err := get()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("seeds: seed %d flags: %w", i, noCleanEOF(err))
 		}
 		var f [4]byte
 		if _, err := io.ReadFull(r.br, f[:]); err != nil {

@@ -53,23 +53,32 @@ func serializeV1(t testing.TB, recs []ReadSeeds) []byte {
 // varints, implausible counts, garbage headers — and must never panic.
 // When a full parse succeeds, serialising the records must be stable:
 // write -> read -> write yields identical bytes.
+//
+// The Remaining() contract is checked on every input that opens: a v1
+// reader starts at its declared count and decrements by exactly one per
+// record; a v2 stream answers -1 until the footer is reached; both answer 0
+// once Next has returned io.EOF.
 func FuzzReadSeeds(f *testing.F) {
 	recs := fuzzRecords()
 	v1 := serializeV1(f, recs)
-	var v2buf bytes.Buffer
-	sw, err := NewStreamWriter(&v2buf)
-	if err != nil {
-		f.Fatal(err)
-	}
-	for i := range recs {
-		if err := sw.Write(&recs[i]); err != nil {
-			f.Fatal(err)
+	serializeV2 := func(t testing.TB, recs []ReadSeeds) []byte {
+		t.Helper()
+		var buf bytes.Buffer
+		sw, err := NewStreamWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
 		}
+		for i := range recs {
+			if err := sw.Write(&recs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
 	}
-	if err := sw.Close(); err != nil {
-		f.Fatal(err)
-	}
-	v2 := v2buf.Bytes()
+	v2 := serializeV2(f, recs)
 
 	f.Add(v1)
 	f.Add(v2)
@@ -80,20 +89,40 @@ func FuzzReadSeeds(f *testing.F) {
 	f.Add([]byte("not a bin file")) // bad magic
 	badVarint := append(append([]byte{}, v1[:16]...), 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80)
 	f.Add(badVarint) // name length varint overflows
+	f.Add(serializeV1(f, nil))
+	f.Add(serializeV2(f, nil)) // both formats with zero records
+	overcount := append([]byte(nil), v1...)
+	overcount[8]++ // v1 header claims one more record than the file holds
+	f.Add(overcount)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := NewReader(bytes.NewReader(data))
 		if err != nil {
 			return
 		}
+		rem := r.Remaining()
+		if rem < -1 {
+			t.Fatalf("Remaining() = %d just after open; contract is a declared count ≥ 0 (v1) or -1 (v2 stream)", rem)
+		}
+		stream := rem == -1
 		var parsed []ReadSeeds
 		for {
+			before := r.Remaining()
 			rec, err := r.Next()
 			if err == io.EOF {
+				if got := r.Remaining(); got != 0 {
+					t.Fatalf("Remaining() = %d after io.EOF, want 0", got)
+				}
 				break
 			}
 			if err != nil {
 				return
+			}
+			switch after := r.Remaining(); {
+			case stream && after != -1:
+				t.Fatalf("stream Remaining() = %d mid-iteration, want -1 until the footer", after)
+			case !stream && after != before-1:
+				t.Fatalf("Remaining() went %d -> %d across one Next, want a decrement of exactly 1", before, after)
 			}
 			parsed = append(parsed, *rec)
 		}

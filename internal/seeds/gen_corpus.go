@@ -70,6 +70,27 @@ func main() {
 	for i := 0; i < 11; i++ {
 		badVarint = append(badVarint, 0x80)
 	}
+	var emptyV1 bytes.Buffer
+	ew, err := seeds.NewWriter(&emptyV1, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ew.Close(); err != nil {
+		log.Fatal(err)
+	}
+	var emptyV2 bytes.Buffer
+	esw, err := seeds.NewStreamWriter(&emptyV2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := esw.Close(); err != nil {
+		log.Fatal(err)
+	}
+	// A v1 header that declares one more record than the file holds: the
+	// reader must fail with an error (not EOF confusion) when the payload
+	// runs out, and Remaining() must never go negative.
+	overcount := append([]byte(nil), v1.Bytes()...)
+	overcount[8]++
 	entries := map[string][]byte{
 		"valid-v1":          v1.Bytes(),
 		"valid-v2-stream":   v2.Bytes(),
@@ -77,6 +98,9 @@ func main() {
 		"clipped-footer-v2": v2.Bytes()[:v2.Len()-4],
 		"bad-varint":        badVarint,
 		"garbage-header":    []byte("not a capture file"),
+		"empty-v1":          emptyV1.Bytes(),
+		"empty-v2-stream":   emptyV2.Bytes(),
+		"overcount-v1":      overcount,
 	}
 	dir := filepath.Join("internal", "seeds", "testdata", "fuzz", "FuzzReadSeeds")
 	if err := os.MkdirAll(dir, 0o755); err != nil {

@@ -20,6 +20,8 @@ const (
 	RegionIO         = "io"
 	RegionIngest     = "ingest"
 	RegionEmit       = "emit"
+	RegionMapBatch   = "map_batch"
+	RegionCacheBuild = "cache_build"
 	RegionParse      = "parse_input"
 	RegionMinimizer  = "find_minimizers"
 	RegionSeeds      = "make_seeds"
@@ -49,11 +51,19 @@ type Recorder struct {
 
 // NewRecorder creates a recorder for the given worker count.
 func NewRecorder(workers int) *Recorder {
+	return NewRecorderEpoch(workers, time.Now())
+}
+
+// NewRecorderEpoch creates a recorder whose span offsets are measured from
+// the given epoch instead of the construction time — for tests that need
+// byte-stable exports, and for aligning recorders created at different
+// times before a Merge.
+func NewRecorderEpoch(workers int, epoch time.Time) *Recorder {
 	if workers < 1 {
 		workers = 1
 	}
 	return &Recorder{
-		epoch:   time.Now(),
+		epoch:   epoch,
 		buffers: make([][]Span, workers),
 	}
 }
@@ -96,6 +106,24 @@ func (r *Recorder) Record(worker int, region string, start time.Time, dur time.D
 // Spans returns worker w's spans in record order. The slice aliases the
 // recorder's storage; only read it after the run completes.
 func (r *Recorder) Spans(worker int) []Span { return r.buffers[worker] }
+
+// SortedSpans returns a copy of worker w's spans in canonical order: by
+// start offset, then region name, then duration. Record order depends on
+// which recorder a span was merged from, so exporters that must be
+// deterministic across runs (timeline CSV, Perfetto) sort first.
+func (r *Recorder) SortedSpans(worker int) []Span {
+	spans := append([]Span(nil), r.buffers[worker]...)
+	sort.Slice(spans, func(a, b int) bool {
+		if spans[a].Start != spans[b].Start {
+			return spans[a].Start < spans[b].Start
+		}
+		if spans[a].Region != spans[b].Region {
+			return spans[a].Region < spans[b].Region
+		}
+		return spans[a].Dur < spans[b].Dur
+	})
+	return spans
+}
 
 // RegionTotals aggregates total duration per region, per worker.
 func (r *Recorder) RegionTotals() []map[string]time.Duration {
@@ -155,13 +183,17 @@ func (r *Recorder) Shares(exclude ...string) []RegionShare {
 }
 
 // WriteTimelineCSV dumps every span as CSV (worker, region, start_us,
-// dur_us) — the Figure 2 raw data.
+// dur_us) — the Figure 2 raw data. Rows are emitted in canonical order
+// (worker, then start offset, then region, then duration) rather than
+// record order, so two runs that produced the same spans — or the same run
+// exported before and after a Merge — write byte-identical files that
+// golden tests and run-to-run diffs can compare directly.
 func (r *Recorder) WriteTimelineCSV(w io.Writer) error {
 	if _, err := fmt.Fprintln(w, "worker,region,start_us,dur_us"); err != nil {
 		return err
 	}
-	for worker, spans := range r.buffers {
-		for _, s := range spans {
+	for worker := range r.buffers {
+		for _, s := range r.SortedSpans(worker) {
 			if _, err := fmt.Fprintf(w, "%d,%s,%d,%d\n",
 				worker, s.Region, s.Start.Microseconds(), s.Dur.Microseconds()); err != nil {
 				return err
