@@ -7,7 +7,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: build vet fmt-check test verify race bench-smoke fuzz-smoke lint staticcheck govulncheck ci
+.PHONY: build vet fmt-check test verify race bench-smoke fuzz-smoke lint staticcheck govulncheck perfdiff ci
 
 build:
 	$(GO) build ./...
@@ -48,8 +48,8 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzFASTQ -fuzztime=10s ./internal/fastq
 
 # lint runs the project-specific analyzers (atomicmix, cachepow2, hotalloc,
-# metricname, nakedgoroutine, tracepair) over the whole tree. Zero findings
-# required.
+# metricname, nakedgoroutine, probeexclusive, tracepair) over the whole tree.
+# Zero findings required.
 lint:
 	$(GO) run ./cmd/vetgiraffe ./...
 
@@ -62,6 +62,25 @@ staticcheck:
 	else \
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
 	fi
+
+# perfdiff replays the bench-smoke workload locally (flight recorder on),
+# then diffs the fresh run against the checked-in baseline under
+# results/baseline with cmd/obsdiff. Exits non-zero when a gated metric
+# regresses past the thresholds. Override OBSDIFF_FLAGS to tune thresholds
+# (e.g. OBSDIFF_FLAGS='-p99-threshold 0.5') and PERFDIFF_DIR to keep runs.
+PERFDIFF_DIR ?= perfdiff-run
+OBSDIFF_FLAGS ?=
+perfdiff:
+	mkdir -p $(PERFDIFF_DIR)
+	$(GO) run ./cmd/genworkload -input A-human -outdir $(PERFDIFF_DIR)
+	$(GO) run ./cmd/minigiraffe -gbz $(PERFDIFF_DIR)/A-human.gbz \
+		-seeds $(PERFDIFF_DIR)/A-human-seeds.bin -threads 4 -stream \
+		-obs -slow 16 -out $(PERFDIFF_DIR)/out.csv \
+		-series $(PERFDIFF_DIR)/run.series \
+		-manifest $(PERFDIFF_DIR)/run-manifest.json
+	$(GO) run ./cmd/obsdiff -baseline results/baseline -candidate $(PERFDIFF_DIR) \
+		-report $(PERFDIFF_DIR)/perfdiff.md $(OBSDIFF_FLAGS)
+	@echo "report: $(PERFDIFF_DIR)/perfdiff.md"
 
 govulncheck:
 	@if command -v govulncheck >/dev/null 2>&1; then \

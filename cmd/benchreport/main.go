@@ -15,6 +15,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"repro/internal/autotune"
@@ -32,6 +33,8 @@ func main() {
 	outdir := flag.String("outdir", "results", "directory for CSV artefacts")
 	only := flag.String("only", "", "run a single experiment (table1, figure2, ... anova)")
 	manifest := flag.String("manifest", "", "run manifest JSON path (default <outdir>/run-manifest.json; \"off\" disables)")
+	seriesPath := flag.String("series", "", "archive a delta-encoded metric time-series here (flight recorder; enables the metrics registry)")
+	seriesEvery := flag.Duration("series-interval", obs.DefaultSeriesInterval, "series self-scrape interval")
 	flag.Parse()
 
 	if err := os.MkdirAll(*outdir, 0o755); err != nil {
@@ -46,8 +49,18 @@ func main() {
 	if manifestPath == "off" {
 		manifestPath = ""
 	}
+	var reg *obs.Registry
+	var series *obs.SeriesRecorder
+	if *seriesPath != "" {
+		reg = obs.NewRegistry(suiteShards(*threads))
+		var err error
+		series, err = obs.StartSeries(reg, nil, *seriesPath, *seriesEvery, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 	s := experiments.NewSuite(experiments.Config{
-		Scale: *scale, Threads: *threads, Repeats: *repeats, Out: os.Stdout,
+		Scale: *scale, Threads: *threads, Repeats: *repeats, Out: os.Stdout, Obs: reg,
 	})
 	space := autotune.DefaultSpace()
 
@@ -141,6 +154,11 @@ func main() {
 		man.Notes["step_"+st.name] = elapsed.String()
 		fmt.Printf("[%s done in %v]\n", st.name, elapsed)
 	}
+	if series != nil {
+		if err := series.Stop(); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if manifestPath != "" {
 		entries, err := os.ReadDir(*outdir)
 		if err != nil {
@@ -151,7 +169,11 @@ func main() {
 				man.AddResult(filepath.Join(*outdir, e.Name()))
 			}
 		}
-		man.Finish(nil)
+		if *seriesPath != "" {
+			man.AddResult(*seriesPath)
+			man.Notes["series"] = filepath.Base(*seriesPath)
+		}
+		man.Finish(reg)
 		if err := man.Write(manifestPath); err != nil {
 			log.Fatal(err)
 		}
@@ -159,4 +181,13 @@ func main() {
 	}
 	fmt.Printf("\nbenchreport complete in %v; CSV artefacts in %s/\n",
 		time.Since(start).Round(time.Millisecond), *outdir)
+}
+
+// suiteShards sizes the registry for the measurement worker count plus the
+// streaming comparison's ingest/emit stages.
+func suiteShards(threads int) int {
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	return threads + 2
 }

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"time"
@@ -61,8 +62,11 @@ func main() {
 	perfetto := flag.String("perfetto", "", "write a Perfetto/chrome://tracing trace-event JSON here")
 	manifest := flag.String("manifest", "", "run manifest JSON path (default <out>.manifest.json when -out is set; \"off\" disables)")
 	obsOn := flag.Bool("obs", false, "enable the metrics registry (kernel/stage histograms, scheduler counters) even without -debug-addr")
-	debugAddr := flag.String("debug-addr", "", "serve pprof, expvar, /metrics and /progress on this address (e.g. localhost:6060); enables the metrics registry")
+	debugAddr := flag.String("debug-addr", "", "serve pprof, expvar, /metrics, /progress and /slow on this address (e.g. localhost:6060); enables the metrics registry")
 	progressEvery := flag.Duration("progress-interval", time.Second, "debug endpoint: /progress sampling interval")
+	seriesPath := flag.String("series", "", "archive a delta-encoded metric time-series here (flight recorder; enables the metrics registry)")
+	seriesEvery := flag.Duration("series-interval", obs.DefaultSeriesInterval, "series self-scrape interval")
+	slowK := flag.Int("slow", 0, "retain the K slowest reads as exemplars (served at /slow, archived in the manifest)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile here")
 	memprofile := flag.String("memprofile", "", "write a heap profile here")
 	flag.Parse()
@@ -88,25 +92,39 @@ func main() {
 
 	// Observability is default-off: the registry exists only when asked for,
 	// and a nil registry keeps every instrumented path timing-free.
+	workers := *threads
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	var reg *obs.Registry
-	if *obsOn || *debugAddr != "" {
-		n := *threads
-		if n <= 0 {
-			n = runtime.GOMAXPROCS(0)
-		}
+	if *obsOn || *debugAddr != "" || *seriesPath != "" {
 		// +2: the pipeline's ingest and emit stages record into their own
 		// shards past the map workers.
-		reg = obs.NewRegistry(n + 2)
+		reg = obs.NewRegistry(workers + 2)
+	}
+	// The slow-read reservoir is independent of the registry: -slow alone
+	// captures exemplars into the manifest with zero registry overhead.
+	var slow *obs.SlowReads
+	if *slowK > 0 {
+		slow = obs.NewSlowReads(workers, *slowK)
 	}
 	var dbg *obs.DebugServer
 	if *debugAddr != "" {
 		var err error
-		dbg, err = obs.StartDebugServer(*debugAddr, reg, *progressEvery)
+		dbg, err = obs.StartDebugServer(*debugAddr, reg, slow, *progressEvery)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer dbg.Close()
 		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/\n", dbg.Addr())
+	}
+	var series *obs.SeriesRecorder
+	if *seriesPath != "" {
+		var err error
+		series, err = obs.StartSeries(reg, slow, *seriesPath, *seriesEvery, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	man := obs.NewManifest("minigiraffe")
 	man.AddFlagSet(flag.CommandLine)
@@ -148,6 +166,7 @@ func main() {
 		Scheduler:     kind,
 		Trace:         rec,
 		Obs:           reg,
+		Slow:          slow,
 	}
 	switch {
 	case *fastqPath != "":
@@ -156,6 +175,14 @@ func main() {
 		runStream(f, *seedsPath, w, opts, *depth)
 	default:
 		runBatch(f, *seedsPath, w, opts)
+	}
+
+	if series != nil {
+		// Stop before the manifest so the archive's final sample reflects the
+		// whole run; a failed flight recorder fails the run loudly.
+		if err := series.Stop(); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	if *memprofile != "" {
@@ -208,11 +235,16 @@ func main() {
 		if err := man.AddWorkload(label, input); err != nil {
 			log.Fatal(err)
 		}
-		for _, p := range []string{*out, *timeline, *perfetto} {
+		for _, p := range []string{*out, *timeline, *perfetto, *seriesPath} {
 			if p != "" {
 				man.AddResult(p)
 			}
 		}
+		if *seriesPath != "" {
+			// obsdiff resolves the archive by basename next to the manifest.
+			man.Notes["series"] = filepath.Base(*seriesPath)
+		}
+		man.AddSlowReads(slow)
 		man.Finish(reg)
 		if err := man.Write(manifestPath); err != nil {
 			log.Fatal(err)

@@ -13,6 +13,8 @@ import (
 	"flag"
 	"log"
 	"os"
+	"path/filepath"
+	"runtime"
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
@@ -26,10 +28,26 @@ func main() {
 	repeats := flag.Int("repeats", 1, "repeats per measured point")
 	experiment := flag.String("experiment", "all", "figure4, figure5, table7, or all")
 	manifest := flag.String("manifest", "scalability-manifest.json", "run manifest JSON path (\"off\" disables)")
+	seriesPath := flag.String("series", "", "archive a delta-encoded metric time-series here (flight recorder; enables the metrics registry)")
+	seriesEvery := flag.Duration("series-interval", obs.DefaultSeriesInterval, "series self-scrape interval")
 	flag.Parse()
 
+	var reg *obs.Registry
+	var series *obs.SeriesRecorder
+	if *seriesPath != "" {
+		n := *threads
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		reg = obs.NewRegistry(n + 2)
+		var err error
+		series, err = obs.StartSeries(reg, nil, *seriesPath, *seriesEvery, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 	s := experiments.NewSuite(experiments.Config{
-		Scale: *scale, Threads: *threads, Repeats: *repeats, Out: os.Stdout,
+		Scale: *scale, Threads: *threads, Repeats: *repeats, Out: os.Stdout, Obs: reg,
 	})
 	man := obs.NewManifest("scalability")
 	man.AddFlagSet(flag.CommandLine)
@@ -45,8 +63,17 @@ func main() {
 	run("figure4", func() error { _, err := s.Figure4(nil); return err })
 	run("figure5", func() error { _, err := s.Figure5(); return err })
 	run("table7", func() error { _, err := s.Table7(); return err })
+	if series != nil {
+		if err := series.Stop(); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if *manifest != "off" && *manifest != "" {
-		man.Finish(nil)
+		if *seriesPath != "" {
+			man.AddResult(*seriesPath)
+			man.Notes["series"] = filepath.Base(*seriesPath)
+		}
+		man.Finish(reg)
 		if err := man.Write(*manifest); err != nil {
 			log.Fatal(err)
 		}

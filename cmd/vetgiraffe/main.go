@@ -24,6 +24,7 @@ import (
 	"repro/internal/analysis/hotalloc"
 	"repro/internal/analysis/metricname"
 	"repro/internal/analysis/nakedgoroutine"
+	"repro/internal/analysis/probeexclusive"
 	"repro/internal/analysis/tracepair"
 )
 
@@ -33,6 +34,7 @@ var all = []*analysis.Analyzer{
 	hotalloc.Analyzer,
 	metricname.Analyzer,
 	nakedgoroutine.Analyzer,
+	probeexclusive.Analyzer,
 	tracepair.Analyzer,
 }
 

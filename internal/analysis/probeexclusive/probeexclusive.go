@@ -1,0 +1,112 @@
+// Package probeexclusive checks that sharded reservoir write paths are only
+// reached from sharded contexts: the shard argument of
+// (*obs.SlowReads).Offer must be a parameter of the immediately-enclosing
+// function. The reservoir's lock-free fast path assumes each worker writes
+// its own shard; an Offer with a literal, a local variable, or a worker
+// index captured from an outer scope (a closure outliving its batch) funnels
+// every goroutine onto one shard — the floor optimisation degrades to a
+// contended mutex and the exemplars misattribute which worker was slow. A
+// bare parameter is the one shape the compiler can't silently stale-capture.
+package probeexclusive
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the probeexclusive check.
+var Analyzer = &analysis.Analyzer{
+	Name: "probeexclusive",
+	Doc: "report sharded reservoir offers (obs.SlowReads.Offer) whose shard " +
+		"argument is not a parameter of the enclosing function",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Walk(visitor{pass: pass}, f)
+	}
+	return nil
+}
+
+// visitor walks the file; params holds the parameter objects of the
+// innermost enclosing function, reset at every FuncDecl and FuncLit so a
+// closure never inherits its parent's parameters.
+type visitor struct {
+	pass   *analysis.Pass
+	params map[types.Object]bool
+}
+
+func (v visitor) Visit(n ast.Node) ast.Visitor {
+	switch n := n.(type) {
+	case *ast.FuncDecl:
+		return visitor{pass: v.pass, params: paramSet(v.pass, n.Type)}
+	case *ast.FuncLit:
+		return visitor{pass: v.pass, params: paramSet(v.pass, n.Type)}
+	case *ast.CallExpr:
+		if isOffer(v.pass, n) && len(n.Args) > 0 && !v.isParam(n.Args[0]) {
+			v.pass.Reportf(n.Args[0].Pos(),
+				"SlowReads.Offer shard must be a worker-index parameter of the enclosing function: "+
+					"offering from an unsharded context (literal, local, or captured index) collapses "+
+					"the per-worker reservoir onto one shard and misattributes slow reads")
+		}
+	}
+	return v
+}
+
+// isParam reports whether arg is a bare identifier bound to a parameter of
+// the innermost enclosing function.
+func (v visitor) isParam(arg ast.Expr) bool {
+	id, ok := arg.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := v.pass.TypesInfo.Uses[id]
+	return obj != nil && v.params[obj]
+}
+
+// paramSet collects the parameter objects declared by a function type.
+func paramSet(pass *analysis.Pass, ft *ast.FuncType) map[types.Object]bool {
+	set := make(map[types.Object]bool)
+	if ft == nil || ft.Params == nil {
+		return set
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				set[obj] = true
+			}
+		}
+	}
+	return set
+}
+
+// isOffer reports whether call is (*obs.SlowReads).Offer.
+func isOffer(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "Offer" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "SlowReads" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/obs")
+}

@@ -1,0 +1,12 @@
+package probeexclusive_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/probeexclusive"
+)
+
+func TestProbeExclusive(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", probeexclusive.Analyzer)
+}

@@ -1,0 +1,48 @@
+// Fixture for the probeexclusive analyzer: the shard argument of
+// obs.SlowReads.Offer must be a parameter of the enclosing function.
+package a
+
+import "repro/internal/obs"
+
+func okParam(s *obs.SlowReads, worker int) {
+	s.Offer(worker, obs.Exemplar{TotalNanos: 1})
+}
+
+type mapper struct{ slow *obs.SlowReads }
+
+func (m *mapper) okMethod(worker int, total int64) {
+	m.slow.Offer(worker, obs.Exemplar{TotalNanos: total})
+}
+
+func okClosureOwnParam(s *obs.SlowReads) {
+	fn := func(worker int) {
+		s.Offer(worker, obs.Exemplar{TotalNanos: 1})
+	}
+	fn(0)
+}
+
+func badLocal(s *obs.SlowReads) {
+	w := 0
+	s.Offer(w, obs.Exemplar{TotalNanos: 1}) // want `shard must be a worker-index parameter`
+}
+
+func badLiteral(s *obs.SlowReads) {
+	s.Offer(0, obs.Exemplar{TotalNanos: 1}) // want `shard must be a worker-index parameter`
+}
+
+func badArithmetic(s *obs.SlowReads, worker int) {
+	s.Offer(worker+1, obs.Exemplar{TotalNanos: 1}) // want `shard must be a worker-index parameter`
+}
+
+func badClosureCapture(s *obs.SlowReads, worker int) {
+	fn := func() {
+		// The closure may outlive the batch that owned this worker index; a
+		// captured index is no longer "this goroutine's shard".
+		s.Offer(worker, obs.Exemplar{TotalNanos: 1}) // want `shard must be a worker-index parameter`
+	}
+	fn()
+}
+
+func suppressed(s *obs.SlowReads) {
+	s.Offer(3, obs.Exemplar{TotalNanos: 1}) //vetgiraffe:ignore probeexclusive fixture exercises the suppression path
+}

@@ -49,6 +49,11 @@ type Options struct {
 	// process_until_threshold_c, per-batch cache rebuild) and scheduler
 	// counters. Nil keeps the hot path free of timing calls.
 	Obs *obs.Registry
+	// Slow, when non-nil, receives a slow-read exemplar for every mapped
+	// record: the reservoir keeps the K slowest, with per-kernel timing and
+	// cache-rebuild attribution. Nil (the default) keeps the hot path
+	// capture-free.
+	Slow *obs.SlowReads
 	// Probe drives the hardware-counter model; only honoured with
 	// Threads == 1.
 	Probe counters.Probe

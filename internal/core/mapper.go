@@ -45,8 +45,10 @@ type Mapper struct {
 	bi   *gbwt.Bidirectional
 	opts Options
 	met  mapperMetrics
-	// instr gates the kernel timing calls: true when either the trace
-	// recorder or the obs registry wants per-region durations.
+	slow *obs.SlowReads
+	// instr gates the kernel timing calls: true when the trace recorder,
+	// the obs registry, or the slow-read reservoir wants per-region
+	// durations.
 	instr bool
 }
 
@@ -88,7 +90,8 @@ func NewMapperFromIndexes(f *gbz.File, dist *distindex.Index, bi *gbwt.Bidirecti
 		bi:    bi,
 		opts:  opts,
 		met:   newMapperMetrics(opts.Obs),
-		instr: opts.Trace != nil || opts.Obs != nil,
+		slow:  opts.Slow,
+		instr: opts.Trace != nil || opts.Obs != nil || opts.Slow != nil,
 	}, nil
 }
 
@@ -119,27 +122,51 @@ func (m *Mapper) NewReader() gbwt.BiReader { return m.bi.NewBiReader(m.opts.Cach
 //
 //minigiraffe:hot
 func (m *Mapper) MapRecord(worker int, reader gbwt.BiReader, rec *seeds.ReadSeeds, index int) []extend.Extension {
+	return m.mapRecordSlow(worker, reader, rec, index, 0)
+}
+
+// mapRecordSlow is MapRecord plus the slow-read exemplar capture:
+// cacheNanos attributes the caller's per-batch CachedGBWT rebuild to each
+// read it covers. The capture is allocation-free (Exemplar is a value; the
+// reservoir preallocates) and skipped entirely when no reservoir is
+// configured.
+//
+//minigiraffe:hot
+func (m *Mapper) mapRecordSlow(worker int, reader gbwt.BiReader, rec *seeds.ReadSeeds, index int, cacheNanos int64) []extend.Extension {
 	var t0 time.Time
+	var dc, dt time.Duration
 	if m.instr {
 		t0 = time.Now()
 	}
 	cls := cluster.ClusterSeeds(m.dist, rec.Seeds, m.opts.Cluster, m.opts.Probe, index)
 	if m.instr {
-		d := time.Since(t0)
+		dc = time.Since(t0)
 		if m.opts.Trace != nil {
-			m.opts.Trace.Record(worker, trace.RegionCluster, t0, d)
+			m.opts.Trace.Record(worker, trace.RegionCluster, t0, dc)
 		}
-		m.met.cluster.Observe(worker, d)
+		m.met.cluster.Observe(worker, dc)
 		t0 = time.Now()
 	}
 	env := &extend.Env{Graph: m.file.Graph, Bi: reader, Probe: m.opts.Probe}
 	exts := extend.ProcessUntilThresholdC(env, &rec.Read, rec.Seeds, cls, m.opts.Extend, index)
 	if m.instr {
-		d := time.Since(t0)
+		dt = time.Since(t0)
 		if m.opts.Trace != nil {
-			m.opts.Trace.Record(worker, trace.RegionThresholdC, t0, d)
+			m.opts.Trace.Record(worker, trace.RegionThresholdC, t0, dt)
 		}
-		m.met.threshold.Observe(worker, d)
+		m.met.threshold.Observe(worker, dt)
+		if m.slow != nil {
+			m.slow.Offer(worker, obs.Exemplar{
+				Read:            rec.Read.Name,
+				Index:           index,
+				Worker:          worker,
+				Seeds:           len(rec.Seeds),
+				ClusterNanos:    int64(dc),
+				ExtendNanos:     int64(dt),
+				TotalNanos:      int64(dc + dt),
+				CacheBuildNanos: cacheNanos,
+			})
+		}
 	}
 	return exts
 }
@@ -155,6 +182,7 @@ func (m *Mapper) MapBatch(worker int, recs []seeds.ReadSeeds, base int, out [][]
 		t0 = time.Now()
 	}
 	reader := m.NewReader()
+	var cacheNanos int64
 	if m.instr {
 		// The per-batch CachedGBWT rebuild is Giraffe's cache lifetime —
 		// the cost the §VII-B capacity parameter trades against hit rate.
@@ -163,9 +191,10 @@ func (m *Mapper) MapBatch(worker int, recs []seeds.ReadSeeds, base int, out [][]
 			m.opts.Trace.Record(worker, trace.RegionCacheBuild, t0, d)
 		}
 		m.met.cacheBuild.Observe(worker, d)
+		cacheNanos = int64(d)
 	}
 	for j := range recs {
-		out[j] = m.MapRecord(worker, reader, &recs[j], base+j)
+		out[j] = m.mapRecordSlow(worker, reader, &recs[j], base+j, cacheNanos)
 	}
 	return ReaderCacheStats(reader)
 }

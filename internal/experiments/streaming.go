@@ -61,7 +61,7 @@ func (s *Suite) StreamingComparison() ([]StreamingRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := core.NewMapperFromIndexes(b.GBZ(), ix.Dist, ix.Bi, core.Options{Threads: s.cfg.Threads})
+		m, err := core.NewMapperFromIndexes(b.GBZ(), ix.Dist, ix.Bi, core.Options{Threads: s.cfg.Threads, Obs: s.cfg.Obs})
 		if err != nil {
 			return nil, err
 		}

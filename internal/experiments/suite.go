@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/gbz"
 	"repro/internal/giraffe"
+	"repro/internal/obs"
 	"repro/internal/seeds"
 	"repro/internal/workload"
 )
@@ -31,6 +32,11 @@ type Config struct {
 	Repeats int
 	// Out receives the printed tables; defaults to io.Discard when nil.
 	Out io.Writer
+	// Obs, when non-nil, receives kernel and scheduler metrics from the
+	// multi-threaded measurement runs (the single-thread probe runs stay
+	// uninstrumented to keep the hardware-counter model pure). Lets
+	// benchreport archive a metric series for the whole report run.
+	Obs *obs.Registry
 }
 
 func (c Config) normalize() Config {

@@ -26,7 +26,7 @@ func (s *Suite) FunctionalValidation(spec workload.Spec) (core.ValidationReport,
 	if err != nil {
 		return core.ValidationReport{}, err
 	}
-	proxy, err := core.Run(b.GBZ(), parent.Captured, core.Options{Threads: s.cfg.Threads})
+	proxy, err := core.Run(b.GBZ(), parent.Captured, core.Options{Threads: s.cfg.Threads, Obs: s.cfg.Obs})
 	if err != nil {
 		return core.ValidationReport{}, err
 	}

@@ -133,9 +133,11 @@ func (r *Reporter) Stop() {
 
 // DebugServer is the live observability endpoint (-debug-addr): standard Go
 // pprof and expvar, a Prometheus-text scrape of the registry at /metrics,
-// and the reporter-driven /progress JSON.
+// the reporter-driven /progress JSON, and the slow-read exemplar reservoir
+// at /slow.
 type DebugServer struct {
 	reg      *Registry
+	slow     *SlowReads
 	reporter *Reporter
 	ln       net.Listener
 	srv      *http.Server
@@ -143,14 +145,16 @@ type DebugServer struct {
 
 // StartDebugServer binds addr (":0" picks a free port), starts the
 // progress reporter at the given interval, and serves in a background
-// goroutine until Close.
-func StartDebugServer(addr string, reg *Registry, interval time.Duration) (*DebugServer, error) {
+// goroutine until Close. slow may be nil; /slow then serves an empty
+// reservoir.
+func StartDebugServer(addr string, reg *Registry, slow *SlowReads, interval time.Duration) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	d := &DebugServer{
 		reg:      reg,
+		slow:     slow,
 		reporter: StartReporter(reg, interval),
 		ln:       ln,
 	}
@@ -163,6 +167,7 @@ func StartDebugServer(addr string, reg *Registry, interval time.Duration) (*Debu
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/metrics", d.handleMetrics)
 	mux.HandleFunc("/progress", d.handleProgress)
+	mux.HandleFunc("/slow", d.handleSlow)
 	mux.HandleFunc("/", d.handleIndex)
 	d.srv = &http.Server{Handler: mux}
 	//vetgiraffe:ignore nakedgoroutine Serve returns when Close shuts the listener down
@@ -189,6 +194,26 @@ func (d *DebugServer) handleProgress(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
+// handleSlow serves the exemplar reservoir: the current window's slowest
+// reads and the run-level top K (nil reservoir: empty lists, k=0).
+func (d *DebugServer) handleSlow(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	payload := struct {
+		K      int        `json:"k"`
+		Window []Exemplar `json:"window"`
+		Run    []Exemplar `json:"run"`
+	}{
+		K:      d.slow.K(),
+		Window: d.slow.Window(),
+		Run:    d.slow.Top(),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(payload); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
 func (d *DebugServer) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
@@ -198,6 +223,7 @@ func (d *DebugServer) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, `<html><body><h1>minigiraffe debug</h1><ul>
 <li><a href="/metrics">/metrics</a> — Prometheus text scrape</li>
 <li><a href="/progress">/progress</a> — live pipeline progress JSON</li>
+<li><a href="/slow">/slow</a> — slowest-read exemplars (window + run)</li>
 <li><a href="/debug/pprof/">/debug/pprof/</a> — Go profiles</li>
 <li><a href="/debug/vars">/debug/vars</a> — expvar</li>
 </ul></body></html>

@@ -16,7 +16,10 @@ func TestDebugServerEndpoints(t *testing.T) {
 	reg.Gauge(MetricPipelineInFlight).Set(0, 2)
 	reg.Histogram(MetricStageMap).Observe(0, 4*time.Millisecond)
 
-	d, err := StartDebugServer("127.0.0.1:0", reg, time.Hour)
+	slow := NewSlowReads(2, 4)
+	slow.Offer(0, Exemplar{Read: "r1", Index: 7, Seeds: 3, TotalNanos: 900})
+
+	d, err := StartDebugServer("127.0.0.1:0", reg, slow, time.Hour)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +51,9 @@ func TestDebugServerEndpoints(t *testing.T) {
 		"# TYPE " + MetricPipelineReads + " counter",
 		MetricPipelineReads + " 1200",
 		MetricPipelineInFlight + " 2",
-		MetricStageMap + `{quantile="0.5"}`,
+		"# TYPE " + MetricStageMap + " histogram",
+		MetricStageMap + `_bucket{le="+Inf"} 1`,
+		MetricStageMap + "_count 1",
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("/metrics missing %q:\n%s", want, metrics)
@@ -76,8 +81,24 @@ func TestDebugServerEndpoints(t *testing.T) {
 		t.Errorf("/debug/vars is not valid JSON:\n%s", vars)
 	}
 
+	slowBody, ctype := get("/slow")
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Errorf("/slow Content-Type = %q", ctype)
+	}
+	var slowPayload struct {
+		K      int        `json:"k"`
+		Window []Exemplar `json:"window"`
+		Run    []Exemplar `json:"run"`
+	}
+	if err := json.Unmarshal([]byte(slowBody), &slowPayload); err != nil {
+		t.Fatalf("/slow is not valid JSON: %v\n%s", err, slowBody)
+	}
+	if slowPayload.K != 4 || len(slowPayload.Window) != 1 || slowPayload.Window[0].Read != "r1" {
+		t.Errorf("/slow = %+v, want k=4 and the offered exemplar in the window", slowPayload)
+	}
+
 	index, _ := get("/")
-	for _, link := range []string{"/metrics", "/progress", "/debug/pprof/", "/debug/vars"} {
+	for _, link := range []string{"/metrics", "/progress", "/slow", "/debug/pprof/", "/debug/vars"} {
 		if !strings.Contains(index, link) {
 			t.Errorf("index page missing link to %s", link)
 		}

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// writeRun writes a run directory with a manifest carrying the given final
+// snapshot.
+func writeRun(t *testing.T, elapsed float64, snap *Snapshot) string {
+	t.Helper()
+	dir := t.TempDir()
+	m := NewManifest("test")
+	m.ElapsedSeconds = elapsed
+	m.Metrics = snap
+	if err := m.Write(filepath.Join(dir, "run-manifest.json")); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// loadRun loads a run directory written by writeRun.
+func loadRun(t *testing.T, dir string) *RunData {
+	t.Helper()
+	run, err := LoadRun(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+func hist(count int64, p99 float64) HistogramStats {
+	return HistogramStats{Count: count, P99: p99, P50: p99 / 2, SumSeconds: p99 * float64(count) / 2}
+}
+
+func TestDiffP99Regression(t *testing.T) {
+	base := loadRun(t, writeRun(t, 10, &Snapshot{
+		Counters:   map[string]int64{MetricPipelineReads: 10000},
+		Histograms: map[string]HistogramStats{MetricStageMap: hist(1000, 0.001)},
+	}))
+	cand := loadRun(t, writeRun(t, 10, &Snapshot{
+		Counters:   map[string]int64{MetricPipelineReads: 10000},
+		Histograms: map[string]HistogramStats{MetricStageMap: hist(1000, 0.004)},
+	}))
+	r := Diff(base, cand, DiffOptions{})
+	if !r.Regressed() {
+		t.Fatal("4x p99 rise not flagged")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"REGRESSED", MetricStageMap, "## Throughput", "## Tail latency"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiffThroughputDrop(t *testing.T) {
+	base := loadRun(t, writeRun(t, 10, &Snapshot{
+		Counters: map[string]int64{MetricPipelineReads: 10000},
+	}))
+	cand := loadRun(t, writeRun(t, 10, &Snapshot{
+		Counters: map[string]int64{MetricPipelineReads: 4000},
+	}))
+	r := Diff(base, cand, DiffOptions{})
+	if !r.Regressed() {
+		t.Fatal("60% throughput drop not flagged")
+	}
+	// Within the threshold: 10% down is noise.
+	cand2 := loadRun(t, writeRun(t, 10, &Snapshot{
+		Counters: map[string]int64{MetricPipelineReads: 9000},
+	}))
+	if Diff(base, cand2, DiffOptions{}).Regressed() {
+		t.Error("10% throughput drop flagged at a 15% threshold")
+	}
+	// Custom threshold: 75% tolerance passes even the big drop.
+	if Diff(base, cand, DiffOptions{ThroughputDrop: 0.75}).Regressed() {
+		t.Error("60% drop flagged at a 75% threshold")
+	}
+}
+
+func TestDiffExemptions(t *testing.T) {
+	// Low observation counts: quantiles are noise, never a failure.
+	base := loadRun(t, writeRun(t, 1, &Snapshot{
+		Histograms: map[string]HistogramStats{MetricStageMap: hist(5, 0.001)},
+	}))
+	cand := loadRun(t, writeRun(t, 1, &Snapshot{
+		Histograms: map[string]HistogramStats{MetricStageMap: hist(5, 0.1)},
+	}))
+	if Diff(base, cand, DiffOptions{}).Regressed() {
+		t.Error("low-count histogram flagged")
+	}
+
+	// Tiny absolute p99s: a bucket hop below the floor is not a regression.
+	base = loadRun(t, writeRun(t, 1, &Snapshot{
+		Histograms: map[string]HistogramStats{MetricStageMap: hist(1000, 2e-6)},
+	}))
+	cand = loadRun(t, writeRun(t, 1, &Snapshot{
+		Histograms: map[string]HistogramStats{MetricStageMap: hist(1000, 8e-6)},
+	}))
+	if Diff(base, cand, DiffOptions{}).Regressed() {
+		t.Error("sub-floor p99 rise flagged")
+	}
+}
+
+func TestDiffAddedRemovedMetrics(t *testing.T) {
+	base := loadRun(t, writeRun(t, 1, &Snapshot{
+		Counters:   map[string]int64{"old_total": 5},
+		Histograms: map[string]HistogramStats{"old_seconds": hist(1000, 0.01)},
+	}))
+	cand := loadRun(t, writeRun(t, 1, &Snapshot{
+		Counters:   map[string]int64{"new_total": 5},
+		Histograms: map[string]HistogramStats{"new_seconds": hist(1000, 0.01)},
+	}))
+	r := Diff(base, cand, DiffOptions{})
+	if r.Regressed() {
+		t.Error("instrumentation change flagged as regression")
+	}
+	wantAdded := []string{"new_seconds", "new_total"}
+	wantRemoved := []string{"old_seconds", "old_total"}
+	if strings.Join(r.Added, ",") != strings.Join(wantAdded, ",") {
+		t.Errorf("Added = %v, want %v", r.Added, wantAdded)
+	}
+	if strings.Join(r.Removed, ",") != strings.Join(wantRemoved, ",") {
+		t.Errorf("Removed = %v, want %v", r.Removed, wantRemoved)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "only in candidate") || !strings.Contains(buf.String(), "only in baseline") {
+		t.Errorf("report missing added/removed sections:\n%s", buf.String())
+	}
+}
+
+func TestLoadRunResolvesSeries(t *testing.T) {
+	dir := t.TempDir()
+	reg := NewRegistry(1)
+	reg.Counter(MetricPipelineReads).Add(0, 10)
+	rec, err := StartSeries(reg, nil, filepath.Join(dir, "run.series"), time.Hour, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManifest("test")
+	m.Notes["series"] = "run.series"
+	m.Metrics = reg.Snapshot()
+	if err := m.Write(filepath.Join(dir, "run-manifest.json")); err != nil {
+		t.Fatal(err)
+	}
+
+	run, err := LoadRun(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Series == nil {
+		t.Fatal("series not resolved from manifest notes")
+	}
+	if len(run.Series.Samples) < 1 {
+		t.Fatal("series loaded empty")
+	}
+
+	// A run without a series still loads.
+	dir2 := writeRun(t, 1, &Snapshot{})
+	run2, err := LoadRun(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run2.Series != nil {
+		t.Error("phantom series resolved")
+	}
+
+	// A missing baseline reports os.IsNotExist so the CLI can soft-fail.
+	if _, err := LoadRun(filepath.Join(dir, "nope")); !os.IsNotExist(err) {
+		t.Errorf("missing run error = %v, want IsNotExist", err)
+	}
+}
+
+func TestDiffSlowReadsInReport(t *testing.T) {
+	base := loadRun(t, writeRun(t, 1, &Snapshot{}))
+	dir := t.TempDir()
+	m := NewManifest("test")
+	m.SlowReads = []Exemplar{{Read: "read-42", Seeds: 9, TotalNanos: 5_000_000, ClusterNanos: 1_000_000, ExtendNanos: 4_000_000}}
+	if err := m.Write(filepath.Join(dir, "run-manifest.json")); err != nil {
+		t.Fatal(err)
+	}
+	cand := loadRun(t, dir)
+	var buf bytes.Buffer
+	if err := Diff(base, cand, DiffOptions{}).WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "read-42") {
+		t.Errorf("report missing candidate slow reads:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Exemplar is one captured slow read: enough context to explain a
+// cluster_seeds / process_until_threshold_c tail hit (the paper's Fig. 5-7
+// characterization) without re-running — which read, how many seeds it
+// carried, where the time went, and how much of its batch's CachedGBWT
+// rebuild it rode behind. Durations are nanoseconds so the hot capture path
+// never converts floats.
+type Exemplar struct {
+	Read   string `json:"read"`
+	Index  int    `json:"index"`  // global record index in the workload
+	Worker int    `json:"worker"` // shard that mapped it
+	Seeds  int    `json:"seeds"`
+	// ClusterNanos and ExtendNanos split the read's time between the two
+	// critical functions; TotalNanos (their sum) is the reservoir's ranking
+	// key.
+	ClusterNanos int64 `json:"cluster_ns"`
+	ExtendNanos  int64 `json:"extend_ns"`
+	TotalNanos   int64 `json:"total_ns"`
+	// CacheBuildNanos attributes the batch's per-batch CachedGBWT rebuild
+	// (§VII-B) to the read: a "slow" read in a batch with an expensive
+	// rebuild is a cache-capacity problem, not a kernel problem.
+	CacheBuildNanos int64 `json:"cache_build_ns"`
+}
+
+// slowShard is one worker's reservoir: a min-heap of its K slowest reads in
+// the current window. floor caches the heap root's TotalNanos once the heap
+// is full, so the common case — a read faster than everything retained —
+// rejects with one atomic load and no lock.
+type slowShard struct {
+	floor int64 // atomic; 0 until the heap first fills
+	mu    sync.Mutex
+	heap  []Exemplar // min-heap by TotalNanos, capacity k
+	_     [40]byte   // keep neighbouring shards off this cache line
+}
+
+// SlowReads is a sharded reservoir of the K slowest reads. Offer is the
+// mapper hot-path entry: per-worker sharded, allocation-free, and nil-safe
+// (a nil *SlowReads ignores offers), mirroring the Registry's discipline.
+// Rotate closes a window, folding it into the run-level top K; the debug
+// endpoint's /slow serves both views and the manifest archives the run view.
+type SlowReads struct {
+	k      int
+	shards []slowShard
+
+	mu  sync.Mutex
+	run []Exemplar // min-heap: top K across all rotated windows
+}
+
+// NewSlowReads sizes the reservoir: one shard per worker (size for the map
+// worker count; out-of-range shards clamp), each retaining the k slowest
+// reads of the current window.
+func NewSlowReads(shards, k int) *SlowReads {
+	if shards < 1 {
+		shards = 1
+	}
+	if k < 1 {
+		k = 1
+	}
+	s := &SlowReads{k: k, shards: make([]slowShard, shards)}
+	for i := range s.shards {
+		s.shards[i].heap = make([]Exemplar, 0, k)
+	}
+	return s
+}
+
+// K returns the per-window retention (0 for a nil reservoir).
+func (s *SlowReads) K() int {
+	if s == nil {
+		return 0
+	}
+	return s.k
+}
+
+// Offer folds one mapped read into the worker's shard, keeping it only if it
+// ranks among the shard's K slowest this window. Reads no slower than the
+// shard's current floor (including zero-duration reads) return after a
+// single atomic load. Never allocates: the heap's backing array is
+// preallocated at capacity K.
+//
+//minigiraffe:hot
+func (s *SlowReads) Offer(shard int, ex Exemplar) {
+	if s == nil {
+		return
+	}
+	if uint(shard) >= uint(len(s.shards)) {
+		shard = 0
+	}
+	sh := &s.shards[shard]
+	if ex.TotalNanos <= atomic.LoadInt64(&sh.floor) {
+		return
+	}
+	sh.mu.Lock()
+	if len(sh.heap) < s.k {
+		sh.heap = append(sh.heap, ex)
+		siftUp(sh.heap, len(sh.heap)-1)
+		if len(sh.heap) == s.k {
+			atomic.StoreInt64(&sh.floor, sh.heap[0].TotalNanos)
+		}
+	} else if ex.TotalNanos > sh.heap[0].TotalNanos {
+		sh.heap[0] = ex
+		siftDown(sh.heap, 0)
+		atomic.StoreInt64(&sh.floor, sh.heap[0].TotalNanos)
+	}
+	sh.mu.Unlock()
+}
+
+// Rotate closes the current window: every shard's reservoir is drained into
+// the run-level top K and reset. The series self-scraper rotates once per
+// scrape tick, so a window is one scrape interval.
+func (s *SlowReads) Rotate() {
+	if s == nil {
+		return
+	}
+	var window []Exemplar
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		window = append(window, sh.heap...)
+		sh.heap = make([]Exemplar, 0, s.k)
+		atomic.StoreInt64(&sh.floor, 0)
+		sh.mu.Unlock()
+	}
+	s.mu.Lock()
+	for _, ex := range window {
+		if len(s.run) < s.k {
+			s.run = append(s.run, ex)
+			siftUp(s.run, len(s.run)-1)
+		} else if ex.TotalNanos > s.run[0].TotalNanos {
+			s.run[0] = ex
+			siftDown(s.run, 0)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Window returns the current (un-rotated) window's top K, slowest first.
+func (s *SlowReads) Window() []Exemplar {
+	if s == nil {
+		return nil
+	}
+	var all []Exemplar
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		all = append(all, sh.heap...)
+		sh.mu.Unlock()
+	}
+	return topK(all, s.k)
+}
+
+// Top returns the run-level top K — every rotated window folded together
+// with the current one — slowest first. This is what the manifest archives.
+func (s *SlowReads) Top() []Exemplar {
+	if s == nil {
+		return nil
+	}
+	all := s.Window()
+	s.mu.Lock()
+	all = append(all, s.run...)
+	s.mu.Unlock()
+	return topK(all, s.k)
+}
+
+// topK sorts slowest-first and truncates.
+func topK(all []Exemplar, k int) []Exemplar {
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].TotalNanos != all[j].TotalNanos {
+			return all[i].TotalNanos > all[j].TotalNanos
+		}
+		return all[i].Index < all[j].Index
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// siftUp restores the min-heap property (by TotalNanos) after an append.
+func siftUp(h []Exemplar, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].TotalNanos <= h[i].TotalNanos {
+			return
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+// siftDown restores the min-heap property after replacing the root.
+func siftDown(h []Exemplar, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && h[l].TotalNanos < h[small].TotalNanos {
+			small = l
+		}
+		if r < len(h) && h[r].TotalNanos < h[small].TotalNanos {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestSlowReadsTopK(t *testing.T) {
+	s := NewSlowReads(2, 3)
+	if s.K() != 3 {
+		t.Fatalf("K = %d, want 3", s.K())
+	}
+	// Offer six reads across both shards; only the three slowest survive.
+	for i, total := range []int64{50, 10, 90, 30, 70, 20} {
+		s.Offer(i%2, Exemplar{Read: fmt.Sprintf("r%d", i), Index: i, TotalNanos: total})
+	}
+	win := s.Window()
+	if len(win) != 3 {
+		t.Fatalf("window len = %d, want 3", len(win))
+	}
+	for i, wantTotal := range []int64{90, 70, 50} {
+		if win[i].TotalNanos != wantTotal {
+			t.Errorf("window[%d].TotalNanos = %d, want %d (slowest first)", i, win[i].TotalNanos, wantTotal)
+		}
+	}
+
+	// Rotating folds the window into the run view and empties the window.
+	s.Rotate()
+	if len(s.Window()) != 0 {
+		t.Error("window not empty after Rotate")
+	}
+	// A later window with one slower and one faster read: the run view keeps
+	// the global top 3.
+	s.Offer(0, Exemplar{Read: "late-slow", Index: 10, TotalNanos: 80})
+	s.Offer(1, Exemplar{Read: "late-fast", Index: 11, TotalNanos: 5})
+	top := s.Top()
+	if len(top) != 3 {
+		t.Fatalf("run top len = %d, want 3", len(top))
+	}
+	for i, wantTotal := range []int64{90, 80, 70} {
+		if top[i].TotalNanos != wantTotal {
+			t.Errorf("top[%d].TotalNanos = %d, want %d", i, top[i].TotalNanos, wantTotal)
+		}
+	}
+}
+
+func TestSlowReadsFloorRejects(t *testing.T) {
+	s := NewSlowReads(1, 2)
+	s.Offer(0, Exemplar{Read: "a", TotalNanos: 100})
+	s.Offer(0, Exemplar{Read: "b", TotalNanos: 200})
+	// Heap full; floor is 100. An equal-or-slower total must be rejected, a
+	// faster one replaces the floor entry.
+	s.Offer(0, Exemplar{Read: "reject", TotalNanos: 100})
+	s.Offer(0, Exemplar{Read: "accept", TotalNanos: 150})
+	win := s.Window()
+	if len(win) != 2 || win[0].Read != "b" || win[1].Read != "accept" {
+		t.Errorf("window = %+v, want [b accept]", win)
+	}
+	// Zero-duration reads never enter (floor starts at 0).
+	s2 := NewSlowReads(1, 2)
+	s2.Offer(0, Exemplar{Read: "zero", TotalNanos: 0})
+	if len(s2.Window()) != 0 {
+		t.Error("zero-duration read entered the reservoir")
+	}
+}
+
+func TestSlowReadsNil(t *testing.T) {
+	var s *SlowReads
+	s.Offer(0, Exemplar{TotalNanos: 1}) // must not panic
+	s.Rotate()
+	if s.K() != 0 || s.Window() != nil || s.Top() != nil {
+		t.Error("nil reservoir returned non-zero state")
+	}
+	var m Manifest
+	m.AddSlowReads(s)
+	if m.SlowReads != nil {
+		t.Error("nil reservoir archived exemplars")
+	}
+}
+
+func TestSlowReadsShardClamp(t *testing.T) {
+	s := NewSlowReads(2, 1)
+	s.Offer(99, Exemplar{Read: "clamped", TotalNanos: 10}) // out of range → shard 0
+	s.Offer(-1, Exemplar{Read: "negative", TotalNanos: 20})
+	if win := s.Window(); len(win) != 1 || win[0].Read != "negative" {
+		t.Errorf("window = %+v, want the clamped offers folded into shard 0", win)
+	}
+}
+
+// TestSlowReadsConcurrent hammers Offer from many goroutines while Rotate,
+// Window, and Top run concurrently — the -race gate for the reservoir.
+func TestSlowReadsConcurrent(t *testing.T) {
+	const workers = 4
+	s := NewSlowReads(workers, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				s.Offer(w, Exemplar{Read: "r", Index: i, Worker: w, TotalNanos: int64(i%257) + 1})
+			}
+		}(w)
+	}
+	var scrapeWg sync.WaitGroup
+	scrapeWg.Add(1)
+	go func() {
+		defer scrapeWg.Done()
+		for i := 0; i < 50; i++ {
+			s.Window()
+			s.Top()
+			if i%10 == 9 {
+				s.Rotate()
+			}
+		}
+	}()
+	wg.Wait()
+	scrapeWg.Wait()
+	s.Rotate()
+	top := s.Top()
+	if len(top) != 8 {
+		t.Fatalf("run top len = %d, want 8", len(top))
+	}
+	// The slowest possible total is 257; the reservoir must have kept it.
+	if top[0].TotalNanos != 257 {
+		t.Errorf("top total = %d, want 257", top[0].TotalNanos)
+	}
+}
+
+// TestOfferZeroAlloc is the acceptance criterion: exemplar capture adds zero
+// allocations on the hot path — for disabled capture (nil reservoir), for
+// the floor fast-reject, and for accepted offers (the heap is preallocated).
+func TestOfferZeroAlloc(t *testing.T) {
+	var nilRes *SlowReads
+	if n := testing.AllocsPerRun(100, func() {
+		nilRes.Offer(0, Exemplar{Read: "r", TotalNanos: 100})
+	}); n != 0 {
+		t.Errorf("nil reservoir Offer allocates %.1f/op", n)
+	}
+
+	s := NewSlowReads(1, 4)
+	for i := int64(1); i <= 4; i++ {
+		s.Offer(0, Exemplar{Read: "seed", TotalNanos: 1000 * i})
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		s.Offer(0, Exemplar{Read: "fast", TotalNanos: 1}) // below floor
+	}); n != 0 {
+		t.Errorf("floor-rejected Offer allocates %.1f/op", n)
+	}
+
+	var total int64 = 10000
+	if n := testing.AllocsPerRun(100, func() {
+		total++
+		s.Offer(0, Exemplar{Read: "slow", TotalNanos: total}) // accepted, replaces root
+	}); n != 0 {
+		t.Errorf("accepted Offer allocates %.1f/op", n)
+	}
+}

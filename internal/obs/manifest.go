@@ -34,6 +34,10 @@ type Manifest struct {
 	Results        []string          `json:"results,omitempty"`
 	Notes          map[string]string `json:"notes,omitempty"`
 	Metrics        *Snapshot         `json:"metrics,omitempty"`
+	// SlowReads archives the run-level slowest-read exemplars (slowest
+	// first), so a tail-latency regression flagged by obsdiff comes with the
+	// reads that caused it.
+	SlowReads []Exemplar `json:"slow_reads,omitempty"`
 }
 
 // WorkloadFile identifies one input by content: runs over different inputs
@@ -98,6 +102,12 @@ func (m *Manifest) AddResult(path string) {
 	m.Results = append(m.Results, path)
 }
 
+// AddSlowReads archives the reservoir's run-level top K (nil or empty
+// reservoir: no section).
+func (m *Manifest) AddSlowReads(s *SlowReads) {
+	m.SlowReads = s.Top()
+}
+
 // Finish stamps the end time and attaches the registry's final metric
 // snapshot (nil registry: no metrics section).
 func (m *Manifest) Finish(reg *Registry) {
@@ -120,6 +130,7 @@ func (m *Manifest) sanitize() {
 		h.P50 = SanitizeFloat(h.P50)
 		h.P90 = SanitizeFloat(h.P90)
 		h.P99 = SanitizeFloat(h.P99)
+		h.Min = SanitizeFloat(h.Min)
 		h.Max = SanitizeFloat(h.Max)
 		m.Metrics.Histograms[name] = h
 	}

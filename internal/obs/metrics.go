@@ -20,6 +20,13 @@ const (
 	MetricSchedClaims = "sched_claims_total"
 	MetricSchedSteals = "sched_steals_total"
 
+	// Derived straggler gauges, recomputed on every scrape from the claim
+	// counters' per-worker shards (Registry.SetWorkerShards declares the
+	// worker population): max/mean claims per worker and steals/claims,
+	// both in parts per thousand so they stay integers.
+	MetricSchedClaimImbalance = "sched_claim_imbalance_milli"
+	MetricSchedStealShare     = "sched_steal_share_milli"
+
 	// Mapper kernels (internal/core): the paper's two critical functions
 	// plus the per-batch CachedGBWT rebuild (§VII-B).
 	MetricClusterLatency   = "mapper_cluster_seeds_seconds"

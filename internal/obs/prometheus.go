@@ -6,10 +6,13 @@ import (
 )
 
 // WritePrometheus renders the registry in the Prometheus text exposition
-// format: counters and gauges with their native types, histograms as
-// summaries (quantile labels plus _sum/_count). Output is sorted by metric
-// name so consecutive scrapes diff cleanly. Nil-safe: a nil registry writes
-// nothing.
+// format: counters and gauges with their native types, histograms with
+// cumulative _bucket series (one le= bound per occupied log2 bucket plus
+// +Inf) and _sum/_count, so an external scraper can recompute any quantile
+// instead of trusting our log2 approximations. The exact recorded bounds
+// ride along as <name>_min_seconds / <name>_max_seconds gauges. Output is
+// sorted by metric name so consecutive scrapes diff cleanly. Nil-safe: a nil
+// registry writes nothing.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	s := r.Snapshot()
 	if s == nil {
@@ -33,9 +36,23 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 	}
 	for _, name := range sortedNames(s.Histograms) {
 		h := s.Histograms[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, b.UpperSeconds(), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n",
+			name, h.Count, name, h.SumSeconds, name, h.Count); err != nil {
+			return err
+		}
 		if _, err := fmt.Fprintf(w,
-			"# TYPE %s summary\n%s{quantile=\"0.5\"} %g\n%s{quantile=\"0.9\"} %g\n%s{quantile=\"0.99\"} %g\n%s_sum %g\n%s_count %d\n",
-			name, name, h.P50, name, h.P90, name, h.P99, name, h.SumSeconds, name, h.Count); err != nil {
+			"# TYPE %s_min_seconds gauge\n%s_min_seconds %g\n# TYPE %s_max_seconds gauge\n%s_max_seconds %g\n",
+			name, name, h.Min, name, name, h.Max); err != nil {
 			return err
 		}
 	}

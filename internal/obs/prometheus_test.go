@@ -2,6 +2,8 @@ package obs
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -26,15 +28,23 @@ func TestWritePrometheus(t *testing.T) {
 		"b_reads_total 42",
 		"# TYPE in_flight gauge",
 		"in_flight 3",
-		"# TYPE lat_seconds summary",
-		`lat_seconds{quantile="0.5"}`,
-		`lat_seconds{quantile="0.99"}`,
-		"lat_seconds_sum",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="+Inf"} 1`,
+		"lat_seconds_sum 0.002",
 		"lat_seconds_count 1",
+		"# TYPE lat_seconds_min_seconds gauge",
+		"lat_seconds_min_seconds 0.002",
+		"lat_seconds_max_seconds 0.002",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("scrape output missing %q:\n%s", want, out)
 		}
+	}
+	// The 2ms observation lands in one finite le bucket whose cumulative
+	// count already covers everything, and min/max are the exact value (not
+	// the log2 bucket bound).
+	if strings.Contains(out, `{quantile=`) {
+		t.Errorf("scrape still uses the summary quantile format:\n%s", out)
 	}
 	// Names must come out sorted so scrapes diff cleanly between runs.
 	if strings.Index(out, "a_batches_total") > strings.Index(out, "b_reads_total") {
@@ -47,6 +57,39 @@ func TestWritePrometheus(t *testing.T) {
 	}
 	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
 		t.Error("consecutive scrapes of an idle registry differ")
+	}
+}
+
+// TestWritePrometheusGolden pins the exact exposition format — bucket
+// bounds, cumulative counts, ordering, the min/max gauges — against a
+// checked-in golden file. Run with -update-golden to regenerate after a
+// deliberate format change.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry(2)
+	reg.Counter("reads_total").Add(0, 1000)
+	reg.Gauge("in_flight").Set(0, 2)
+	h := reg.Histogram("lat_seconds")
+	h.Observe(0, 0)                    // bucket 0: exactly zero
+	h.Observe(0, 2*time.Millisecond)   // bit 21
+	h.Observe(1, 3*time.Millisecond)   // bit 22
+	h.Observe(1, 100*time.Microsecond) // bit 17
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prometheus.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("scrape format drifted from golden file.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
 	}
 }
 

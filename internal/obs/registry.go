@@ -35,6 +35,12 @@ type cell struct {
 type Registry struct {
 	shards int
 
+	// workerShards is how many leading shards belong to map workers — the
+	// population the derived claim-imbalance gauges are computed over (the
+	// trailing ingest/emit shards never claim batches and must not dilute
+	// the mean). Zero disables the derivation.
+	workerShards int64
+
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
@@ -63,6 +69,54 @@ func (r *Registry) Shards() int {
 		return 0
 	}
 	return r.shards
+}
+
+// SetWorkerShards declares that the first n shards are map workers. Scrapes
+// then derive the scheduler straggler gauges (sched_claim_imbalance_milli,
+// sched_steal_share_milli) from the per-shard claim counters, so a worker
+// that claims far more batches than the mean shows up in the series even
+// though the claim counter itself scrapes as a merged total. Nil-safe.
+func (r *Registry) SetWorkerShards(n int) {
+	if r == nil || n <= 0 {
+		return
+	}
+	atomic.StoreInt64(&r.workerShards, int64(n))
+}
+
+// updateDerived refreshes the derived scheduler gauges from the claim/steal
+// counters' per-shard values. Called on every Snapshot so the manifest, the
+// Prometheus scrape, and the archived series all see fresh values.
+func (r *Registry) updateDerived() {
+	n := int(atomic.LoadInt64(&r.workerShards))
+	if n <= 0 {
+		return
+	}
+	r.mu.Lock()
+	claims := r.counters[MetricSchedClaims]
+	steals := r.counters[MetricSchedSteals]
+	r.mu.Unlock()
+	if claims == nil {
+		return
+	}
+	if n > len(claims.cells) {
+		n = len(claims.cells)
+	}
+	var sum, maxv int64
+	for i := 0; i < n; i++ {
+		v := atomic.LoadInt64(&claims.cells[i].v)
+		sum += v
+		if v > maxv {
+			maxv = v
+		}
+	}
+	if sum == 0 {
+		return
+	}
+	mean := float64(sum) / float64(n)
+	r.Gauge(MetricSchedClaimImbalance).Set(0, int64(math.Round(1000*float64(maxv)/mean)))
+	if steals != nil {
+		r.Gauge(MetricSchedStealShare).Set(0, int64(math.Round(1000*float64(steals.Value())/float64(sum))))
+	}
 }
 
 // Counter returns the named counter, creating it on first use. Nil-safe: a
@@ -105,7 +159,7 @@ func (r *Registry) Histogram(name string) *Histogram {
 	defer r.mu.Unlock()
 	h, ok := r.hists[name]
 	if !ok {
-		h = &Histogram{shards: make([]histShard, r.shards)}
+		h = newHistogram(r.shards)
 		r.hists[name] = h
 	}
 	return h
@@ -195,8 +249,20 @@ const histBuckets = 65
 type histShard struct {
 	count   int64
 	sum     int64 // nanoseconds
+	min     int64 // exact recorded minimum; math.MaxInt64 until the first Observe
+	max     int64 // exact recorded maximum
 	buckets [histBuckets]int64
-	_       [56]byte
+	_       [24]byte
+}
+
+// newHistogram allocates the shard storage with each shard's recorded
+// minimum at its sentinel.
+func newHistogram(shards int) *Histogram {
+	h := &Histogram{shards: make([]histShard, shards)}
+	for i := range h.shards {
+		h.shards[i].min = math.MaxInt64 //vetgiraffe:ignore atomicmix init before the histogram is published
+	}
+	return h
 }
 
 // Histogram is a sharded log2-bucketed latency histogram. Observe is one
@@ -225,11 +291,29 @@ func (h *Histogram) Observe(shard int, d time.Duration) {
 	atomic.AddInt64(&s.count, 1)
 	atomic.AddInt64(&s.sum, ns)
 	atomic.AddInt64(&s.buckets[bits.Len64(uint64(ns))], 1)
+	// Exact recorded bounds ride alongside the log2 buckets: the CAS loops
+	// almost never iterate (the bound moves only on a new extreme) and never
+	// allocate, so the hot path stays one cache line of uncontended atomics.
+	for {
+		cur := atomic.LoadInt64(&s.min)
+		if ns >= cur || atomic.CompareAndSwapInt64(&s.min, cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := atomic.LoadInt64(&s.max)
+		if ns <= cur || atomic.CompareAndSwapInt64(&s.max, cur, ns) {
+			break
+		}
+	}
 }
 
-// HistogramStats is one histogram's merged scrape: totals plus quantile
-// estimates in seconds. All fields are finite by construction, so the
-// struct always marshals to valid JSON.
+// HistogramStats is one histogram's merged scrape: totals, quantile
+// estimates in seconds, the exact recorded min/max alongside the
+// log2-approximate quantiles, and the occupied buckets themselves so
+// external consumers (the Prometheus _bucket series, obsdiff, the archived
+// series loader) can recompute quantiles. All float fields are finite by
+// construction, so the struct always marshals to valid JSON.
 type HistogramStats struct {
 	Count      int64   `json:"count"`
 	SumSeconds float64 `json:"sum_seconds"`
@@ -237,8 +321,25 @@ type HistogramStats struct {
 	P50        float64 `json:"p50_seconds"`
 	P90        float64 `json:"p90_seconds"`
 	P99        float64 `json:"p99_seconds"`
-	Max        float64 `json:"max_seconds"` // upper bound of the highest occupied bucket
+	// Min and Max are exact recorded bounds on a live scrape. A histogram
+	// reconstructed from an archived series carries bucket bounds instead
+	// (the series stores bucket deltas, not extremes).
+	Min float64 `json:"min_seconds"`
+	Max float64 `json:"max_seconds"`
+	// Buckets lists the occupied log2 buckets with per-bucket (not
+	// cumulative) counts, in increasing bit order.
+	Buckets []HistBucket `json:"buckets,omitempty"`
 }
+
+// HistBucket is one occupied log2 bucket: durations whose nanosecond value
+// has bit length Bit, i.e. [2^(Bit-1), 2^Bit) ns; Bit 0 is exactly zero.
+type HistBucket struct {
+	Bit   int   `json:"bit"`
+	Count int64 `json:"count"`
+}
+
+// UpperSeconds is the bucket's inclusive upper bound in seconds.
+func (b HistBucket) UpperSeconds() float64 { return bucketUpperSeconds(b.Bit) }
 
 // Stats merges the shards and extracts quantiles (safe concurrently with
 // Observe; the snapshot is approximate while writers are active, as any
@@ -249,28 +350,51 @@ func (h *Histogram) Stats() HistogramStats {
 	}
 	var merged [histBuckets]int64
 	var count, sum int64
+	minNs, maxNs := int64(math.MaxInt64), int64(0)
 	for i := range h.shards {
 		s := &h.shards[i]
 		count += atomic.LoadInt64(&s.count)
 		sum += atomic.LoadInt64(&s.sum)
+		if v := atomic.LoadInt64(&s.min); v < minNs {
+			minNs = v
+		}
+		if v := atomic.LoadInt64(&s.max); v > maxNs {
+			maxNs = v
+		}
 		for b := 0; b < histBuckets; b++ {
 			merged[b] += atomic.LoadInt64(&s.buckets[b])
 		}
 	}
+	st := statsFromMerged(count, sum, &merged)
+	if count > 0 {
+		st.Min = SanitizeFloat(time.Duration(minNs).Seconds())
+		st.Max = SanitizeFloat(time.Duration(maxNs).Seconds())
+	}
+	return st
+}
+
+// statsFromMerged derives the bucket-based fields (totals, quantiles, the
+// occupied-bucket list, and bucket-bound Min/Max) from an already-merged
+// bucket array. Histogram.Stats overwrites Min/Max with the exact recorded
+// extremes; the series loader, which has only buckets, keeps the bounds.
+func statsFromMerged(count, sum int64, merged *[histBuckets]int64) HistogramStats {
 	st := HistogramStats{
 		Count:      count,
 		SumSeconds: SanitizeFloat(time.Duration(sum).Seconds()),
 	}
+	for b := 0; b < histBuckets; b++ {
+		if merged[b] > 0 {
+			st.Buckets = append(st.Buckets, HistBucket{Bit: b, Count: merged[b]})
+		}
+	}
 	if count > 0 {
 		st.Mean = SanitizeFloat(st.SumSeconds / float64(count))
-		st.P50 = quantile(&merged, count, 0.50)
-		st.P90 = quantile(&merged, count, 0.90)
-		st.P99 = quantile(&merged, count, 0.99)
-		for b := histBuckets - 1; b >= 0; b-- {
-			if merged[b] > 0 {
-				st.Max = bucketUpperSeconds(b)
-				break
-			}
+		st.P50 = quantile(merged, count, 0.50)
+		st.P90 = quantile(merged, count, 0.90)
+		st.P99 = quantile(merged, count, 0.99)
+		if n := len(st.Buckets); n > 0 {
+			st.Min = bucketLowerSeconds(st.Buckets[0].Bit)
+			st.Max = bucketUpperSeconds(st.Buckets[n-1].Bit)
 		}
 	}
 	return st
@@ -304,6 +428,14 @@ func bucketUpperSeconds(b int) float64 {
 	return time.Duration(int64(1)<<b - 1).Seconds()
 }
 
+// bucketLowerSeconds is bucket b's inclusive lower bound in seconds.
+func bucketLowerSeconds(b int) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return time.Duration(int64(1) << (b - 1)).Seconds()
+}
+
 // Snapshot is one merged scrape of every registered metric — the /progress
 // payload and the manifest's final-state record.
 type Snapshot struct {
@@ -318,6 +450,7 @@ func (r *Registry) Snapshot() *Snapshot {
 	if r == nil {
 		return nil
 	}
+	r.updateDerived()
 	r.mu.Lock()
 	counters := make([]namedCounter, 0, len(r.counters))
 	for name, c := range r.counters {

@@ -1,0 +1,772 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the flight recorder: a self-scraper that snapshots the
+// registry on a fixed interval and appends delta-encoded samples to a
+// compact binary series file written alongside the run manifest, plus the
+// loader that reconstructs the absolute per-metric time series. The point is
+// to answer "when did this run degrade" after the process is gone, without
+// deploying an external Prometheus (the ROADMAP's continuous-scrape item).
+//
+// On-disk format (all integers varint; `s` = zig-zag signed, `u` = unsigned):
+//
+//	header:  "MGSR" | version u8 (=1) | s start-unix-nanos | s nominal-interval-nanos
+//	sample:  'S' | s dt-nanos (since previous sample; first since start)
+//	         | u #counters | #counters x (nameRef, s delta)
+//	         | u #gauges   | #gauges   x (nameRef, s absolute-value)
+//	         | u #hists    | #hists    x (nameRef, s d-count, s d-sum-nanos,
+//	                                      u #buckets, #buckets x (u bit, s d-count))
+//	nameRef: u id; id 0 declares a new name (u byte-length + bytes) and
+//	         assigns it the next id (1-based, per metric kind).
+//
+// Counters and histograms are delta-encoded (a metric absent from a sample
+// means "unchanged"), gauges carry absolute values when they change, and
+// sample timestamps are explicit, so retention compaction (dropping every
+// other sample once the cap is hit) never loses the ability to reconstruct
+// exact absolute values at every retained point.
+
+// seriesMagic opens every series file.
+const seriesMagic = "MGSR"
+
+// seriesVersion is the current format version.
+const seriesVersion = 1
+
+// Default self-scrape cadence and retention. At the default interval the cap
+// covers ~17 minutes at full resolution; each compaction halves resolution
+// and doubles the covered span, flight-recorder style.
+const (
+	DefaultSeriesInterval   = 250 * time.Millisecond
+	DefaultSeriesMaxSamples = 4096
+)
+
+// metric-kind indices for the per-kind name dictionaries.
+const (
+	kindCounter = iota
+	kindGauge
+	kindHist
+	numKinds
+)
+
+// rawBucket is one occupied log2 bucket in a raw scrape (sparse form).
+type rawBucket struct {
+	bit int
+	n   int64
+}
+
+// rawHist is a histogram's exact merged state at one scrape.
+type rawHist struct {
+	count   int64
+	sum     int64 // nanoseconds
+	buckets []rawBucket
+}
+
+// rawSample is one exact scrape of the registry, in absolute terms. The
+// recorder keeps absolute samples in memory (delta encoding happens at write
+// time), which makes retention compaction trivially lossless for the
+// retained points.
+type rawSample struct {
+	t        time.Time
+	counters map[string]int64
+	gauges   map[string]int64
+	hists    map[string]rawHist
+}
+
+// rawScrape captures the registry's exact state: integer counters and sums,
+// sparse buckets — no float quantile approximations, so the series file can
+// round-trip losslessly.
+func (r *Registry) rawScrape(t time.Time) rawSample {
+	sm := rawSample{
+		t:        t,
+		counters: make(map[string]int64),
+		gauges:   make(map[string]int64),
+		hists:    make(map[string]rawHist),
+	}
+	if r == nil {
+		return sm
+	}
+	r.updateDerived()
+	r.mu.Lock()
+	counters := make([]namedCounter, 0, len(r.counters))
+	for name, c := range r.counters {
+		counters = append(counters, namedCounter{name, c})
+	}
+	gauges := make([]namedGauge, 0, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges = append(gauges, namedGauge{name, g})
+	}
+	hists := make([]namedHist, 0, len(r.hists))
+	for name, h := range r.hists {
+		hists = append(hists, namedHist{name, h})
+	}
+	r.mu.Unlock()
+	for _, c := range counters {
+		sm.counters[c.name] = c.c.Value()
+	}
+	for _, g := range gauges {
+		sm.gauges[g.name] = g.g.Value()
+	}
+	for _, h := range hists {
+		sm.hists[h.name] = h.h.raw()
+	}
+	return sm
+}
+
+// raw merges the shards into exact sparse form (safe concurrently with
+// Observe, like Stats).
+func (h *Histogram) raw() rawHist {
+	var merged [histBuckets]int64
+	var rh rawHist
+	for i := range h.shards {
+		s := &h.shards[i]
+		rh.count += atomic.LoadInt64(&s.count)
+		rh.sum += atomic.LoadInt64(&s.sum)
+		for b := 0; b < histBuckets; b++ {
+			merged[b] += atomic.LoadInt64(&s.buckets[b])
+		}
+	}
+	for b := 0; b < histBuckets; b++ {
+		if merged[b] > 0 {
+			rh.buckets = append(rh.buckets, rawBucket{bit: b, n: merged[b]})
+		}
+	}
+	return rh
+}
+
+// SeriesRecorder is the self-scraper: a background goroutine samples the
+// registry every interval, appends the delta-encoded sample to the series
+// file, and rotates the slow-read window so exemplar windows line up with
+// series samples. Retention is bounded: past maxSamples the recorder keeps
+// every other sample (newest always retained) and rewrites the file, halving
+// resolution instead of growing without bound.
+type SeriesRecorder struct {
+	reg      *Registry
+	slow     *SlowReads
+	path     string
+	interval time.Duration
+	max      int
+	start    time.Time
+
+	mu      sync.Mutex
+	f       *os.File
+	bw      *bufio.Writer
+	enc     *seriesEnc
+	samples []rawSample
+	err     error // first write error; reported by Stop
+
+	stopOnce sync.Once
+	quit     chan struct{}
+	done     chan struct{}
+}
+
+// StartSeries opens path, writes the header, takes an immediate baseline
+// sample, and starts the scrape loop. interval ≤0 defaults to
+// DefaultSeriesInterval, maxSamples ≤0 to DefaultSeriesMaxSamples. slow may
+// be nil; when present its window is rotated once per tick. Stop flushes the
+// final sample and closes the file.
+func StartSeries(reg *Registry, slow *SlowReads, path string, interval time.Duration, maxSamples int) (*SeriesRecorder, error) {
+	if reg == nil {
+		return nil, errors.New("obs: series recording needs a registry")
+	}
+	if interval <= 0 {
+		interval = DefaultSeriesInterval
+	}
+	if maxSamples <= 0 {
+		maxSamples = DefaultSeriesMaxSamples
+	}
+	if maxSamples < 2 {
+		maxSamples = 2
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &SeriesRecorder{
+		reg:      reg,
+		slow:     slow,
+		path:     path,
+		interval: interval,
+		max:      maxSamples,
+		start:    time.Now(),
+		f:        f,
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	s.bw = bufio.NewWriter(f)
+	s.enc = newSeriesEnc(s.bw, s.start)
+	if err := s.enc.header(s.interval); err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.sampleNow(s.start)
+	//vetgiraffe:ignore nakedgoroutine loop exits via s.quit and signals s.done; Stop closes and waits
+	go s.loop()
+	return s, nil
+}
+
+// Path returns the series file path.
+func (s *SeriesRecorder) Path() string {
+	if s == nil {
+		return ""
+	}
+	return s.path
+}
+
+func (s *SeriesRecorder) loop() {
+	defer close(s.done)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.sampleNow(time.Now())
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// sampleNow takes one scrape at time now and persists it. Split from the
+// loop so tests can drive deterministic timelines.
+func (s *SeriesRecorder) sampleNow(now time.Time) {
+	sm := s.reg.rawScrape(now)
+	s.slow.Rotate()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.samples = append(s.samples, sm)
+	if len(s.samples) > s.max {
+		s.compactLocked()
+		s.err = s.rewriteLocked()
+		return
+	}
+	if err := s.enc.sample(sm); err != nil {
+		s.err = err
+		return
+	}
+	s.err = s.bw.Flush()
+}
+
+// compactLocked halves retention by keeping every other sample, counted from
+// the newest so the most recent state always survives.
+func (s *SeriesRecorder) compactLocked() {
+	kept := s.samples[:0]
+	n := len(s.samples)
+	for i := 0; i < n; i++ {
+		if (n-1-i)%2 == 0 {
+			kept = append(kept, s.samples[i])
+		}
+	}
+	s.samples = kept
+}
+
+// rewriteLocked re-encodes the retained samples from scratch (the delta
+// chain and name dictionary are invalid after compaction).
+func (s *SeriesRecorder) rewriteLocked() error {
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if err := s.f.Truncate(0); err != nil {
+		return err
+	}
+	s.bw = bufio.NewWriter(s.f)
+	s.enc = newSeriesEnc(s.bw, s.start)
+	if err := s.enc.header(s.interval); err != nil {
+		return err
+	}
+	for _, sm := range s.samples {
+		if err := s.enc.sample(sm); err != nil {
+			return err
+		}
+	}
+	return s.bw.Flush()
+}
+
+// Stop takes a final sample, stops the scrape loop, and closes the file. It
+// returns the first error the recorder hit, so a silently failing flight
+// recorder cannot masquerade as a healthy one. Idempotent and nil-safe.
+func (s *SeriesRecorder) Stop() error {
+	if s == nil {
+		return nil
+	}
+	s.stopOnce.Do(func() {
+		close(s.quit)
+		<-s.done
+		s.sampleNow(time.Now())
+		s.mu.Lock()
+		if err := s.f.Close(); err != nil && s.err == nil {
+			s.err = err
+		}
+		s.mu.Unlock()
+	})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// seriesEnc delta-encodes samples against the previous one.
+type seriesEnc struct {
+	w       *bufio.Writer
+	start   time.Time
+	prevT   time.Time
+	prev    rawSample
+	dict    [numKinds]map[string]uint64
+	scratch [binary.MaxVarintLen64]byte
+}
+
+func newSeriesEnc(w *bufio.Writer, start time.Time) *seriesEnc {
+	e := &seriesEnc{w: w, start: start, prevT: start}
+	for k := range e.dict {
+		e.dict[k] = make(map[string]uint64)
+	}
+	return e
+}
+
+func (e *seriesEnc) header(interval time.Duration) error {
+	if _, err := e.w.WriteString(seriesMagic); err != nil {
+		return err
+	}
+	if err := e.w.WriteByte(seriesVersion); err != nil {
+		return err
+	}
+	if err := e.svarint(e.start.UnixNano()); err != nil {
+		return err
+	}
+	return e.svarint(int64(interval))
+}
+
+func (e *seriesEnc) uvarint(v uint64) error {
+	n := binary.PutUvarint(e.scratch[:], v)
+	_, err := e.w.Write(e.scratch[:n])
+	return err
+}
+
+func (e *seriesEnc) svarint(v int64) error {
+	n := binary.PutVarint(e.scratch[:], v)
+	_, err := e.w.Write(e.scratch[:n])
+	return err
+}
+
+// nameRef writes the dictionary reference for name, declaring it on first
+// use.
+func (e *seriesEnc) nameRef(kind int, name string) error {
+	if id, ok := e.dict[kind][name]; ok {
+		return e.uvarint(id)
+	}
+	if err := e.uvarint(0); err != nil {
+		return err
+	}
+	if err := e.uvarint(uint64(len(name))); err != nil {
+		return err
+	}
+	if _, err := e.w.WriteString(name); err != nil {
+		return err
+	}
+	e.dict[kind][name] = uint64(len(e.dict[kind]) + 1)
+	return nil
+}
+
+// sample writes one delta-encoded sample and advances the encoder state.
+func (e *seriesEnc) sample(sm rawSample) error {
+	if err := e.w.WriteByte('S'); err != nil {
+		return err
+	}
+	if err := e.svarint(sm.t.Sub(e.prevT).Nanoseconds()); err != nil {
+		return err
+	}
+
+	// Counters: non-zero deltas only.
+	type cdelta struct {
+		name string
+		d    int64
+	}
+	var cds []cdelta
+	for _, name := range sortedNames(sm.counters) {
+		var prev int64
+		if e.prev.counters != nil {
+			prev = e.prev.counters[name]
+		}
+		if d := sm.counters[name] - prev; d != 0 {
+			cds = append(cds, cdelta{name, d})
+		}
+	}
+	if err := e.uvarint(uint64(len(cds))); err != nil {
+		return err
+	}
+	for _, cd := range cds {
+		if err := e.nameRef(kindCounter, cd.name); err != nil {
+			return err
+		}
+		if err := e.svarint(cd.d); err != nil {
+			return err
+		}
+	}
+
+	// Gauges: absolute values, written only when changed (or first seen with
+	// a non-zero value).
+	var gds []cdelta
+	for _, name := range sortedNames(sm.gauges) {
+		v := sm.gauges[name]
+		prev, seen := int64(0), false
+		if e.prev.gauges != nil {
+			prev, seen = e.prev.gauges[name]
+		}
+		if v != prev || (!seen && v != 0) {
+			gds = append(gds, cdelta{name, v})
+		}
+	}
+	if err := e.uvarint(uint64(len(gds))); err != nil {
+		return err
+	}
+	for _, gd := range gds {
+		if err := e.nameRef(kindGauge, gd.name); err != nil {
+			return err
+		}
+		if err := e.svarint(gd.d); err != nil {
+			return err
+		}
+	}
+
+	// Histograms: count/sum deltas plus sparse bucket deltas.
+	type hdelta struct {
+		name         string
+		dCount, dSum int64
+		bucketDeltas []rawBucket
+	}
+	var hds []hdelta
+	for _, name := range sortedNames(sm.hists) {
+		cur := sm.hists[name]
+		var prev rawHist
+		if e.prev.hists != nil {
+			prev = e.prev.hists[name]
+		}
+		hd := hdelta{
+			name:   name,
+			dCount: cur.count - prev.count,
+			dSum:   cur.sum - prev.sum,
+		}
+		hd.bucketDeltas = diffBuckets(prev.buckets, cur.buckets)
+		if hd.dCount != 0 || hd.dSum != 0 || len(hd.bucketDeltas) > 0 {
+			hds = append(hds, hd)
+		}
+	}
+	if err := e.uvarint(uint64(len(hds))); err != nil {
+		return err
+	}
+	for _, hd := range hds {
+		if err := e.nameRef(kindHist, hd.name); err != nil {
+			return err
+		}
+		if err := e.svarint(hd.dCount); err != nil {
+			return err
+		}
+		if err := e.svarint(hd.dSum); err != nil {
+			return err
+		}
+		if err := e.uvarint(uint64(len(hd.bucketDeltas))); err != nil {
+			return err
+		}
+		for _, b := range hd.bucketDeltas {
+			if err := e.uvarint(uint64(b.bit)); err != nil {
+				return err
+			}
+			if err := e.svarint(b.n); err != nil {
+				return err
+			}
+		}
+	}
+
+	e.prevT = sm.t
+	e.prev = sm
+	return nil
+}
+
+// diffBuckets returns the sparse per-bucket deltas between two sorted sparse
+// bucket lists.
+func diffBuckets(prev, cur []rawBucket) []rawBucket {
+	var out []rawBucket
+	i, j := 0, 0
+	for i < len(prev) || j < len(cur) {
+		switch {
+		case j >= len(cur) || (i < len(prev) && prev[i].bit < cur[j].bit):
+			out = append(out, rawBucket{bit: prev[i].bit, n: -prev[i].n})
+			i++
+		case i >= len(prev) || cur[j].bit < prev[i].bit:
+			out = append(out, rawBucket{bit: cur[j].bit, n: cur[j].n})
+			j++
+		default:
+			if d := cur[j].n - prev[i].n; d != 0 {
+				out = append(out, rawBucket{bit: cur[j].bit, n: d})
+			}
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// SeriesPoint is one reconstructed absolute sample: cumulative counters,
+// gauge levels, and histograms with quantiles recomputed from the cumulative
+// buckets (Min/Max are bucket bounds here — the series stores buckets, not
+// exact extremes).
+type SeriesPoint struct {
+	Time       time.Time                 `json:"time"`
+	Counters   map[string]int64          `json:"counters,omitempty"`
+	Gauges     map[string]int64          `json:"gauges,omitempty"`
+	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
+}
+
+// Series is a loaded, reconstructed metric time-series.
+type Series struct {
+	Start    time.Time
+	Interval time.Duration // nominal scrape interval (compaction may have widened real spacing)
+	// Truncated reports that the file ended mid-record (a crashed run); the
+	// samples before the tear are still valid.
+	Truncated bool
+	Samples   []SeriesPoint
+}
+
+// LoadSeries reads and reconstructs the series file at path.
+func LoadSeries(path string) (*Series, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := ReadSeries(f)
+	if err != nil {
+		return nil, fmt.Errorf("obs: series %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// ReadSeries decodes a series stream and reconstructs the absolute series. A
+// stream torn mid-record (the writing process died) yields the samples
+// before the tear with Truncated set rather than an error.
+func ReadSeries(r io.Reader) (*Series, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(seriesMagic)+1)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("reading header: %w", err)
+	}
+	if string(magic[:len(seriesMagic)]) != seriesMagic {
+		return nil, fmt.Errorf("bad magic %q", magic[:len(seriesMagic)])
+	}
+	if magic[len(seriesMagic)] != seriesVersion {
+		return nil, fmt.Errorf("unsupported series version %d", magic[len(seriesMagic)])
+	}
+	startNs, err := binary.ReadVarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("reading start: %w", err)
+	}
+	intervalNs, err := binary.ReadVarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("reading interval: %w", err)
+	}
+	s := &Series{
+		Start:    time.Unix(0, startNs),
+		Interval: time.Duration(intervalNs),
+	}
+
+	dec := &seriesDec{r: br}
+	t := s.Start
+	counters := make(map[string]int64)
+	gauges := make(map[string]int64)
+	hists := make(map[string]*decHist)
+	for {
+		marker, err := br.ReadByte()
+		if err == io.EOF {
+			return s, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if marker != 'S' {
+			return nil, fmt.Errorf("bad sample marker 0x%02x", marker)
+		}
+		dt, c, g, h, err := dec.sample()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				s.Truncated = true
+				return s, nil
+			}
+			return nil, err
+		}
+		t = t.Add(time.Duration(dt))
+		for name, d := range c {
+			counters[name] += d
+		}
+		for name, v := range g {
+			gauges[name] = v
+		}
+		for name, hd := range h {
+			dh := hists[name]
+			if dh == nil {
+				dh = &decHist{}
+				hists[name] = dh
+			}
+			dh.count += hd.dCount
+			dh.sum += hd.dSum
+			for _, b := range hd.buckets {
+				if b.bit >= 0 && b.bit < histBuckets {
+					dh.buckets[b.bit] += b.n
+				}
+			}
+		}
+		pt := SeriesPoint{
+			Time:       t,
+			Counters:   make(map[string]int64, len(counters)),
+			Gauges:     make(map[string]int64, len(gauges)),
+			Histograms: make(map[string]HistogramStats, len(hists)),
+		}
+		for name, v := range counters {
+			pt.Counters[name] = v
+		}
+		for name, v := range gauges {
+			pt.Gauges[name] = v
+		}
+		for name, dh := range hists {
+			pt.Histograms[name] = statsFromMerged(dh.count, dh.sum, &dh.buckets)
+		}
+		s.Samples = append(s.Samples, pt)
+	}
+}
+
+// decHist accumulates one histogram's absolute state during decode.
+type decHist struct {
+	count, sum int64
+	buckets    [histBuckets]int64
+}
+
+// histSampleDelta is one histogram's decoded per-sample delta.
+type histSampleDelta struct {
+	dCount, dSum int64
+	buckets      []rawBucket
+}
+
+// seriesDec decodes sample records, maintaining the per-kind dictionaries.
+type seriesDec struct {
+	r    *bufio.Reader
+	dict [numKinds][]string
+}
+
+// name resolves a nameRef, learning new names.
+func (d *seriesDec) name(kind int) (string, error) {
+	id, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return "", err
+	}
+	if id == 0 {
+		n, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<16 {
+			return "", fmt.Errorf("metric name length %d too large", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(d.r, buf); err != nil {
+			return "", err
+		}
+		d.dict[kind] = append(d.dict[kind], string(buf))
+		return string(buf), nil
+	}
+	if id > uint64(len(d.dict[kind])) {
+		return "", fmt.Errorf("dangling name ref %d", id)
+	}
+	return d.dict[kind][id-1], nil
+}
+
+// sample decodes the body of one sample record (the caller consumed the
+// marker byte).
+func (d *seriesDec) sample() (dt int64, counters, gauges map[string]int64, hists map[string]histSampleDelta, err error) {
+	dt, err = binary.ReadVarint(d.r)
+	if err != nil {
+		return 0, nil, nil, nil, err
+	}
+	n, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return 0, nil, nil, nil, err
+	}
+	counters = make(map[string]int64, n)
+	for i := uint64(0); i < n; i++ {
+		name, err := d.name(kindCounter)
+		if err != nil {
+			return 0, nil, nil, nil, err
+		}
+		v, err := binary.ReadVarint(d.r)
+		if err != nil {
+			return 0, nil, nil, nil, err
+		}
+		counters[name] = v
+	}
+	n, err = binary.ReadUvarint(d.r)
+	if err != nil {
+		return 0, nil, nil, nil, err
+	}
+	gauges = make(map[string]int64, n)
+	for i := uint64(0); i < n; i++ {
+		name, err := d.name(kindGauge)
+		if err != nil {
+			return 0, nil, nil, nil, err
+		}
+		v, err := binary.ReadVarint(d.r)
+		if err != nil {
+			return 0, nil, nil, nil, err
+		}
+		gauges[name] = v
+	}
+	n, err = binary.ReadUvarint(d.r)
+	if err != nil {
+		return 0, nil, nil, nil, err
+	}
+	hists = make(map[string]histSampleDelta, n)
+	for i := uint64(0); i < n; i++ {
+		name, err := d.name(kindHist)
+		if err != nil {
+			return 0, nil, nil, nil, err
+		}
+		var hd histSampleDelta
+		if hd.dCount, err = binary.ReadVarint(d.r); err != nil {
+			return 0, nil, nil, nil, err
+		}
+		if hd.dSum, err = binary.ReadVarint(d.r); err != nil {
+			return 0, nil, nil, nil, err
+		}
+		nb, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return 0, nil, nil, nil, err
+		}
+		if nb > histBuckets {
+			return 0, nil, nil, nil, fmt.Errorf("histogram %s: %d bucket deltas (max %d)", name, nb, histBuckets)
+		}
+		for j := uint64(0); j < nb; j++ {
+			bit, err := binary.ReadUvarint(d.r)
+			if err != nil {
+				return 0, nil, nil, nil, err
+			}
+			if bit >= histBuckets {
+				return 0, nil, nil, nil, fmt.Errorf("histogram %s: bucket bit %d out of range", name, bit)
+			}
+			v, err := binary.ReadVarint(d.r)
+			if err != nil {
+				return 0, nil, nil, nil, err
+			}
+			hd.buckets = append(hd.buckets, rawBucket{bit: int(bit), n: v})
+		}
+		hists[name] = hd
+	}
+	return dt, counters, gauges, hists, nil
+}

@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// startTestSeries returns a recorder whose ticker never fires, so tests
+// drive the timeline by calling sampleNow directly.
+func startTestSeries(t *testing.T, reg *Registry, slow *SlowReads, maxSamples int) (*SeriesRecorder, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "run.series")
+	s, err := StartSeries(reg, slow, path, time.Hour, maxSamples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, path
+}
+
+func TestSeriesRoundTrip(t *testing.T) {
+	reg := NewRegistry(2)
+	reads := reg.Counter(MetricPipelineReads)
+	inFlight := reg.Gauge(MetricPipelineInFlight)
+	lat := reg.Histogram(MetricStageMap)
+
+	s, path := startTestSeries(t, reg, nil, 0)
+	base := s.start
+
+	// Three deterministic mutations, each followed by a scrape; remember the
+	// exact expected absolute state after each.
+	type state struct {
+		reads    int64
+		inFlight int64
+		lat      HistogramStats
+	}
+	var want []state
+	snap := func() {
+		want = append(want, state{
+			reads:    reads.Value(),
+			inFlight: inFlight.Value(),
+			lat:      lat.Stats(),
+		})
+	}
+	snap() // the initial sample taken by StartSeries
+
+	reads.Add(0, 100)
+	inFlight.Set(0, 4)
+	lat.Observe(0, 2*time.Millisecond)
+	s.sampleNow(base.Add(1 * time.Second))
+	snap()
+
+	reads.Add(1, 50)
+	lat.Observe(1, 3*time.Millisecond)
+	lat.Observe(1, 40*time.Microsecond)
+	s.sampleNow(base.Add(2 * time.Second))
+	snap()
+
+	// A quiet tick: nothing changed, the sample should still round-trip.
+	s.sampleNow(base.Add(3 * time.Second))
+	snap()
+
+	inFlight.Set(0, 0)
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	snap() // Stop's final sample
+
+	got, err := LoadSeries(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Truncated {
+		t.Fatal("clean series loaded as truncated")
+	}
+	if got.Interval != time.Hour {
+		t.Errorf("Interval = %v, want %v", got.Interval, time.Hour)
+	}
+	if len(got.Samples) != len(want) {
+		t.Fatalf("loaded %d samples, want %d", len(got.Samples), len(want))
+	}
+	for i, w := range want {
+		pt := got.Samples[i]
+		// Times must advance between the driven samples (the final Stop
+		// sample is stamped with the real clock, behind our synthetic
+		// future timeline, so it is excluded).
+		if i > 0 && i < len(want)-1 && !pt.Time.After(got.Samples[i-1].Time) {
+			t.Errorf("sample %d time %v not after previous %v", i, pt.Time, got.Samples[i-1].Time)
+		}
+		if v := pt.Counters[MetricPipelineReads]; v != w.reads {
+			t.Errorf("sample %d reads = %d, want %d", i, v, w.reads)
+		}
+		if v := pt.Gauges[MetricPipelineInFlight]; v != w.inFlight {
+			t.Errorf("sample %d in-flight = %d, want %d", i, v, w.inFlight)
+		}
+		h := pt.Histograms[MetricStageMap]
+		// The series stores exact counts, sums, and buckets; quantiles are
+		// recomputed from them, so everything except the exact min/max (which
+		// the archive intentionally quantizes to bucket bounds) must match a
+		// live scrape bit-for-bit.
+		if h.Count != w.lat.Count || h.SumSeconds != w.lat.SumSeconds {
+			t.Errorf("sample %d hist count/sum = %d/%g, want %d/%g",
+				i, h.Count, h.SumSeconds, w.lat.Count, w.lat.SumSeconds)
+		}
+		if h.P50 != w.lat.P50 || h.P90 != w.lat.P90 || h.P99 != w.lat.P99 {
+			t.Errorf("sample %d hist quantiles = %g/%g/%g, want %g/%g/%g",
+				i, h.P50, h.P90, h.P99, w.lat.P50, w.lat.P90, w.lat.P99)
+		}
+		if !reflect.DeepEqual(h.Buckets, w.lat.Buckets) {
+			t.Errorf("sample %d hist buckets = %+v, want %+v", i, h.Buckets, w.lat.Buckets)
+		}
+	}
+
+	// A second Stop is a no-op reporting the same (nil) error.
+	if err := s.Stop(); err != nil {
+		t.Fatalf("second Stop: %v", err)
+	}
+}
+
+func TestSeriesCompaction(t *testing.T) {
+	reg := NewRegistry(1)
+	reads := reg.Counter(MetricPipelineReads)
+	const maxSamples = 4
+	s, path := startTestSeries(t, reg, nil, maxSamples)
+	base := s.start
+
+	// 12 ticks, each adding 10 reads: retention must stay bounded while the
+	// retained samples keep exact absolute values, and the newest sample must
+	// always survive.
+	for i := 1; i <= 12; i++ {
+		reads.Add(0, 10)
+		s.sampleNow(base.Add(time.Duration(i) * time.Second))
+	}
+	finalReads := reads.Value()
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := LoadSeries(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Samples) > maxSamples {
+		t.Fatalf("retention failed: %d samples on disk, cap %d", len(got.Samples), maxSamples)
+	}
+	last := got.Samples[len(got.Samples)-1]
+	if v := last.Counters[MetricPipelineReads]; v != finalReads {
+		t.Errorf("newest sample reads = %d, want %d (newest must survive compaction)", v, finalReads)
+	}
+	// Every retained sample must carry an exact absolute value: counters
+	// moved in multiples of 10, so any reconstructed value must too.
+	for i, pt := range got.Samples {
+		if v := pt.Counters[MetricPipelineReads]; v%10 != 0 {
+			t.Errorf("sample %d reads = %d, not a multiple of 10: compaction corrupted deltas", i, v)
+		}
+		if i > 0 && pt.Counters[MetricPipelineReads] < got.Samples[i-1].Counters[MetricPipelineReads] {
+			t.Errorf("sample %d reads went backwards", i)
+		}
+	}
+}
+
+func TestSeriesTruncatedTail(t *testing.T) {
+	reg := NewRegistry(1)
+	c := reg.Counter(MetricPipelineReads)
+	s, path := startTestSeries(t, reg, nil, 0)
+	base := s.start
+	c.Add(0, 7)
+	s.sampleNow(base.Add(time.Second))
+	c.Add(0, 5)
+	s.sampleNow(base.Add(2 * time.Second))
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the file mid-record, as a crashed writer would.
+	torn := filepath.Join(t.TempDir(), "torn.series")
+	if err := os.WriteFile(torn, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSeries(torn)
+	if err != nil {
+		t.Fatalf("torn series must still load: %v", err)
+	}
+	if !got.Truncated {
+		t.Error("torn series not flagged Truncated")
+	}
+	if len(got.Samples) == 0 {
+		t.Fatal("torn series lost all samples")
+	}
+	if v := got.Samples[1].Counters[MetricPipelineReads]; v != 7 {
+		t.Errorf("sample before the tear reads = %d, want 7", v)
+	}
+}
+
+func TestSeriesRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.series")
+	if err := os.WriteFile(bad, []byte("NOTASERIESFILE"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSeries(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := LoadSeries(filepath.Join(dir, "missing.series")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestStartSeriesNilRegistry(t *testing.T) {
+	if _, err := StartSeries(nil, nil, filepath.Join(t.TempDir(), "x.series"), 0, 0); err == nil {
+		t.Error("nil registry accepted")
+	}
+	var s *SeriesRecorder
+	if err := s.Stop(); err != nil {
+		t.Errorf("nil recorder Stop: %v", err)
+	}
+	if s.Path() != "" {
+		t.Error("nil recorder Path")
+	}
+}
+
+// TestSeriesRotatesSlowWindow pins the window semantics: one scrape tick is
+// one exemplar window.
+func TestSeriesRotatesSlowWindow(t *testing.T) {
+	reg := NewRegistry(1)
+	slow := NewSlowReads(1, 2)
+	s, _ := startTestSeries(t, reg, slow, 0)
+	slow.Offer(0, Exemplar{Read: "a", TotalNanos: 10})
+	s.sampleNow(s.start.Add(time.Second))
+	if got := len(slow.Window()); got != 0 {
+		t.Errorf("window not rotated by the scrape tick: %d exemplars still windowed", got)
+	}
+	if top := slow.Top(); len(top) != 1 || top[0].Read != "a" {
+		t.Errorf("rotated exemplar missing from run view: %+v", top)
+	}
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -192,6 +192,10 @@ func Run(m *core.Mapper, src Source, emit Emitter, opts Options) (*Stats, error)
 	// shards to 0, which stays correct — just shared — if it was sized
 	// smaller).
 	reg := m.Options().Obs
+	// The first Workers shards are map workers: scrapes derive the claim
+	// imbalance and steal-share gauges over exactly that population (the
+	// ingest/emit shards below never claim batches).
+	reg.SetWorkerShards(opts.Workers)
 	ingestShard, emitShard := opts.Workers, opts.Workers+1
 	mReads := reg.Counter(obs.MetricPipelineReads)
 	mBatches := reg.Counter(obs.MetricPipelineBatches)

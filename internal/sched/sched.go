@@ -144,6 +144,9 @@ func RunBatches(cfg Config, n int, fn func(worker, start, end int)) (Stats, erro
 	if cfg.Obs != nil {
 		// Live claim counting wraps fn; the steal total is mirrored after
 		// the run (batch runs are bounded, so post-hoc is fresh enough).
+		// Declaring the worker population lets scrapes derive the claim
+		// imbalance and steal-share gauges from the per-shard counters.
+		cfg.Obs.SetWorkerShards(cfg.Threads)
 		claims := cfg.Obs.Counter(obs.MetricSchedClaims)
 		inner := fn
 		fn = func(worker, start, end int) {
