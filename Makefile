@@ -7,7 +7,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: build vet fmt-check test verify race bench-smoke fuzz-smoke lint staticcheck govulncheck perfdiff ci
+.PHONY: build vet fmt-check test verify race bench-smoke fuzz-smoke serve-smoke lint staticcheck govulncheck perfdiff ci
 
 build:
 	$(GO) build ./...
@@ -31,9 +31,11 @@ verify: build test
 # single-threaded tests are skipped; the multi-threaded ones still run) —
 # that includes the streaming extraction path (ExtractSource prefetcher and
 # its differential harness) plus the fastq/seeds readers feeding it. The obs
-# registry is scraped concurrently with recording, so it runs here too.
+# registry is scraped concurrently with recording, so it runs here too, and
+# so does the serving stack (pipeline.Session lives in internal/pipeline;
+# internal/serve layers concurrent HTTP admission/deadline/drain on top).
 race:
-	$(GO) test -race ./internal/sched/... ./internal/pipeline/... ./internal/core/... ./internal/trace/... ./internal/fastq/... ./internal/seeds/... ./internal/obs/...
+	$(GO) test -race ./internal/sched/... ./internal/pipeline/... ./internal/core/... ./internal/trace/... ./internal/fastq/... ./internal/seeds/... ./internal/obs/... ./internal/serve/...
 	$(GO) test -race -short ./internal/giraffe/...
 
 # Compile-and-run every benchmark once so kernel benchmarks can't rot.
@@ -46,6 +48,13 @@ bench-smoke:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadSeeds -fuzztime=10s ./internal/seeds
 	$(GO) test -run='^$$' -fuzz=FuzzFASTQ -fuzztime=10s ./internal/fastq
+
+# serve-smoke boots cmd/giraffed against a generated workload and drives it
+# with cmd/loadgen through three phases (steady 2xx, queue-full 429s,
+# deadline 504s), then asserts a graceful SIGTERM drain. Artifacts land in
+# SMOKE_DIR (default serve-smoke/) for CI upload.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # lint runs the project-specific analyzers (atomicmix, cachepow2, hotalloc,
 # metricname, nakedgoroutine, probeexclusive, tracepair) over the whole tree.
@@ -89,4 +98,4 @@ govulncheck:
 		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION))"; \
 	fi
 
-ci: verify vet fmt-check lint staticcheck govulncheck race bench-smoke fuzz-smoke
+ci: verify vet fmt-check lint staticcheck govulncheck race bench-smoke fuzz-smoke serve-smoke

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
@@ -177,6 +178,21 @@ func (m *Mapper) mapRecordSlow(worker int, reader gbwt.BiReader, rec *seeds.Read
 //
 //minigiraffe:hot
 func (m *Mapper) MapBatch(worker int, recs []seeds.ReadSeeds, base int, out [][]extend.Extension) gbwt.CacheStats {
+	cs, _ := m.MapBatchUntil(worker, recs, base, out, nil)
+	return cs
+}
+
+// MapBatchUntil is MapBatch with a cooperative cancellation point between
+// records: when stop becomes true mid-batch, the remaining records are left
+// unmapped and mapped reports how many completed. This is the mechanism
+// behind request-level deadlines in the serving path (pipeline.Session): a
+// deadline that fires while a batch is on a worker stops the mapper at the
+// next record boundary instead of running the batch to completion. A nil
+// stop never cancels, so the batch pipeline pays only a nil check per
+// record.
+//
+//minigiraffe:hot
+func (m *Mapper) MapBatchUntil(worker int, recs []seeds.ReadSeeds, base int, out [][]extend.Extension, stop *atomic.Bool) (cs gbwt.CacheStats, mapped int) {
 	var t0 time.Time
 	if m.instr {
 		t0 = time.Now()
@@ -194,9 +210,13 @@ func (m *Mapper) MapBatch(worker int, recs []seeds.ReadSeeds, base int, out [][]
 		cacheNanos = int64(d)
 	}
 	for j := range recs {
+		if stop != nil && stop.Load() {
+			break
+		}
 		out[j] = m.mapRecordSlow(worker, reader, &recs[j], base+j, cacheNanos)
+		mapped++
 	}
-	return ReaderCacheStats(reader)
+	return ReaderCacheStats(reader), mapped
 }
 
 // ReaderCacheStats drains the cache counters of both directions of a

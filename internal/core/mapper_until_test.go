@@ -1,0 +1,74 @@
+package core_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/extend"
+)
+
+// TestMapBatchUntil pins the cooperative-cancellation contract that the
+// serving path's request deadlines rely on: a nil stop maps everything
+// (identically to MapBatch), a pre-set stop maps nothing, and a stop raised
+// mid-batch leaves the remaining records unmapped with an accurate mapped
+// count.
+func TestMapBatchUntil(t *testing.T) {
+	f, recs, _ := fixture(t, 0.05)
+	m, err := core.NewMapper(f, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := make([][]extend.Extension, len(recs))
+	m.MapBatch(0, recs, 0, want)
+
+	t.Run("nil stop maps all", func(t *testing.T) {
+		out := make([][]extend.Extension, len(recs))
+		_, mapped := m.MapBatchUntil(0, recs, 0, out, nil)
+		if mapped != len(recs) {
+			t.Fatalf("mapped %d of %d", mapped, len(recs))
+		}
+		for i := range out {
+			if len(out[i]) != len(want[i]) {
+				t.Fatalf("record %d: %d extensions, want %d", i, len(out[i]), len(want[i]))
+			}
+		}
+	})
+
+	t.Run("pre-set stop maps none", func(t *testing.T) {
+		var stop atomic.Bool
+		stop.Store(true)
+		out := make([][]extend.Extension, len(recs))
+		_, mapped := m.MapBatchUntil(0, recs, 0, out, &stop)
+		if mapped != 0 {
+			t.Fatalf("mapped %d records under a pre-set stop", mapped)
+		}
+		for i := range out {
+			if out[i] != nil {
+				t.Fatalf("record %d written despite stop", i)
+			}
+		}
+	})
+
+	t.Run("mid-batch stop leaves a suffix unmapped", func(t *testing.T) {
+		if len(recs) < 2 {
+			t.Skip("fixture too small")
+		}
+		// The stop flag cannot be raised deterministically from outside a
+		// single-threaded call, so raise it from the instrumentation side:
+		// run the batch on a goroutine-free path by stopping after a bounded
+		// spin. Instead, exercise determinism directly — flip the flag
+		// between two sub-batch calls, which is exactly how the session's
+		// workers observe it (at record granularity within each call).
+		var stop atomic.Bool
+		out := make([][]extend.Extension, len(recs))
+		half := len(recs) / 2
+		_, mappedA := m.MapBatchUntil(0, recs[:half], 0, out[:half], &stop)
+		stop.Store(true)
+		_, mappedB := m.MapBatchUntil(0, recs[half:], half, out[half:], &stop)
+		if mappedA != half || mappedB != 0 {
+			t.Fatalf("mapped %d+%d, want %d+0", mappedA, mappedB, half)
+		}
+	})
+}

@@ -37,4 +37,41 @@ const (
 	MetricExtractReads      = "extract_reads_total"
 	MetricExtractSeeds      = "extract_seeds_total"
 	MetricExtractPreprocess = "extract_preprocess_seconds"
+
+	// Serving session (pipeline.Session): the request-scoped view of the
+	// mapping pool. Queue depth is the admission-control bound; rejected
+	// requests never entered the queue; canceled batches are jobs whose
+	// request deadline fired before (skipped entirely) or while (stopped at
+	// a record boundary) a worker ran them.
+	MetricServeQueueDepth     = "serve_queue_depth_batches"
+	MetricServeInFlight       = "serve_in_flight_requests"
+	MetricServeRequests       = "serve_requests_total"
+	MetricServeReads          = "serve_reads_total"
+	MetricServeQueueRejects   = "serve_queue_rejects_total"
+	MetricServeCanceled       = "serve_canceled_batches_total"
+	MetricServeCanceledReads  = "serve_canceled_reads_total"
+	MetricServeServiceLatency = "serve_service_seconds"
+	MetricServeQueueWait      = "serve_queue_wait_seconds"
+
+	// Serving front end (internal/serve): HTTP-level admission and outcome
+	// mix. Client rejects are per-client in-flight bound violations (the
+	// queue rejects above are the shared-queue bound); deadline expiries
+	// surface as 504s.
+	MetricServeHTTPRequests  = "serve_http_requests_total"
+	MetricServeHTTPOK        = "serve_http_ok_total"
+	MetricServeClientRejects = "serve_client_rejects_total"
+	MetricServeDeadline      = "serve_deadline_expired_total"
+	MetricServeDrainRejects  = "serve_drain_rejects_total"
+	MetricServeBadRequests   = "serve_bad_requests_total"
+	MetricServeExtract       = "serve_extract_seconds"
+
+	// Load generator (cmd/loadgen): the client-side view of the same
+	// traffic, so a serving run and the loadgen run that drove it can be
+	// diffed pairwise with cmd/obsdiff.
+	MetricLoadgenSent     = "loadgen_requests_total"
+	MetricLoadgenOK       = "loadgen_ok_total"
+	MetricLoadgenRejected = "loadgen_rejected_total"
+	MetricLoadgenTimeout  = "loadgen_timeout_total"
+	MetricLoadgenErrors   = "loadgen_errors_total"
+	MetricLoadgenLatency  = "loadgen_service_seconds"
 )

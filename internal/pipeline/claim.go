@@ -6,43 +6,46 @@ import (
 	"repro/internal/sched"
 )
 
-// claimQueue is the bounded hand-off between the ingest stage and the
-// persistent worker pool. It holds at most depth in-flight batches (the
-// backpressure bound: a full queue blocks ingest), and the scheduling policy
-// decides which queued batch a worker claims — the streaming analogue of
-// sched.RunBatches' claim disciplines:
+// claimQueue is the bounded hand-off between a producer (the streaming
+// ingest stage, or Session.Submit) and the persistent worker pool. It holds
+// at most depth in-flight items (the backpressure bound: a full queue blocks
+// push, or fails tryPushAll), and the scheduling policy decides which queued
+// item a worker claims — the streaming analogue of sched.RunBatches' claim
+// disciplines:
 //
 //   - Dynamic: one shared FIFO, workers claim in arrival order.
-//   - Static: batch seq is pinned to worker seq mod W; no balancing.
+//   - Static: item seq is pinned to worker seq mod W; no balancing.
 //   - WorkStealing: pinned like Static, but an idle worker steals the
-//     oldest batch from another worker's backlog, round-robin.
-type claimQueue struct {
+//     oldest item from another worker's backlog, round-robin.
+type claimQueue[T any] struct {
 	mu    sync.Mutex
-	avail *sync.Cond // a batch was queued, or the queue closed/aborted
-	space *sync.Cond // a batch was claimed, or the queue aborted
+	avail *sync.Cond // an item was queued, or the queue closed/aborted
+	space *sync.Cond // an item was claimed, or the queue aborted
 
 	kind    sched.Kind
-	queues  [][]*batch // one FIFO for Dynamic, one per worker otherwise
+	queues  [][]T // one FIFO for Dynamic, one per worker otherwise
 	queued  int
 	depth   int
+	nextSeq int // tryPushAll's slot assignment counter
 	closed  bool
 	aborted bool
 }
 
-func newClaimQueue(kind sched.Kind, workers, depth int) *claimQueue {
+func newClaimQueue[T any](kind sched.Kind, workers, depth int) *claimQueue[T] {
 	n := workers
 	if kind == sched.Dynamic {
 		n = 1
 	}
-	q := &claimQueue{kind: kind, queues: make([][]*batch, n), depth: depth}
+	q := &claimQueue[T]{kind: kind, queues: make([][]T, n), depth: depth}
 	q.avail = sync.NewCond(&q.mu)
 	q.space = sync.NewCond(&q.mu)
 	return q
 }
 
-// push blocks until there is room for b, returning false if the pipeline
-// aborted while waiting.
-func (q *claimQueue) push(b *batch) bool {
+// push blocks until there is room for v (whose producer-assigned sequence
+// number pins it to a worker under the non-dynamic policies), returning
+// false if the pipeline aborted while waiting.
+func (q *claimQueue[T]) push(seq int, v T) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for q.queued >= q.depth && !q.aborted {
@@ -51,25 +54,49 @@ func (q *claimQueue) push(b *batch) bool {
 	if q.aborted {
 		return false
 	}
-	slot := 0
-	if q.kind != sched.Dynamic {
-		slot = b.seq % len(q.queues)
-	}
-	q.queues[slot] = append(q.queues[slot], b)
-	q.queued++
-	q.avail.Broadcast()
+	q.enqueue(seq, v)
 	return true
 }
 
-// pop blocks until worker w claims a batch. stolen reports that the batch
+// tryPushAll is the admission-control entry point: it enqueues every item
+// or none, without blocking. It fails once the queue is closed (draining)
+// or when the items would not all fit under the depth bound — the caller
+// turns that into a queue-full rejection instead of queueing unboundedly.
+// Sequence numbers are assigned internally, in admission order.
+func (q *claimQueue[T]) tryPushAll(vs []T) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || q.aborted || q.queued+len(vs) > q.depth {
+		return false
+	}
+	for _, v := range vs {
+		q.enqueue(q.nextSeq, v)
+		q.nextSeq++
+	}
+	return true
+}
+
+// enqueue appends v to seq's slot (caller holds q.mu).
+func (q *claimQueue[T]) enqueue(seq int, v T) {
+	slot := 0
+	if q.kind != sched.Dynamic {
+		slot = seq % len(q.queues)
+	}
+	q.queues[slot] = append(q.queues[slot], v)
+	q.queued++
+	q.avail.Broadcast()
+}
+
+// pop blocks until worker w claims an item. stolen reports that the item
 // came from another worker's backlog (WorkStealing only); ok is false once
 // the queue is closed and drained, or aborted.
-func (q *claimQueue) pop(w int) (b *batch, stolen, ok bool) {
+func (q *claimQueue[T]) pop(w int) (v T, stolen, ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for {
 		if q.aborted {
-			return nil, false, false
+			var zero T
+			return zero, false, false
 		}
 		own := 0
 		if q.kind != sched.Dynamic {
@@ -80,22 +107,23 @@ func (q *claimQueue) pop(w int) (b *batch, stolen, ok bool) {
 		}
 		if q.kind == sched.WorkStealing {
 			for off := 1; off < len(q.queues); off++ {
-				v := (w + off) % len(q.queues)
-				if len(q.queues[v]) > 0 {
-					return q.take(v), true, true
+				s := (w + off) % len(q.queues)
+				if len(q.queues[s]) > 0 {
+					return q.take(s), true, true
 				}
 			}
 		}
 		if q.closed && q.queued == 0 {
-			return nil, false, false
+			var zero T
+			return zero, false, false
 		}
 		q.avail.Wait()
 	}
 }
 
-// take removes the oldest batch from slot (caller holds q.mu).
-func (q *claimQueue) take(slot int) *batch {
-	b := q.queues[slot][0]
+// take removes the oldest item from slot (caller holds q.mu).
+func (q *claimQueue[T]) take(slot int) T {
+	v := q.queues[slot][0]
 	q.queues[slot] = q.queues[slot][1:]
 	q.queued--
 	q.space.Broadcast()
@@ -103,19 +131,19 @@ func (q *claimQueue) take(slot int) *batch {
 		// Wake workers pinned to other (now permanently empty) slots.
 		q.avail.Broadcast()
 	}
-	return b
+	return v
 }
 
-// close marks the end of ingest; drained workers exit.
-func (q *claimQueue) close() {
+// close marks the end of production; drained workers exit.
+func (q *claimQueue[T]) close() {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.closed = true
 	q.avail.Broadcast()
 }
 
-// abort unblocks everyone; pending batches are dropped.
-func (q *claimQueue) abort() {
+// abort unblocks everyone; pending items are dropped.
+func (q *claimQueue[T]) abort() {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.aborted = true

@@ -209,7 +209,7 @@ func Run(m *core.Mapper, src Source, emit Emitter, opts Options) (*Stats, error)
 
 	st := &Stats{Sched: sched.Stats{Processed: make([]int64, opts.Workers)}}
 	cacheStats := make([]gbwt.CacheStats, opts.Workers)
-	cq := newClaimQueue(opts.Scheduler, opts.Workers, opts.Depth)
+	cq := newClaimQueue[*batch](opts.Scheduler, opts.Workers, opts.Depth)
 	done := make(chan *batch, opts.Depth)
 	abortCh := make(chan struct{})
 	var failOnce sync.Once
@@ -258,7 +258,7 @@ func Run(m *core.Mapper, src Source, emit Emitter, opts Options) (*Stats, error)
 					ingested:   time.Now(),
 					ingestSecs: d.Seconds(),
 				}
-				if !cq.push(b) {
+				if !cq.push(b.seq, b) {
 					return
 				}
 				mInFlight.Add(ingestShard, 1)

@@ -1,0 +1,439 @@
+// Package serve is the mapping-as-a-service front end behind cmd/giraffed:
+// an HTTP/JSON API over a pipeline.Session that loads the substrate once
+// and maps read batches for many concurrent clients. It owns the
+// request-scoped policies the batch binaries never needed:
+//
+//   - Admission control. Two bounds, both answered with 429 + Retry-After:
+//     a per-client in-flight cap (one client cannot monopolise the pool)
+//     and the session's shared queue depth (pipeline.ErrQueueFull).
+//   - Deadlines. Every request runs under a context deadline — the
+//     client's X-Deadline-Ms (or deadline_ms body field) clamped to the
+//     server maximum, or the server default — which cancels queued and
+//     in-flight mapping through the session; expiry surfaces as 504.
+//   - Drain. EnterDrain flips /healthz to 503 and rejects new mapping
+//     requests while in-flight ones finish, so a SIGTERM rollout loses no
+//     accepted work.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dna"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/seeds"
+)
+
+// Config assembles a Server. Session and Extract are required.
+type Config struct {
+	// Session is the shared mapping pool.
+	Session *pipeline.Session
+	// Extract runs Giraffe's per-read preprocessing (minimizer lookup and
+	// seed creation) — giraffe.Preprocess over the server's index in
+	// production, a stub in tests.
+	Extract func(read *dna.Read) (seeds.ReadSeeds, error)
+	// Reg receives the HTTP-level metrics; may be nil.
+	Reg *obs.Registry
+	// Slow, when non-nil, is served at /slow.
+	Slow *obs.SlowReads
+	// PerClient caps each client's in-flight requests; ≤0 means 4.
+	PerClient int
+	// MaxReads caps the reads per request; ≤0 means 4096.
+	MaxReads int
+	// DefaultDeadline applies when the client sends none; ≤0 means 10s.
+	DefaultDeadline time.Duration
+	// MaxDeadline clamps client deadlines; ≤0 means 60s.
+	MaxDeadline time.Duration
+	// RetryAfter is advertised on 429/503 responses; ≤0 means 1s.
+	RetryAfter time.Duration
+}
+
+func (c Config) normalize() Config {
+	if c.PerClient <= 0 {
+		c.PerClient = 4
+	}
+	if c.MaxReads <= 0 {
+		c.MaxReads = 4096
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 10 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Server is the HTTP front end. Create with New, mount via Handler, drain
+// with EnterDrain before shutting the http.Server down.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	start time.Time
+
+	draining atomic.Bool
+
+	mu      sync.Mutex
+	clients map[string]int // in-flight requests per client id
+
+	// Metric handles (nil-safe when cfg.Reg is nil). HTTP handlers run on
+	// net/http's goroutines, not pipeline workers, so they round-robin over
+	// the registry shards instead of claiming one.
+	rr            atomic.Int64
+	httpRequests  *obs.Counter
+	httpOK        *obs.Counter
+	clientRejects *obs.Counter
+	deadlineHits  *obs.Counter
+	drainRejects  *obs.Counter
+	badRequests   *obs.Counter
+	hExtract      *obs.Histogram
+}
+
+// New validates cfg and builds the server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Session == nil {
+		return nil, errors.New("serve: nil session")
+	}
+	if cfg.Extract == nil {
+		return nil, errors.New("serve: nil extract function")
+	}
+	cfg = cfg.normalize()
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+		clients: make(map[string]int),
+
+		httpRequests:  cfg.Reg.Counter(obs.MetricServeHTTPRequests),
+		httpOK:        cfg.Reg.Counter(obs.MetricServeHTTPOK),
+		clientRejects: cfg.Reg.Counter(obs.MetricServeClientRejects),
+		deadlineHits:  cfg.Reg.Counter(obs.MetricServeDeadline),
+		drainRejects:  cfg.Reg.Counter(obs.MetricServeDrainRejects),
+		badRequests:   cfg.Reg.Counter(obs.MetricServeBadRequests),
+		hExtract:      cfg.Reg.Histogram(obs.MetricServeExtract),
+	}
+	s.mux.HandleFunc("POST /map", s.handleMap)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /slow", s.handleSlow)
+	return s, nil
+}
+
+// Handler returns the route table, ready for an http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// EnterDrain rejects new mapping requests from now on (idempotent). The
+// caller then lets http.Server.Shutdown wait out in-flight handlers and
+// closes the session.
+func (s *Server) EnterDrain() { s.draining.Store(true) }
+
+// Draining reports whether EnterDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// MapRequest is the POST /map body.
+type MapRequest struct {
+	// Client identifies the submitting client for per-client admission;
+	// the X-Client header takes precedence. Empty means "anon".
+	Client string `json:"client,omitempty"`
+	// DeadlineMs is the request's service deadline in milliseconds; the
+	// X-Deadline-Ms header takes precedence. 0 means the server default.
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
+	// Reads are the reads to map.
+	Reads []WireRead `json:"reads"`
+}
+
+// WireRead is one read on the wire.
+type WireRead struct {
+	Name string `json:"name"`
+	Seq  string `json:"seq"`
+}
+
+// MapResponse is the POST /map success body.
+type MapResponse struct {
+	Client     string       `json:"client"`
+	Reads      int          `json:"reads"`
+	Extensions int          `json:"extensions"`
+	ServiceMs  float64      `json:"service_ms"`
+	Results    []WireResult `json:"results"`
+}
+
+// WireResult is one read's mapping output.
+type WireResult struct {
+	Read       string          `json:"read"`
+	Extensions []WireExtension `json:"extensions"`
+}
+
+// WireExtension mirrors the CSV row schema of the batch proxy (read, node,
+// offset, strand, read interval, score, mismatches).
+type WireExtension struct {
+	Node       uint32  `json:"node"`
+	Offset     int32   `json:"offset"`
+	Strand     string  `json:"strand"`
+	ReadStart  int32   `json:"read_start"`
+	ReadEnd    int32   `json:"read_end"`
+	Score      int32   `json:"score"`
+	Mismatches []int32 `json:"mismatches,omitempty"`
+}
+
+// errorBody is every non-2xx JSON payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// shard picks a registry shard for this handler invocation: handlers run on
+// arbitrary net/http goroutines, so spreading over shards keeps the record
+// path as contention-free as the pipeline's.
+func (s *Server) shard() int {
+	n := s.cfg.Reg.Shards()
+	if n <= 1 {
+		return 0
+	}
+	return int(s.rr.Add(1)) % n
+}
+
+func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
+	sh := s.shard()
+	s.httpRequests.Inc(sh)
+	if s.draining.Load() {
+		s.drainRejects.Inc(sh)
+		s.reject(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	var req MapRequest
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err == nil {
+		err = json.Unmarshal(body, &req)
+	}
+	if err != nil {
+		s.badRequests.Inc(sh)
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("parsing request: %w", err))
+		return
+	}
+	client := req.Client
+	if h := r.Header.Get("X-Client"); h != "" {
+		client = h
+	}
+	if client == "" {
+		client = "anon"
+	}
+	if len(req.Reads) == 0 {
+		s.badRequests.Inc(sh)
+		s.fail(w, http.StatusBadRequest, errors.New("no reads"))
+		return
+	}
+	if len(req.Reads) > s.cfg.MaxReads {
+		s.badRequests.Inc(sh)
+		s.fail(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("%d reads exceeds the %d-read request cap", len(req.Reads), s.cfg.MaxReads))
+		return
+	}
+
+	// Per-client admission: the first bound a greedy client hits.
+	if !s.admitClient(client) {
+		s.clientRejects.Inc(sh)
+		s.reject(w, http.StatusTooManyRequests,
+			fmt.Sprintf("client %q has %d requests in flight", client, s.cfg.PerClient))
+		return
+	}
+	defer s.releaseClient(client)
+
+	deadline := s.cfg.DefaultDeadline
+	dms := req.DeadlineMs
+	if h := r.Header.Get("X-Deadline-Ms"); h != "" {
+		v, err := strconv.ParseInt(h, 10, 64)
+		if err != nil {
+			s.badRequests.Inc(sh)
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("X-Deadline-Ms: %w", err))
+			return
+		}
+		dms = v
+	}
+	if dms > 0 {
+		deadline = time.Duration(dms) * time.Millisecond
+	}
+	if deadline > s.cfg.MaxDeadline {
+		deadline = s.cfg.MaxDeadline
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	// Preprocess (minimizer lookup, seed creation) happens on the handler
+	// goroutine: it is cheap relative to mapping and keeps the session's
+	// workers on kernel work only.
+	t0 := time.Now()
+	recs := make([]seeds.ReadSeeds, len(req.Reads))
+	for i, wr := range req.Reads {
+		seq, err := dna.Parse(wr.Seq)
+		if err != nil {
+			s.badRequests.Inc(sh)
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("read %q: %w", wr.Name, err))
+			return
+		}
+		rec, err := s.cfg.Extract(&dna.Read{Name: wr.Name, Seq: seq, Fragment: -1})
+		if err != nil {
+			s.badRequests.Inc(sh)
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("read %q: %w", wr.Name, err))
+			return
+		}
+		recs[i] = rec
+	}
+	s.hExtract.Observe(sh, time.Since(t0))
+
+	exts, err := s.cfg.Session.Submit(ctx, recs)
+	switch {
+	case err == nil:
+	case errors.Is(err, pipeline.ErrQueueFull):
+		s.reject(w, http.StatusTooManyRequests, "mapping queue full")
+		return
+	case errors.Is(err, pipeline.ErrSessionClosed):
+		s.drainRejects.Inc(sh)
+		s.reject(w, http.StatusServiceUnavailable, "draining")
+		return
+	case errors.Is(err, context.DeadlineExceeded):
+		s.deadlineHits.Inc(sh)
+		s.fail(w, http.StatusGatewayTimeout, fmt.Errorf("deadline %v exceeded", deadline))
+		return
+	default:
+		// context.Canceled: the client went away; the response is best
+		// effort.
+		s.fail(w, http.StatusServiceUnavailable, err)
+		return
+	}
+
+	resp := MapResponse{
+		Client:    client,
+		Reads:     len(recs),
+		ServiceMs: float64(time.Since(t0)) / float64(time.Millisecond),
+		Results:   make([]WireResult, len(recs)),
+	}
+	for i := range recs {
+		wes := make([]WireExtension, len(exts[i]))
+		for j, e := range exts[i] {
+			strand := "+"
+			if e.Rev {
+				strand = "-"
+			}
+			wes[j] = WireExtension{
+				Node:       uint32(e.StartPos.Node),
+				Offset:     e.StartPos.Off,
+				Strand:     strand,
+				ReadStart:  e.ReadStart,
+				ReadEnd:    e.ReadEnd,
+				Score:      e.Score,
+				Mismatches: e.Mismatches,
+			}
+		}
+		resp.Results[i] = WireResult{Read: recs[i].Read.Name, Extensions: wes}
+		resp.Extensions += len(wes)
+	}
+	s.httpOK.Inc(sh)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// admitClient reserves an in-flight slot for the client, false when the
+// per-client bound is reached.
+func (s *Server) admitClient(client string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.clients[client] >= s.cfg.PerClient {
+		return false
+	}
+	s.clients[client]++
+	return true
+}
+
+func (s *Server) releaseClient(client string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.clients[client]--; s.clients[client] <= 0 {
+		delete(s.clients, client)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleStats serves the merged metric snapshot plus uptime — the serving
+// analogue of the batch binaries' stderr summary line.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	payload := struct {
+		UptimeSeconds float64       `json:"uptime_seconds"`
+		Draining      bool          `json:"draining"`
+		Metrics       *obs.Snapshot `json:"metrics,omitempty"`
+	}{
+		UptimeSeconds: obs.SanitizeFloat(time.Since(s.start).Seconds()),
+		Draining:      s.draining.Load(),
+		Metrics:       s.cfg.Reg.Snapshot(),
+	}
+	s.writeJSON(w, http.StatusOK, payload)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.cfg.Reg.WritePrometheus(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleSlow mirrors the debug endpoint's /slow: current window and
+// run-level top-K slow-read exemplars.
+func (s *Server) handleSlow(w http.ResponseWriter, _ *http.Request) {
+	payload := struct {
+		K      int            `json:"k"`
+		Window []obs.Exemplar `json:"window"`
+		Run    []obs.Exemplar `json:"run"`
+	}{
+		K:      s.cfg.Slow.K(),
+		Window: s.cfg.Slow.Window(),
+		Run:    s.cfg.Slow.Top(),
+	}
+	s.writeJSON(w, http.StatusOK, payload)
+}
+
+// reject answers an admission or drain rejection, with Retry-After so
+// well-behaved clients back off.
+func (s *Server) reject(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+	s.writeJSON(w, status, errorBody{Error: msg})
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the response is already committed; nothing to do
+}
+
+// retryAfterSeconds renders d for the Retry-After header (integer seconds,
+// minimum 1).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}

@@ -1,0 +1,84 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke test of the serving stack, run by
+# `make serve-smoke` locally and by the serve-smoke CI job.
+#
+# Three loadgen phases against one giraffed process, each provoking a
+# different admission outcome, then a graceful-drain check:
+#
+#   1. steady:   small batches at constant RPS inside capacity — asserts
+#                2xx responses and a sane p99 service latency.
+#   2. overload: 512-read requests split into 8 sub-batches against a
+#                4-deep mapping queue — all-or-nothing admission can never
+#                seat them, so every request 429s. Asserts >= 1 rejection.
+#   3. deadline: 1 ms deadlines on 256-read requests — the deadline fires
+#                during extraction/mapping and cancels in-flight work.
+#                Asserts >= 1 expiry (504 or client-side timeout).
+#
+# Finally SIGTERM: the server must drain, write its run manifest, and exit
+# 0. All artifacts (loadgen reports, giraffed manifest + series) land in
+# $SMOKE_DIR for CI upload.
+set -eu
+
+GO="${GO:-go}"
+SMOKE_DIR="${SMOKE_DIR:-serve-smoke}"
+ADDR="${ADDR:-localhost:8766}"
+P99_BOUND="${P99_BOUND:-5s}"
+
+mkdir -p "$SMOKE_DIR"
+echo "== building binaries"
+"$GO" build -o "$SMOKE_DIR/giraffed" ./cmd/giraffed
+"$GO" build -o "$SMOKE_DIR/loadgen" ./cmd/loadgen
+
+echo "== generating workload"
+"$GO" run ./cmd/genworkload -input A-human -outdir "$SMOKE_DIR"
+
+echo "== booting giraffed on $ADDR (batch 64, queue depth 4)"
+"$SMOKE_DIR/giraffed" -gbz "$SMOKE_DIR/A-human.gbz" -addr "$ADDR" \
+    -threads 2 -batch 64 -depth 4 -per-client 64 \
+    -manifest "$SMOKE_DIR/giraffed-manifest.json" \
+    -series "$SMOKE_DIR/giraffed.series" -series-interval 500ms \
+    -slow 8 >"$SMOKE_DIR/giraffed.log" 2>&1 &
+SRV_PID=$!
+trap 'kill "$SRV_PID" 2>/dev/null || true' EXIT
+
+echo "== phase 1: steady traffic (expect 2xx, bounded p99)"
+"$SMOKE_DIR/loadgen" -url "http://$ADDR" -fastq "$SMOKE_DIR/A-human.fq" \
+    -wait-ready 30s -shape const -rps 6 -duration 8s -batch 8 \
+    -clients 4 -deadline 10s \
+    -report "$SMOKE_DIR/loadgen-steady.json" \
+    -manifest "$SMOKE_DIR/loadgen-steady-manifest.json" \
+    -assert-min-2xx 1 -assert-max-p99 "$P99_BOUND"
+
+echo "== phase 2: oversized bursts (expect 429 queue rejections)"
+# 512 reads / 64-read sub-batches = 8 queue slots per request, but the
+# shared queue holds 4: all-or-nothing admission rejects every one.
+"$SMOKE_DIR/loadgen" -url "http://$ADDR" -fastq "$SMOKE_DIR/A-human.fq" \
+    -shape burst -rps 8 -duration 4s -batch 512 -clients 2 \
+    -deadline 10s -report "$SMOKE_DIR/loadgen-burst.json" \
+    -assert-min-429 1
+
+echo "== phase 3: 1ms deadlines (expect deadline expiries)"
+"$SMOKE_DIR/loadgen" -url "http://$ADDR" -fastq "$SMOKE_DIR/A-human.fq" \
+    -shape const -rps 6 -duration 4s -batch 256 -clients 2 \
+    -deadline 1ms -report "$SMOKE_DIR/loadgen-deadline.json" \
+    -assert-min-timeout 1
+
+echo "== graceful drain (SIGTERM, expect exit 0 + manifest)"
+kill -TERM "$SRV_PID"
+rc=0
+wait "$SRV_PID" || rc=$?
+trap - EXIT
+if [ "$rc" -ne 0 ]; then
+    echo "FAIL: giraffed exited $rc after SIGTERM"
+    cat "$SMOKE_DIR/giraffed.log"
+    exit 1
+fi
+if [ ! -s "$SMOKE_DIR/giraffed-manifest.json" ]; then
+    echo "FAIL: giraffed did not write its run manifest on drain"
+    cat "$SMOKE_DIR/giraffed.log"
+    exit 1
+fi
+
+echo "== server log tail"
+tail -n 5 "$SMOKE_DIR/giraffed.log"
+echo "serve-smoke OK: artifacts in $SMOKE_DIR/"
