@@ -7,7 +7,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: build vet fmt-check test verify race bench-smoke fuzz-smoke serve-smoke lint staticcheck govulncheck perfdiff ci
+.PHONY: build vet fmt-check test verify race bench-smoke fuzz-smoke serve-smoke lint escapecheck staticcheck govulncheck perfdiff ci
 
 build:
 	$(GO) build ./...
@@ -56,11 +56,24 @@ fuzz-smoke:
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
-# lint runs the project-specific analyzers (atomicmix, cachepow2, hotalloc,
-# metricname, nakedgoroutine, probeexclusive, tracepair) over the whole tree.
-# Zero findings required.
+# lint runs the project-specific analyzers (atomicmix, cachepow2, ctxflow,
+# escapebudget, hotalloc, hotpath, metricname, nakedgoroutine, probeexclusive,
+# tracepair) over the whole tree. Zero findings required. LINT_REPORT_DIR
+# archives vetgiraffe.txt and escapes_diff.txt for CI artifact upload.
+LINT_REPORT_DIR ?= lint-report
 lint:
-	$(GO) run ./cmd/vetgiraffe ./...
+	$(GO) run ./cmd/vetgiraffe -reportdir $(LINT_REPORT_DIR) ./...
+
+# escapecheck runs only the compiler escape/inline budget gate. UPDATE=1
+# rewrites results/escapes_baseline.txt from the current compiler verdicts
+# instead of diffing against it — run after deliberate hot-path changes and
+# commit the refreshed baseline with them.
+escapecheck:
+ifeq ($(UPDATE),1)
+	$(GO) run ./cmd/vetgiraffe -update-escapes ./...
+else
+	$(GO) run ./cmd/vetgiraffe -only escapebudget ./...
+endif
 
 # staticcheck/govulncheck run when the pinned binaries are on PATH (the CI
 # lint job installs them); locally they skip with a hint rather than fail,

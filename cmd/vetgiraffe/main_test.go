@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI invokes run() with stdout/stderr captured through temp files and
+// returns (exit code, stdout, stderr).
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	open := func(name string) *os.File {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	stdout, stderr := open("stdout"), open("stderr")
+	code := run(stdout, stderr, args)
+	stdout.Close()
+	stderr.Close()
+	read := func(name string) string {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	return code, read("stdout"), read("stderr")
+}
+
+func TestListExitsZeroAndNamesEveryAnalyzer(t *testing.T) {
+	code, out, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exit = %d, want 0", code)
+	}
+	for _, a := range all {
+		if !strings.Contains(out, a.Name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", a.Name, out)
+		}
+	}
+	if !strings.Contains(out, "(module analyzer)") {
+		t.Errorf("-list output does not mark module analyzers:\n%s", out)
+	}
+}
+
+func TestUnknownOnlyAnalyzerExitsTwo(t *testing.T) {
+	code, _, errOut := runCLI(t, "-only", "nosuch", "./testdata/src/lintme")
+	if code != 2 {
+		t.Fatalf("-only nosuch exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut, `unknown analyzer "nosuch"`) {
+		t.Errorf("stderr does not name the unknown analyzer:\n%s", errOut)
+	}
+	if !strings.Contains(errOut, "available:") || !strings.Contains(errOut, "hotpath") {
+		t.Errorf("stderr does not list the available analyzers:\n%s", errOut)
+	}
+}
+
+func TestUnknownAmongKnownStillExitsTwo(t *testing.T) {
+	code, _, errOut := runCLI(t, "-only", "hotalloc,bogus", "./testdata/src/lintme")
+	if code != 2 {
+		t.Fatalf("-only hotalloc,bogus exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut, `unknown analyzer "bogus"`) {
+		t.Errorf("stderr does not name the unknown analyzer:\n%s", errOut)
+	}
+}
+
+func TestFindingsExitOne(t *testing.T) {
+	code, out, errOut := runCLI(t, "-only", "hotalloc", "./testdata/src/lintme")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stdout:\n%s\nstderr:\n%s)", code, out, errOut)
+	}
+	if !strings.Contains(out, "hotalloc") || !strings.Contains(out, "lintme.go") {
+		t.Errorf("stdout does not report the fixture finding:\n%s", out)
+	}
+	if !strings.Contains(errOut, "finding(s)") {
+		t.Errorf("stderr does not summarize the finding count:\n%s", errOut)
+	}
+}
+
+func TestCleanRunExitsZero(t *testing.T) {
+	code, out, errOut := runCLI(t, "-only", "nakedgoroutine", "./testdata/src/lintme")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (stdout:\n%s\nstderr:\n%s)", code, out, errOut)
+	}
+	if out != "" {
+		t.Errorf("clean run produced output:\n%s", out)
+	}
+}
+
+func TestReportDirArchivesFindings(t *testing.T) {
+	dir := t.TempDir()
+	code, _, _ := runCLI(t, "-only", "hotalloc", "-reportdir", dir, "./testdata/src/lintme")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "vetgiraffe.txt"))
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	if !strings.Contains(string(b), "hotalloc") {
+		t.Errorf("archived report missing the finding:\n%s", b)
+	}
+}

@@ -1,15 +1,17 @@
 // Package analysis is a small, dependency-free reimplementation of the
 // golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
-// type-checked package at a time and reports Diagnostics. The repo cannot
-// vendor x/tools (the build is offline by policy), so the framework is built
-// on the standard library only — go/ast, go/types, and export data served by
-// the go tool (see load.go).
+// type-checked package at a time and reports Diagnostics, optionally
+// exporting Facts on package-level objects that later analysis of importing
+// packages can read back (the modular whole-program channel). The repo
+// cannot vendor x/tools (the build is offline by policy), so the framework
+// is built on the standard library only — go/ast, go/types, and export data
+// served by the go tool (see load.go).
 //
 // The project-specific analyzers living in the subpackages encode the
 // invariants the miniGiraffe reproduction depends on — atomic-counter
-// discipline, paired trace regions, allocation-free hot kernels, and
-// leak-free goroutine construction — and cmd/vetgiraffe runs them as a CI
-// gate (`make lint`).
+// discipline, paired trace regions, allocation-free and non-blocking hot
+// kernels, context threading on the serving path, and leak-free goroutine
+// construction — and cmd/vetgiraffe runs them as a CI gate (`make lint`).
 package analysis
 
 import (
@@ -17,19 +19,33 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
-// Analyzer is one static check, run independently over each package.
+// Analyzer is one static check. Per-package analyzers (Run) execute
+// independently over each package, in dependency order when they use Facts.
+// Module analyzers (ModuleRun) execute once over the whole loaded set —
+// escapebudget, which shells out to the compiler, is the only one.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and in
 	// `//vetgiraffe:ignore <name>` suppression directives.
 	Name string
-	// Doc is a one-paragraph description, shown by `vetgiraffe -help`.
+	// Doc is a one-paragraph description, shown by `vetgiraffe -list`.
 	Doc string
-	// Run inspects pass and reports findings via pass.Reportf.
+	// Run inspects pass and reports findings via pass.Reportf. Nil for
+	// module analyzers.
 	Run func(pass *Pass) error
+	// FactTypes declares the fact types Run exports/imports; a non-empty
+	// list is what forces dependency-ordered scheduling.
+	FactTypes []Fact
+	// ModuleRun, when non-nil, runs once over the full loaded set (dir is
+	// the module root the packages were loaded from). The returned string is
+	// an optional human-readable report that cmd/vetgiraffe archives next to
+	// the diagnostics.
+	ModuleRun func(dir string, pkgs []*Package) ([]Diagnostic, string, error)
 }
 
 // Diagnostic is one finding, anchored to a source position.
@@ -53,7 +69,10 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
-	diags []Diagnostic
+	diags   []Diagnostic
+	facts   *[]factEntry
+	store   *factStore
+	ignores *ignoreIndex
 }
 
 // Reportf records a diagnostic at pos.
@@ -77,36 +96,167 @@ func (p *Pass) Posn(pos token.Pos) string {
 	return fmt.Sprintf("%s:%d", name, posn.Line)
 }
 
+// Suppressed reports whether an `//vetgiraffe:ignore` directive for this
+// analyzer covers pos (same line or the line above), marking the directive
+// used. Analyzers that fold findings into summaries before reporting — the
+// hotpath effect collector — call this at collection time so a justified
+// ignore next to the offending operation stops the effect at its origin
+// instead of at every hot caller.
+func (p *Pass) Suppressed(pos token.Pos) bool {
+	if p.ignores == nil {
+		return false
+	}
+	return p.ignores.suppressed(p.Fset.Position(pos), p.Analyzer.Name)
+}
+
 // IgnoreDirective is the comment that suppresses a finding on its line (or
-// the line directly above it): `//vetgiraffe:ignore <analyzer> [reason]`.
+// the line directly above it): `//vetgiraffe:ignore <analyzer>[,<analyzer>...]
+// [reason]`. A comment may carry several directives.
 const IgnoreDirective = "//vetgiraffe:ignore"
 
-// Run applies each analyzer to each package, drops findings suppressed by an
-// ignore directive, and returns the remaining diagnostics sorted by position.
+// RunOptions tunes RunWith.
+type RunOptions struct {
+	// Workers bounds the analysis worker pool; <=0 means GOMAXPROCS.
+	// Packages still start only after the packages they import (within the
+	// analyzed set) have been analyzed and their facts sealed.
+	Workers int
+	// StaleIgnores adds a diagnostic for every ignore directive that names
+	// one of the analyzers being run yet suppressed nothing, and for
+	// directives naming no known analyzer. Only meaningful when the full
+	// analyzer set runs — under -only most directives are legitimately
+	// dormant.
+	StaleIgnores bool
+	// ExtraDiags are diagnostics produced outside the per-package passes —
+	// module analyzers (ModuleRun) — routed through the same suppression
+	// filtering and stale accounting as pass-reported findings.
+	ExtraDiags []Diagnostic
+}
+
+// Run applies each analyzer to each package serially with stale-ignore
+// checking off — the compatibility entry point.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var out []Diagnostic
-	for _, pkg := range pkgs {
-		suppressed := suppressions(pkg)
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Syntax,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.TypesInfo,
-			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
-			}
-			for _, d := range pass.diags {
-				if suppressed[suppressKey{d.Pos.Filename, d.Pos.Line, a.Name}] ||
-					suppressed[suppressKey{d.Pos.Filename, d.Pos.Line - 1, a.Name}] {
-					continue
-				}
-				out = append(out, d)
+	return RunWith(RunOptions{Workers: 1}, pkgs, analyzers)
+}
+
+// RunWith applies each per-package analyzer to each package over a worker
+// pool, drops findings suppressed by ignore directives, and returns the
+// remaining diagnostics sorted by position. Packages are scheduled in
+// import-dependency order so analyzers reading Facts always find their
+// dependencies' facts sealed; packages with no dependency relation analyze
+// concurrently. Module analyzers (ModuleRun) are not run here — they are
+// cmd/vetgiraffe's job.
+func RunWith(opts RunOptions, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	store := newFactStore()
+
+	// Ignore-directive indexes, one per package, shared between the analysis
+	// workers, the ExtraDiags filter, and stale accounting.
+	indexes := make([]*ignoreIndex, len(pkgs))
+	fileOwner := make(map[string]int)
+	for i, pkg := range pkgs {
+		indexes[i] = buildIgnoreIndex(pkg)
+		for _, f := range pkg.Syntax {
+			fileOwner[pkg.Fset.Position(f.Pos()).Filename] = i
+		}
+	}
+
+	// Dependency edges within the analyzed set.
+	byPath := make(map[string]int, len(pkgs))
+	for i, pkg := range pkgs {
+		byPath[pkg.PkgPath] = i
+	}
+	indegree := make([]int, len(pkgs))
+	dependents := make([][]int, len(pkgs))
+	for i, pkg := range pkgs {
+		for _, imp := range pkg.Imports {
+			if j, ok := byPath[imp]; ok && j != i {
+				indegree[i]++
+				dependents[j] = append(dependents[j], i)
 			}
 		}
 	}
+
+	var (
+		mu       sync.Mutex
+		out      []Diagnostic
+		firstErr error
+	)
+	ready := make(chan int, len(pkgs))
+	done := make(chan int, len(pkgs))
+	for i := range pkgs {
+		if indegree[i] == 0 {
+			ready <- i
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ready {
+				diags, err := analyzePackage(pkgs[i], analyzers, store, indexes[i])
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				out = append(out, diags...)
+				mu.Unlock()
+				done <- i
+			}
+		}()
+	}
+
+	// Dispatcher: release dependents as their dependencies complete. Cycles
+	// cannot occur (the go tool rejects import cycles), so every package is
+	// eventually released.
+	scheduled := 0
+	for range pkgs {
+		i := <-done
+		scheduled++
+		for _, dep := range dependents[i] {
+			indegree[dep]--
+			if indegree[dep] == 0 {
+				ready <- dep
+			}
+		}
+	}
+	close(ready)
+	wg.Wait()
+	_ = scheduled
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Module-analyzer diagnostics: suppressible by a directive in the file
+	// they point at; unattributable files pass through unfiltered.
+	for _, d := range opts.ExtraDiags {
+		if i, ok := fileOwner[d.Pos.Filename]; ok && indexes[i].suppressed(d.Pos, d.Analyzer) {
+			continue
+		}
+		out = append(out, d)
+	}
+	if opts.StaleIgnores {
+		known := make(map[string]bool, len(analyzers))
+		for _, a := range analyzers {
+			known[a.Name] = true
+		}
+		for _, ix := range indexes {
+			out = append(out, ix.staleDiagnostics(known)...)
+		}
+	}
+
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -123,32 +273,158 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	return out, nil
 }
 
+// analyzePackage runs every per-package analyzer over pkg, filters
+// suppressed findings, and seals the package's facts.
+func analyzePackage(pkg *Package, analyzers []*Analyzer, store *factStore, ignores *ignoreIndex) ([]Diagnostic, error) {
+	var pkgFacts []factEntry
+	var out []Diagnostic
+	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Syntax,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			facts:     &pkgFacts,
+			store:     store,
+			ignores:   ignores,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+		}
+		for _, d := range pass.diags {
+			if ignores.suppressed(d.Pos, a.Name) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	if err := store.seal(pkg.PkgPath, pkgFacts); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ignoreDirective is one parsed `//vetgiraffe:ignore` occurrence.
+type ignoreDirective struct {
+	pos       token.Position
+	analyzers []string
+	used      bool
+}
+
+// ignoreIndex holds a package's directives, keyed for O(1) lookup by
+// (file, line, analyzer). Lookups are mutex-guarded: within one package the
+// analyzers run serially, but the hotpath collector can consult the index of
+// its own package while another goroutine... it cannot — packages are
+// analyzed by a single worker each — the mutex simply keeps the index safe
+// if that ever changes.
+type ignoreIndex struct {
+	mu    sync.Mutex
+	byKey map[suppressKey]*ignoreDirective
+	all   []*ignoreDirective
+}
+
 type suppressKey struct {
 	file     string
 	line     int
 	analyzer string
 }
 
-// suppressions indexes every ignore directive in the package by (file, line,
-// analyzer). A directive on line L suppresses findings on L and L+1, so both
-// trailing and preceding-line placement work.
-func suppressions(pkg *Package) map[suppressKey]bool {
-	out := make(map[suppressKey]bool)
-	for _, f := range pkg.Syntax {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, IgnoreDirective)
-				if !ok {
-					continue
-				}
-				fields := strings.Fields(rest)
-				if len(fields) == 0 {
-					continue
-				}
-				posn := pkg.Fset.Position(c.Pos())
-				out[suppressKey{posn.Filename, posn.Line, fields[0]}] = true
+// suppressed reports whether a directive for analyzer covers (file, line) —
+// trailing (same line) or preceding-line placement — marking it used.
+func (ix *ignoreIndex) suppressed(pos token.Position, analyzer string) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		if d, ok := ix.byKey[suppressKey{pos.Filename, line, analyzer}]; ok {
+			d.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// staleDiagnostics reports directives that suppressed nothing: every
+// directive naming only analyzers from the known set that never matched, and
+// every directive naming an analyzer that does not exist.
+func (ix *ignoreIndex) staleDiagnostics(known map[string]bool) []Diagnostic {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	var out []Diagnostic
+	for _, d := range ix.all {
+		if d.used {
+			continue
+		}
+		var unknown []string
+		anyKnown := false
+		for _, name := range d.analyzers {
+			if known[name] {
+				anyKnown = true
+			} else {
+				unknown = append(unknown, name)
 			}
+		}
+		switch {
+		case len(unknown) > 0:
+			out = append(out, Diagnostic{
+				Analyzer: "vetgiraffe",
+				Pos:      d.pos,
+				Message: fmt.Sprintf("ignore directive names unknown analyzer %s",
+					strings.Join(unknown, ", ")),
+			})
+		case anyKnown:
+			out = append(out, Diagnostic{
+				Analyzer: "vetgiraffe",
+				Pos:      d.pos,
+				Message: fmt.Sprintf("stale ignore directive: no %s diagnostic on this or the next line",
+					strings.Join(d.analyzers, ", ")),
+			})
 		}
 	}
 	return out
+}
+
+// buildIgnoreIndex parses every ignore directive in the package. A directive
+// comment must begin with the marker — prose that merely quotes the syntax
+// (`a //vetgiraffe:ignore ...` in documentation) is not a directive. A
+// comment may carry several directives, and one directive may name several
+// analyzers (comma-separated):
+// `x() //vetgiraffe:ignore hotalloc,hotpath startup only`.
+func buildIgnoreIndex(pkg *Package) *ignoreIndex {
+	ix := &ignoreIndex{byKey: make(map[suppressKey]*ignoreDirective)}
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, IgnoreDirective) {
+					continue
+				}
+				parts := strings.Split(c.Text, IgnoreDirective)
+				posn := pkg.Fset.Position(c.Pos())
+				for _, rest := range parts[1:] {
+					fields := strings.Fields(rest)
+					if len(fields) == 0 {
+						continue
+					}
+					var names []string
+					for _, name := range strings.Split(fields[0], ",") {
+						if name = strings.TrimSpace(name); name != "" {
+							names = append(names, name)
+						}
+					}
+					if len(names) == 0 {
+						continue
+					}
+					d := &ignoreDirective{pos: posn, analyzers: names}
+					ix.all = append(ix.all, d)
+					for _, name := range names {
+						ix.byKey[suppressKey{posn.Filename, posn.Line, name}] = d
+					}
+				}
+			}
+		}
+	}
+	return ix
 }

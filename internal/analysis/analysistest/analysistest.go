@@ -41,7 +41,57 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 	if err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}
+	check(t, []*analysis.Package{pkg}, diags)
+}
 
+// RunPkgs loads the packages matching patterns (anchored at dir) with the
+// full module loader — facts flow between them in dependency order — and
+// checks the combined diagnostics against want expectations in every loaded
+// package. This is the harness for cross-package fact fixtures living under
+// testdata/src/ as real module packages.
+func RunPkgs(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", patterns, err)
+	}
+	diags, err := analysis.RunWith(analysis.RunOptions{}, pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	check(t, pkgs, diags)
+}
+
+// check matches diagnostics against the fixtures' want expectations.
+func check(t *testing.T, pkgs []*analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		wants = append(wants, collectWants(t, pkg)...)
+	}
+
+	for _, d := range diags {
+		matched := false
+		for i, w := range wants {
+			if w != nil && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.rx.MatchString(d.Message) {
+				wants[i] = nil
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if w != nil {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
+		}
+	}
+}
+
+func collectWants(t *testing.T, pkg *analysis.Package) []*expectation {
+	t.Helper()
 	var wants []*expectation
 	for _, f := range pkg.Syntax {
 		for _, cg := range f.Comments {
@@ -71,23 +121,5 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 			}
 		}
 	}
-
-	for _, d := range diags {
-		matched := false
-		for i, w := range wants {
-			if w != nil && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.rx.MatchString(d.Message) {
-				wants[i] = nil
-				matched = true
-				break
-			}
-		}
-		if !matched {
-			t.Errorf("unexpected diagnostic: %s", d)
-		}
-	}
-	for _, w := range wants {
-		if w != nil {
-			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
-		}
-	}
+	return wants
 }

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CallSite is one static call edge out of a declared function.
+type CallSite struct {
+	// Callee is the resolved target: a declared function or method (possibly
+	// from another package), or an interface method for dynamic calls.
+	Callee *types.Func
+	// Pos anchors the call expression for diagnostics.
+	Pos token.Pos
+	// Interface marks a dynamic call through an interface method; the
+	// concrete target is unknown without class-hierarchy resolution.
+	Interface bool
+}
+
+// CallGraph is the static call graph of one package: every declared function
+// (including methods), its syntax, and its resolved outgoing calls. Calls
+// through function-typed values are not modeled — only direct calls and
+// interface method calls.
+type CallGraph struct {
+	// Decls maps each declared function object to its declaration. Calls
+	// inside function literals are attributed to the enclosing declaration.
+	Decls map[*types.Func]*ast.FuncDecl
+	// Calls lists each declared function's outgoing call sites in source
+	// order.
+	Calls map[*types.Func][]CallSite
+}
+
+// BuildCallGraph resolves the package's static call edges.
+func BuildCallGraph(pass *Pass) *CallGraph {
+	g := &CallGraph{
+		Decls: make(map[*types.Func]*ast.FuncDecl),
+		Calls: make(map[*types.Func][]CallSite),
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			g.Decls[fn] = fd
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee, iface, ok := ResolveCallee(pass.TypesInfo, call); ok {
+					g.Calls[fn] = append(g.Calls[fn], CallSite{Callee: callee, Pos: call.Pos(), Interface: iface})
+				}
+				return true
+			})
+		}
+	}
+	return g
+}
+
+// ResolveCallee resolves a call expression to its static target function, if
+// any, and reports whether the target is an interface method. Builtins,
+// conversions, and calls of function-typed values resolve to nothing.
+func ResolveCallee(info *types.Info, call *ast.CallExpr) (fn *types.Func, iface bool, ok bool) {
+	var obj types.Object
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[f]
+	case *ast.SelectorExpr:
+		obj = info.Uses[f.Sel]
+	default:
+		return nil, false, false
+	}
+	fn, ok = obj.(*types.Func)
+	if !ok {
+		return nil, false, false
+	}
+	if sig, isSig := fn.Type().(*types.Signature); isSig && sig.Recv() != nil {
+		iface = types.IsInterface(sig.Recv().Type())
+	}
+	return fn, iface, true
+}
+
+// BottomUp returns the strongly connected components of the intra-package
+// call graph in dependency order: every component appears after all the
+// components it calls into, so a caller processing them in order always sees
+// its local callees' summaries first. Mutually recursive functions share a
+// component. Iteration order is deterministic (declaration order).
+func (g *CallGraph) BottomUp() [][]*types.Func {
+	// Deterministic node order: by declaration position.
+	nodes := make([]*types.Func, 0, len(g.Decls))
+	for fn := range g.Decls {
+		nodes = append(nodes, fn)
+	}
+	sortFuncsByPos(g, nodes)
+
+	// Tarjan's SCC; components are emitted callees-first.
+	index := make(map[*types.Func]int, len(nodes))
+	low := make(map[*types.Func]int, len(nodes))
+	onStack := make(map[*types.Func]bool, len(nodes))
+	var stack []*types.Func
+	var out [][]*types.Func
+	next := 0
+
+	var strongConnect func(v *types.Func)
+	strongConnect = func(v *types.Func) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, cs := range g.Calls[v] {
+			w := cs.Callee
+			if _, local := g.Decls[w]; !local {
+				continue
+			}
+			if _, seen := index[w]; !seen {
+				strongConnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []*types.Func
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			out = append(out, comp)
+		}
+	}
+	for _, v := range nodes {
+		if _, seen := index[v]; !seen {
+			strongConnect(v)
+		}
+	}
+	return out
+}
+
+func sortFuncsByPos(g *CallGraph, fns []*types.Func) {
+	// Insertion sort: n is the number of declarations in one package.
+	for i := 1; i < len(fns); i++ {
+		for j := i; j > 0 && g.Decls[fns[j]].Pos() < g.Decls[fns[j-1]].Pos(); j-- {
+			fns[j], fns[j-1] = fns[j-1], fns[j]
+		}
+	}
+}

@@ -1,0 +1,291 @@
+// Package ctxflow enforces context and stop-flag threading on the request
+// path. The serving stack (internal/serve → pipeline.Session →
+// core.Mapper.MapBatchUntil) is cooperative: cancellation arrives as a
+// context.Context at the HTTP boundary and travels inward as a derived
+// context or an *atomic.Bool stop flag. A function that swaps the incoming
+// context for a fresh context.Background(), or passes a nil stop flag while
+// holding a cancellation source, silently severs that chain — requests keep
+// mapping after the client is gone.
+//
+// Three rules:
+//
+//  1. context.Background() / context.TODO() are legal only in package main
+//     and test files. Everywhere else the context must come in as a
+//     parameter.
+//  2. In a function that receives a context.Context (or an *http.Request,
+//     whose Context method is the boundary source), every context-typed
+//     call argument must be derived from an incoming one — the parameter
+//     itself, or a value assigned (transitively) from it, e.g.
+//     context.WithTimeout(r.Context(), d).
+//  3. In a function holding a stop source (a context.Context or
+//     *atomic.Bool parameter), passing a literal nil where a callee expects
+//     an *atomic.Bool drops the chain. Functions with no source — the
+//     batch-mode MapBatch wrapper — may pass nil freely.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the context/stop-flag threading check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "require request-path functions to thread their incoming " +
+		"context.Context / *atomic.Bool stop flag; restrict " +
+		"context.Background and context.TODO to main and tests",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	isMain := pass.Pkg.Name() == "main"
+	for _, f := range pass.Files {
+		file := pass.Fset.Position(f.Pos()).Filename
+		exempt := isMain || strings.HasSuffix(file, "_test.go")
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, exempt)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, exempt bool) {
+	tracked := trackedObjects(pass, fd)
+	hasCtx := len(tracked) > 0
+	hasStopSource := hasCtx || hasAtomicBoolParam(pass, fd)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+
+		// Rule 1: Background/TODO creation.
+		if name, isBg := backgroundCall(pass, call); isBg && !exempt {
+			pass.Reportf(call.Pos(), "call to context.%s outside package main or a test file: thread the caller's context instead", name)
+		}
+
+		sig := callSignature(pass, call)
+		for i, arg := range call.Args {
+			pt := paramType(sig, i)
+
+			// Rule 2: context-typed arguments must derive from an incoming
+			// context. Direct Background/TODO arguments are rule 1's finding
+			// unless this file is exempt from it.
+			if tv, ok := pass.TypesInfo.Types[arg]; ok && isContextType(tv.Type) && hasCtx {
+				if _, isBg := backgroundCall(pass, argCall(arg)); isBg {
+					if exempt {
+						pass.Reportf(arg.Pos(), "%s passes a fresh context despite its incoming context", fd.Name.Name)
+					}
+				} else if !mentionsTracked(pass, tracked, arg) {
+					pass.Reportf(arg.Pos(), "%s passes a context not derived from its incoming context", fd.Name.Name)
+				}
+			}
+
+			// Rule 3: literal nil where the callee expects *atomic.Bool.
+			if hasStopSource && pt != nil && isAtomicBoolPtr(pt) {
+				if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.IsNil() {
+					pass.Reportf(arg.Pos(), "%s passes a nil stop flag despite holding a cancellation source", fd.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// trackedObjects seeds the derived-context set with every context.Context
+// and *http.Request parameter (of the declaration and any function literals
+// inside it), then closes it over local assignments: an assignment whose
+// right-hand side mentions a tracked object marks its context-typed
+// left-hand idents tracked too.
+func trackedObjects(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	tracked := make(map[types.Object]bool)
+	seedFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				obj := pass.TypesInfo.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if isContextType(obj.Type()) || isRequestPtr(obj.Type()) {
+					tracked[obj] = true
+				}
+			}
+		}
+	}
+	seedFields(fd.Type.Params)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			seedFields(lit.Type.Params)
+		}
+		return true
+	})
+	if len(tracked) == 0 {
+		return tracked
+	}
+
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			derives := false
+			for _, rhs := range as.Rhs {
+				if mentionsTracked(pass, tracked, rhs) {
+					derives = true
+					break
+				}
+			}
+			if !derives {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj != nil && isContextType(obj.Type()) && !tracked[obj] {
+					tracked[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return tracked
+}
+
+// mentionsTracked reports whether expr references any tracked object —
+// `ctx`, `r.Context()`, `context.WithTimeout(ctx, d)` all do.
+func mentionsTracked(pass *analysis.Pass, tracked map[types.Object]bool, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && tracked[obj] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// backgroundCall reports whether call is context.Background() or
+// context.TODO(), returning the name.
+func backgroundCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	if call == nil {
+		return "", false
+	}
+	fn, _, ok := analysis.ResolveCallee(pass.TypesInfo, call)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return "", false
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return fn.Name(), true
+	}
+	return "", false
+}
+
+// argCall unwraps an argument to a call expression, or nil.
+func argCall(arg ast.Expr) *ast.CallExpr {
+	call, _ := ast.Unparen(arg).(*ast.CallExpr)
+	return call
+}
+
+// callSignature resolves the static signature of the called value.
+func callSignature(pass *analysis.Pass, call *ast.CallExpr) *types.Signature {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// paramType returns the type of the i-th parameter, unwrapping variadics.
+func paramType(sig *types.Signature, i int) types.Type {
+	if sig == nil {
+		return nil
+	}
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		if s, ok := sig.Params().At(n - 1).Type().(*types.Slice); ok {
+			return s.Elem()
+		}
+		return nil
+	}
+	if i < n {
+		return sig.Params().At(i).Type()
+	}
+	return nil
+}
+
+func hasAtomicBoolParam(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if tv, ok := pass.TypesInfo.Types[field.Type]; ok && isAtomicBoolPtr(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func isRequestPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Request"
+}
+
+func isAtomicBoolPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && obj.Name() == "Bool"
+}

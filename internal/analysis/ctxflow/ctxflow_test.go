@@ -1,0 +1,16 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", ctxflow.Analyzer)
+}
+
+func TestCtxFlowMainExempt(t *testing.T) {
+	analysistest.Run(t, "testdata/src/mainexempt", ctxflow.Analyzer)
+}

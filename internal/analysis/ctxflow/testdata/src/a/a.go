@@ -1,0 +1,65 @@
+// Fixture for the ctxflow analyzer: context threading, Background/TODO
+// restrictions, and nil stop flags, in a non-main non-test package.
+package a
+
+import (
+	"context"
+	"net/http"
+	"sync/atomic"
+)
+
+func takesCtx(ctx context.Context) { _ = ctx }
+
+func work(recs []int, stop *atomic.Bool) { _, _ = recs, stop }
+
+var global context.Context
+
+func background() {
+	takesCtx(context.Background()) // want `call to context.Background outside package main or a test file`
+}
+
+func todo() {
+	takesCtx(context.TODO()) // want `call to context.TODO outside package main or a test file`
+}
+
+func threads(ctx context.Context) {
+	c, cancel := context.WithTimeout(ctx, 0)
+	defer cancel()
+	takesCtx(c)
+}
+
+func handler(w http.ResponseWriter, r *http.Request) {
+	_ = w
+	takesCtx(r.Context())
+}
+
+func swapsForBackground(ctx context.Context) {
+	takesCtx(context.Background()) // want `call to context.Background outside package main or a test file`
+}
+
+func passesUnrelated(ctx context.Context) {
+	takesCtx(global) // want `passesUnrelated passes a context not derived from its incoming context`
+}
+
+func dropsStop(ctx context.Context, recs []int) {
+	work(recs, nil) // want `dropsStop passes a nil stop flag despite holding a cancellation source`
+}
+
+func forwardsStop(recs []int, stop *atomic.Bool) {
+	work(recs, stop)
+}
+
+func noSource(recs []int) {
+	work(recs, nil) // batch mode: no cancellation source, nil is legal
+}
+
+func suppressed() {
+	takesCtx(context.Background()) //vetgiraffe:ignore ctxflow fixture-justified background use
+}
+
+func viaClosure(ctx context.Context) {
+	f := func(inner context.Context) {
+		takesCtx(inner)
+	}
+	f(ctx)
+}

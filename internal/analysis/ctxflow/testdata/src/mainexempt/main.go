@@ -1,0 +1,15 @@
+// Fixture: package main may create root contexts, but swapping an incoming
+// context for a fresh one is still reported.
+package main
+
+import "context"
+
+func takesCtx(ctx context.Context) { _ = ctx }
+
+func main() {
+	takesCtx(context.Background())
+}
+
+func helperDrops(ctx context.Context) {
+	takesCtx(context.Background()) // want `helperDrops passes a fresh context despite its incoming context`
+}

@@ -1,0 +1,160 @@
+package escapebudget_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/escapebudget"
+)
+
+// copyFixtureModule clones the fixture module into a writable temp dir so
+// tests can add and doctor baselines.
+func copyFixtureModule(t *testing.T) string {
+	t.Helper()
+	dst := t.TempDir()
+	for _, rel := range []string{"go.mod", "esc/esc.go"} {
+		data, err := os.ReadFile(filepath.Join("testdata/escmod", rel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dst, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+func loadFixture(t *testing.T, dir string) []*analysis.Package {
+	t.Helper()
+	pkgs, err := analysis.Load(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkgs
+}
+
+func TestCurrentVerdicts(t *testing.T) {
+	dir := copyFixtureModule(t)
+	states, err := escapebudget.Current(dir, loadFixture(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := make(map[string]escapebudget.FuncState)
+	for _, s := range states {
+		byLabel[s.Label] = s
+	}
+	if s := byLabel["escmod/esc.Leak"]; len(s.Escapes) == 0 {
+		t.Errorf("Leak: want >=1 heap escape, got %+v", s)
+	}
+	if s := byLabel["escmod/esc.Add"]; len(s.Escapes) != 0 || !s.Inline {
+		t.Errorf("Add: want 0 escapes and inlinable, got %+v", s)
+	}
+	if s := byLabel["escmod/esc.Big"]; s.Inline {
+		t.Errorf("Big: want non-inlinable (go:noinline), got %+v", s)
+	}
+}
+
+func TestBudgetGate(t *testing.T) {
+	dir := copyFixtureModule(t)
+	pkgs := loadFixture(t, dir)
+
+	// No baseline: escaping hot functions ratchet from zero and fail.
+	diags, report, err := escapebudget.Analyzer.ModuleRun(dir, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diagFor(diags, "escmod/esc.Leak", "gained heap escapes") {
+		t.Errorf("want gained-escape diagnostic for Leak, got %v", diags)
+	}
+	if diagFor(diags, "escmod/esc.Add", "") || diagFor(diags, "escmod/esc.Big", "") {
+		t.Errorf("clean functions flagged: %v", diags)
+	}
+	if !strings.Contains(report, "escmod/esc.Leak") {
+		t.Errorf("report does not mention Leak:\n%s", report)
+	}
+
+	// Committing the current state as the baseline makes the gate pass.
+	states, err := escapebudget.Current(dir, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basePath := filepath.Join(dir, escapebudget.BaselinePath)
+	if err := escapebudget.WriteBaseline(basePath, states); err != nil {
+		t.Fatal(err)
+	}
+	diags, _, err = escapebudget.Analyzer.ModuleRun(dir, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("baselined run should be clean, got %v", diags)
+	}
+
+	// Doctoring the baseline to claim Big was inlinable trips the
+	// inline-loss gate; inflating Leak's budget does not (improvements and
+	// headroom pass).
+	data, err := os.ReadFile(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doctored := strings.Replace(string(data), "escmod/esc.Big escapes=0 inline=no",
+		"escmod/esc.Big escapes=0 inline=yes", 1)
+	doctored = strings.Replace(doctored, "escmod/esc.Leak escapes=1", "escmod/esc.Leak escapes=99", 1)
+	if doctored == string(data) {
+		t.Fatalf("baseline rewrite failed; contents:\n%s", data)
+	}
+	if err := os.WriteFile(basePath, []byte(doctored), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags, _, err = escapebudget.Analyzer.ModuleRun(dir, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diagFor(diags, "escmod/esc.Big", "lost inlinability") {
+		t.Errorf("want inline-loss diagnostic for Big, got %v", diags)
+	}
+	if diagFor(diags, "escmod/esc.Leak", "") {
+		t.Errorf("Leak within (inflated) budget should pass, got %v", diags)
+	}
+}
+
+// TestSuppression routes module diagnostics through RunWith's ExtraDiags so
+// the //vetgiraffe:ignore next to SuppressedLeak's declaration filters it.
+func TestSuppression(t *testing.T) {
+	dir := copyFixtureModule(t)
+	pkgs := loadFixture(t, dir)
+	mdiags, _, err := escapebudget.Analyzer.ModuleRun(dir, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diagFor(mdiags, "escmod/esc.SuppressedLeak", "gained heap escapes") {
+		t.Fatalf("want raw diagnostic for SuppressedLeak, got %v", mdiags)
+	}
+	diags, err := analysis.RunWith(analysis.RunOptions{ExtraDiags: mdiags},
+		pkgs, []*analysis.Analyzer{escapebudget.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diagFor(diags, "escmod/esc.SuppressedLeak", "") {
+		t.Errorf("SuppressedLeak should be suppressed, got %v", diags)
+	}
+	if !diagFor(diags, "escmod/esc.Leak", "gained heap escapes") {
+		t.Errorf("Leak must survive filtering, got %v", diags)
+	}
+}
+
+func diagFor(diags []analysis.Diagnostic, label, substr string) bool {
+	for _, d := range diags {
+		if strings.Contains(d.Message, label+" ") && strings.Contains(d.Message, substr) {
+			return true
+		}
+	}
+	return false
+}

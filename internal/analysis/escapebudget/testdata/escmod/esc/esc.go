@@ -1,0 +1,41 @@
+// Fixture for the escapebudget analyzer: hot functions with known compiler
+// verdicts — a guaranteed heap escape, a clean inlinable leaf, a function
+// pinned non-inlinable, and an acknowledged (suppressed) escape.
+package esc
+
+// Leak returns a pointer to a local, a guaranteed heap escape.
+//
+//minigiraffe:hot
+func Leak() *int {
+	x := 42
+	return &x
+}
+
+// Add is small and clean: inlinable, no escapes.
+//
+//minigiraffe:hot
+func Add(a, b int) int {
+	return a + b
+}
+
+// Big is pinned non-inlinable so the inline-loss gate can be exercised by
+// doctoring its baseline entry.
+//
+//minigiraffe:hot
+//go:noinline
+func Big(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// SuppressedLeak's escape is acknowledged next to the declaration.
+//
+//minigiraffe:hot
+//vetgiraffe:ignore escapebudget fixture-justified escape
+func SuppressedLeak() *int {
+	x := 7
+	return &x
+}

@@ -1,0 +1,19 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/hotpath"
+)
+
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", hotpath.Analyzer)
+}
+
+// TestHotPathCrossPackage loads two real module packages with the full
+// loader so xpkg's summaries reach xhot only through serialized facts.
+func TestHotPathCrossPackage(t *testing.T) {
+	analysistest.RunPkgs(t, ".", hotpath.Analyzer,
+		"./testdata/src/xpkg", "./testdata/src/xhot")
+}

@@ -1,0 +1,127 @@
+// Fixture for the hotpath analyzer: blocking and allocating operations
+// reachable transitively from //minigiraffe:hot roots, within one package.
+package a
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+var mu sync.Mutex
+
+// helper2 is two calls below the hot root.
+func helper2(x int) string {
+	return fmt.Sprintf("%d", x)
+}
+
+// helper1 forwards to helper2.
+func helper1(x int) string {
+	return helper2(x)
+}
+
+//minigiraffe:hot
+func hotTransitiveFmt(x int) string {
+	return helper1(x) // want `call to fmt.Sprintf at a.go:\d+ reachable from hot function hotTransitiveFmt via helper1 -> helper2`
+}
+
+//minigiraffe:hot
+func hotDirectBlocking(ch chan int) int {
+	mu.Lock() // want `call to \(\*sync.Mutex\).Lock \(blocking\) in hot function hotDirectBlocking`
+	v := <-ch // want `channel receive in hot function hotDirectBlocking`
+	mu.Unlock()
+	return v
+}
+
+//minigiraffe:hot
+func hotSleep() {
+	time.Sleep(time.Millisecond) // want `call to time.Sleep \(blocking/timer\) in hot function hotSleep`
+}
+
+// sleeper hides a sleep one call deep.
+func sleeper() {
+	time.Sleep(time.Millisecond)
+}
+
+//minigiraffe:hot
+func hotViaSleeper() {
+	sleeper() // want `call to time.Sleep \(blocking/timer\) at a.go:\d+ reachable from hot function hotViaSleeper via sleeper`
+}
+
+//minigiraffe:hot
+func hotSuppressedCall() {
+	sleeper() //vetgiraffe:ignore hotpath cold startup path, measured off the clock
+}
+
+// lockedHelper's lock is justified at the origin, so no hot caller sees it.
+func lockedHelper() {
+	mu.Lock() //vetgiraffe:ignore hotpath sub-microsecond critical section
+	mu.Unlock()
+}
+
+//minigiraffe:hot
+func hotViaLockedHelper() {
+	lockedHelper()
+}
+
+//minigiraffe:hot
+func hotLeaf(ch chan int) {
+	ch <- 1 // want `channel send in hot function hotLeaf`
+}
+
+//minigiraffe:hot
+func hotCallsHot(ch chan int) {
+	hotLeaf(ch) // hot callee is policed at its own definition: no finding here
+}
+
+// mustPositive formats only on the crash path.
+func mustPositive(x int) {
+	if x < 0 {
+		panic(fmt.Sprintf("bad %d", x))
+	}
+}
+
+//minigiraffe:hot
+func hotViaMustPositive(x int) {
+	mustPositive(x)
+}
+
+// filter takes an interface-typed callback: closures handed to it escape.
+func filter(pred any) { _ = pred }
+
+//minigiraffe:hot
+func hotEscapingClosure(n int) {
+	filter(func(v int) bool { return v > n }) // want `escaping closure capturing n in hot function hotEscapingClosure`
+}
+
+// each takes a concrete func parameter: closures stay on the stack.
+func each(xs []int, f func(int)) {
+	for _, x := range xs {
+		f(x)
+	}
+}
+
+//minigiraffe:hot
+func hotConcreteClosure(xs []int, n int) {
+	each(xs, func(v int) { _ = v + n }) // concrete func param: no finding
+}
+
+//minigiraffe:hot
+func hotMapWrite(m map[int]int, k int) {
+	m[k] = 1 // want `map assignment \(possible growth\) in hot function hotMapWrite`
+}
+
+//minigiraffe:hot
+func hotGo(f func()) {
+	go f() // want `goroutine spawn in hot function hotGo`
+}
+
+//minigiraffe:hot
+func hotSelect(a, b chan int) int {
+	select { // want `select statement in hot function hotSelect`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

@@ -17,16 +17,24 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, parsed, and type-checked package.
 type Package struct {
-	PkgPath   string
-	Name      string
+	PkgPath string
+	Name    string
+	// Dir is the package's source directory (empty for LoadDir fixtures
+	// whose directory is unknown to the go tool).
+	Dir       string
 	Fset      *token.FileSet
 	Syntax    []*ast.File
 	Types     *types.Package
 	TypesInfo *types.Info
+	// Imports lists the package's direct imports (all of them, not just
+	// module-internal ones). RunWith intersects it with the analyzed set to
+	// schedule fact-dependency order.
+	Imports []string
 }
 
 // listedPkg is the subset of `go list -json` output the loader consumes.
@@ -35,6 +43,7 @@ type listedPkg struct {
 	Name       string
 	Dir        string
 	GoFiles    []string
+	Imports    []string
 	Export     string
 	DepOnly    bool
 	Error      *struct{ Err string }
@@ -82,6 +91,21 @@ func exportImporter(fset *token.FileSet, exports map[string]string) types.Import
 	return importer.ForCompiler(fset, "gc", lookup)
 }
 
+// lockedImporter serialises Import calls so packages can be type-checked
+// concurrently: the gc export-data importer keeps a package cache that is not
+// safe for concurrent mutation, while the *types.Packages it returns are
+// read-only afterwards.
+type lockedImporter struct {
+	mu  sync.Mutex
+	imp types.Importer
+}
+
+func (l *lockedImporter) Import(path string) (*types.Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.imp.Import(path)
+}
+
 func newTypesInfo() *types.Info {
 	return &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
@@ -96,6 +120,10 @@ func newTypesInfo() *types.Info {
 // resolving imports through export data from the go tool. Only non-test
 // files are analyzed, matching what ships in the binaries. dir anchors the
 // go tool invocation ("." means the current directory).
+//
+// Parsing and type-checking fan out over a worker pool: every import —
+// module-internal ones included — resolves through export data, so target
+// packages check independently of each other and the pool needs no ordering.
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -117,24 +145,60 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	}
 
 	fset := token.NewFileSet()
-	imp := exportImporter(fset, exports)
-	var out []*Package
-	for _, t := range targets {
-		if len(t.GoFiles) == 0 {
-			continue
-		}
-		files := make([]string, len(t.GoFiles))
-		for i, f := range t.GoFiles {
-			files[i] = filepath.Join(t.Dir, f)
-		}
-		pkg, err := check(fset, imp, t.ImportPath, files)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, pkg)
+	imp := &lockedImporter{imp: exportImporter(fset, exports)}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(targets) {
+		workers = len(targets)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
-	return out, nil
+	if workers < 1 {
+		workers = 1
+	}
+	out := make([]*Package, len(targets))
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				t := targets[i]
+				if len(t.GoFiles) == 0 {
+					continue
+				}
+				files := make([]string, len(t.GoFiles))
+				for j, f := range t.GoFiles {
+					files[j] = filepath.Join(t.Dir, f)
+				}
+				pkg, err := check(fset, imp, t.ImportPath, files)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				pkg.Dir = t.Dir
+				pkg.Imports = t.Imports
+				out[i] = pkg
+			}
+		}()
+	}
+	for i := range targets {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	var pkgs []*Package
+	for i := range targets {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		if out[i] != nil {
+			pkgs = append(pkgs, out[i])
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].PkgPath < pkgs[j].PkgPath })
+	return pkgs, nil
 }
 
 // LoadDir parses and type-checks the single package formed by the .go files
@@ -178,8 +242,8 @@ func LoadDir(dir string) (*Package, error) {
 		}
 	}
 	exports := make(map[string]string)
+	var imps []string
 	if len(impSet) > 0 {
-		var imps []string
 		for p := range impSet {
 			imps = append(imps, p)
 		}
@@ -197,7 +261,13 @@ func LoadDir(dir string) (*Package, error) {
 	}
 
 	pkgPath := syntax[0].Name.Name
-	return checkParsed(fset, exportImporter(fset, exports), pkgPath, syntax)
+	pkg, err := checkParsed(fset, exportImporter(fset, exports), pkgPath, syntax)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Dir = dir
+	pkg.Imports = imps
+	return pkg, nil
 }
 
 // check parses files and type-checks them as one package.

@@ -1,0 +1,36 @@
+// Fixture for ignore-directive edge cases: suppression from the same line
+// and from the line above, one directive naming several analyzers, stale
+// directives, and directives naming analyzers that do not exist. The dummy
+// analyzers report every call to a function whose name starts with "bad".
+package ignorefix
+
+func bad() {}
+
+func ok() {}
+
+func trailing() {
+	bad() //vetgiraffe:ignore dummyA trailing placement
+}
+
+func preceding() {
+	//vetgiraffe:ignore dummyA preceding placement
+	bad()
+}
+
+func both() {
+	bad() //vetgiraffe:ignore dummyA,dummyB one directive, two analyzers
+}
+
+func onlyA() {
+	bad() //vetgiraffe:ignore dummyA dummyB still fires here
+}
+
+func stale() {
+	//vetgiraffe:ignore dummyA matches nothing
+	ok()
+}
+
+func typo() {
+	//vetgiraffe:ignore dummyC unknown analyzer name
+	ok()
+}

@@ -6,7 +6,8 @@
 package cluster
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"repro/internal/counters"
 	"repro/internal/distindex"
@@ -103,15 +104,17 @@ func ClusterSeeds(ix *distindex.Index, ss []seeds.Seed, p Params, probe counters
 		order[i] = i
 		coord[i] = int(g.Backbone(ss[i].Pos.Node)) + int(ss[i].Pos.Off)
 	}
-	sort.Slice(order, func(a, b int) bool {
-		ia, ib := order[a], order[b]
+	slices.SortFunc(order, func(ia, ib int) int {
 		if ss[ia].Rev != ss[ib].Rev {
-			return !ss[ia].Rev
+			if ss[ib].Rev {
+				return -1
+			}
+			return 1
 		}
 		if coord[ia] != coord[ib] {
-			return coord[ia] < coord[ib]
+			return cmp.Compare(coord[ia], coord[ib])
 		}
-		return ia < ib
+		return cmp.Compare(ia, ib)
 	})
 	if probe != nil {
 		// Sorting cost and one touch per seed record.
@@ -156,12 +159,11 @@ func ClusterSeeds(ix *distindex.Index, ss []seeds.Seed, p Params, probe counters
 			nGroups++
 		}
 	}
-	sort.Slice(byRoot, func(a, b int) bool {
-		ra, rb := uf.find(byRoot[a]), uf.find(byRoot[b])
-		if ra != rb {
-			return ra < rb
+	slices.SortFunc(byRoot, func(a, b int) int {
+		if ra, rb := uf.find(a), uf.find(b); ra != rb {
+			return cmp.Compare(ra, rb)
 		}
-		return byRoot[a] < byRoot[b]
+		return cmp.Compare(a, b)
 	})
 	out := make([]Cluster, 0, nGroups)
 	for lo := 0; lo < len(byRoot); {
@@ -176,11 +178,11 @@ func ClusterSeeds(ix *distindex.Index, ss []seeds.Seed, p Params, probe counters
 		lo = hi
 	}
 	// Deterministic order: score descending, then first seed index.
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Score != out[b].Score {
-			return out[a].Score > out[b].Score
+	slices.SortFunc(out, func(a, b Cluster) int {
+		if a.Score != b.Score {
+			return cmp.Compare(b.Score, a.Score)
 		}
-		return out[a].SeedIdx[0] < out[b].SeedIdx[0]
+		return cmp.Compare(a.SeedIdx[0], b.SeedIdx[0])
 	})
 	if probe != nil {
 		probe.Instr(int64(len(out)) * 16)
@@ -189,16 +191,26 @@ func ClusterSeeds(ix *distindex.Index, ss []seeds.Seed, p Params, probe counters
 }
 
 // scoreCluster sums the best minimizer score per distinct read offset.
+// Clusters hold a handful of seeds, so an O(n²) scan beats allocating a
+// per-cluster map — and unlike map iteration, the float accumulation order
+// is deterministic.
 func scoreCluster(ss []seeds.Seed, idxs []int) float64 {
-	best := make(map[int32]float64, len(idxs))
-	for _, i := range idxs {
-		if s := float64(ss[i].Score); s > best[ss[i].ReadOff] {
-			best[ss[i].ReadOff] = s
-		}
-	}
 	total := 0.0
-	for _, s := range best {
-		total += s
+	for a, i := range idxs {
+		off, sc := ss[i].ReadOff, float64(ss[i].Score)
+		best := true
+		for b, j := range idxs {
+			if b == a || ss[j].ReadOff != off {
+				continue
+			}
+			if sj := float64(ss[j].Score); sj > sc || (sj == sc && b < a) {
+				best = false
+				break
+			}
+		}
+		if best {
+			total += sc
+		}
 	}
 	return total
 }

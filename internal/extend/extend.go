@@ -13,8 +13,9 @@
 package extend
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/cluster"
 	"repro/internal/counters"
@@ -215,17 +216,17 @@ func ProcessUntilThresholdC(env *Env, read *dna.Read, ss []seeds.Seed, clusters 
 			out = append(out, ext)
 		}
 	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Score != out[b].Score {
-			return out[a].Score > out[b].Score
+	slices.SortFunc(out, func(a, b Extension) int {
+		if a.Score != b.Score {
+			return cmp.Compare(b.Score, a.Score)
 		}
-		if out[a].StartPos.Node != out[b].StartPos.Node {
-			return out[a].StartPos.Node < out[b].StartPos.Node
+		if a.StartPos.Node != b.StartPos.Node {
+			return cmp.Compare(a.StartPos.Node, b.StartPos.Node)
 		}
-		if out[a].StartPos.Off != out[b].StartPos.Off {
-			return out[a].StartPos.Off < out[b].StartPos.Off
+		if a.StartPos.Off != b.StartPos.Off {
+			return cmp.Compare(a.StartPos.Off, b.StartPos.Off)
 		}
-		return out[a].ReadStart < out[b].ReadStart
+		return cmp.Compare(a.ReadStart, b.ReadStart)
 	})
 	return out
 }
@@ -235,15 +236,15 @@ func ProcessUntilThresholdC(env *Env, read *dna.Read, ss []seeds.Seed, clusters 
 func pickSeeds(ss []seeds.Seed, idxs []int, max int) []int {
 	sorted := make([]int, len(idxs))
 	copy(sorted, idxs)
-	sort.Slice(sorted, func(a, b int) bool {
-		sa, sb := ss[sorted[a]], ss[sorted[b]]
+	slices.SortFunc(sorted, func(a, b int) int {
+		sa, sb := ss[a], ss[b]
 		if sa.Score != sb.Score {
-			return sa.Score > sb.Score
+			return cmp.Compare(sb.Score, sa.Score)
 		}
 		if sa.ReadOff != sb.ReadOff {
-			return sa.ReadOff < sb.ReadOff
+			return cmp.Compare(sa.ReadOff, sb.ReadOff)
 		}
-		return sorted[a] < sorted[b]
+		return cmp.Compare(a, b)
 	})
 	if len(sorted) > max {
 		sorted = sorted[:max]

@@ -63,7 +63,7 @@ func decodeRecord(buf []byte) (*DecodedRecord, error) {
 		return nil, err
 	}
 	if nEdges > maxEdges+1 {
-		return nil, fmt.Errorf("gbwt: record claims %d edges", nEdges)
+		return nil, fmt.Errorf("gbwt: record claims %d edges", nEdges) //vetgiraffe:ignore hotpath corrupt-input error path, never taken on valid indexes
 	}
 	rec := &DecodedRecord{Edges: make([]Edge, nEdges)}
 	prev := uint64(0)
@@ -98,14 +98,14 @@ func decodeRecord(buf []byte) (*DecodedRecord, error) {
 			return nil, err
 		}
 		if rank >= nEdges || runLen == 0 || uint64(len(rec.Ranks))+runLen > nVisits {
-			return nil, fmt.Errorf("gbwt: bad run (rank %d, len %d) in record", rank, runLen)
+			return nil, fmt.Errorf("gbwt: bad run (rank %d, len %d) in record", rank, runLen) //vetgiraffe:ignore hotpath corrupt-input error path, never taken on valid indexes
 		}
 		for k := uint64(0); k < runLen; k++ {
 			rec.Ranks = append(rec.Ranks, byte(rank))
 		}
 	}
 	if pos != len(buf) {
-		return nil, fmt.Errorf("gbwt: %d trailing bytes in record", len(buf)-pos)
+		return nil, fmt.Errorf("gbwt: %d trailing bytes in record", len(buf)-pos) //vetgiraffe:ignore hotpath corrupt-input error path, never taken on valid indexes
 	}
 	return rec, nil
 }

@@ -50,13 +50,24 @@ type DecodedRecord struct {
 // NumVisits returns the number of haplotype visits through the record.
 func (r *DecodedRecord) NumVisits() int { return len(r.Ranks) }
 
-// edgeRank returns the index of `to` in the sorted edge list, or -1.
+// edgeRank returns the index of `to` in the sorted edge list, or -1. The
+// binary search is inlined by hand: sort.Search's func parameter keeps this
+// leaf out of the compiler's inlining budget, and edgeRank sits on every
+// Record step of the extension kernel.
 //
 //minigiraffe:hot
 func (r *DecodedRecord) edgeRank(to NodeID) int {
-	i := sort.Search(len(r.Edges), func(i int) bool { return r.Edges[i].To >= to })
-	if i < len(r.Edges) && r.Edges[i].To == to {
-		return i
+	lo, hi := 0, len(r.Edges)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.Edges[mid].To < to {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(r.Edges) && r.Edges[lo].To == to {
+		return lo
 	}
 	return -1
 }
