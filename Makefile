@@ -34,8 +34,11 @@ verify: build test
 # registry is scraped concurrently with recording, so it runs here too, and
 # so does the serving stack (pipeline.Session lives in internal/pipeline;
 # internal/serve layers concurrent HTTP admission/deadline/drain on top).
+# internal/gbwt joins for the epoch-published shared cache (lock-free
+# snapshot readers racing the builder's republish); internal/workload rides
+# along for the zipf sampler feeding those stress tests.
 race:
-	$(GO) test -race ./internal/sched/... ./internal/pipeline/... ./internal/core/... ./internal/trace/... ./internal/fastq/... ./internal/seeds/... ./internal/obs/... ./internal/serve/...
+	$(GO) test -race ./internal/sched/... ./internal/pipeline/... ./internal/core/... ./internal/trace/... ./internal/fastq/... ./internal/seeds/... ./internal/obs/... ./internal/serve/... ./internal/gbwt/... ./internal/workload/...
 	$(GO) test -race -short ./internal/giraffe/...
 
 # Compile-and-run every benchmark once so kernel benchmarks can't rot.
@@ -90,6 +93,12 @@ staticcheck:
 # results/baseline with cmd/obsdiff. Exits non-zero when a gated metric
 # regresses past the thresholds. Override OBSDIFF_FLAGS to tune thresholds
 # (e.g. OBSDIFF_FLAGS='-p99-threshold 0.5') and PERFDIFF_DIR to keep runs.
+# A second leg replays the skewed (-zipf 1.4) workload with the epoch cache
+# on (-epoch 512, halved private overflow) against results/baseline-zipf —
+# the same workload under the per-batch rebuild discipline, recorded with
+# the same 128-read batches so several epochs publish within the run. The
+# report shows the shared-snapshot win: most lookups land in the snapshot
+# (mapper_epoch_shared_hits_total) with no cache-build or throughput cost.
 PERFDIFF_DIR ?= perfdiff-run
 OBSDIFF_FLAGS ?=
 perfdiff:
@@ -103,6 +112,17 @@ perfdiff:
 	$(GO) run ./cmd/obsdiff -baseline results/baseline -candidate $(PERFDIFF_DIR) \
 		-report $(PERFDIFF_DIR)/perfdiff.md $(OBSDIFF_FLAGS)
 	@echo "report: $(PERFDIFF_DIR)/perfdiff.md"
+	mkdir -p $(PERFDIFF_DIR)/zipf
+	$(GO) run ./cmd/genworkload -input A-human -zipf 1.4 -outdir $(PERFDIFF_DIR)/zipf
+	$(GO) run ./cmd/minigiraffe -gbz $(PERFDIFF_DIR)/zipf/A-human.gbz \
+		-seeds $(PERFDIFF_DIR)/zipf/A-human-seeds.bin -threads 4 -stream \
+		-batch 128 -capacity 128 -epoch 512 -obs -slow 16 \
+		-out $(PERFDIFF_DIR)/zipf/out.csv \
+		-series $(PERFDIFF_DIR)/zipf/run.series \
+		-manifest $(PERFDIFF_DIR)/zipf/run-manifest.json
+	$(GO) run ./cmd/obsdiff -baseline results/baseline-zipf -candidate $(PERFDIFF_DIR)/zipf \
+		-report $(PERFDIFF_DIR)/zipf/perfdiff.md $(OBSDIFF_FLAGS)
+	@echo "report: $(PERFDIFF_DIR)/zipf/perfdiff.md"
 
 govulncheck:
 	@if command -v govulncheck >/dev/null 2>&1; then \

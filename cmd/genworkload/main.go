@@ -25,6 +25,7 @@ func main() {
 	log.SetPrefix("genworkload: ")
 	input := flag.String("input", "A-human", "input set: A-human, B-yeast, C-HPRC, D-HPRC")
 	scale := flag.Float64("scale", 1.0, "read-count scale factor")
+	zipf := flag.Float64("zipf", 0, "zipf skew of read start positions (>1; 0 = uniform, byte-identical to historical output)")
 	outdir := flag.String("outdir", ".", "output directory")
 	flag.Parse()
 
@@ -33,8 +34,9 @@ func main() {
 		log.Fatal(err)
 	}
 	spec = spec.Scaled(*scale)
-	fmt.Printf("generating %s: %d reads (%s), reference %d bp, %d haplotypes\n",
-		spec.Name, spec.Reads, spec.Workflow, spec.RefLen, spec.Haplotypes)
+	spec.ZipfS = *zipf
+	fmt.Printf("generating %s: %d reads (%s), reference %d bp, %d haplotypes, zipf %g\n",
+		spec.Name, spec.Reads, spec.Workflow, spec.RefLen, spec.Haplotypes, spec.ZipfS)
 	b, err := workload.Generate(spec)
 	if err != nil {
 		log.Fatal(err)

@@ -55,7 +55,8 @@ func main() {
 	addr := flag.String("addr", "localhost:8765", "serve address")
 	threads := flag.Int("threads", 0, "map-worker threads (0 = all CPUs)")
 	batch := flag.Int("batch", 512, "sub-batch size a request is split into (per-batch CachedGBWT lifetime)")
-	capacity := flag.Int("capacity", 256, "initial CachedGBWT capacity (-1 disables caching)")
+	capacity := flag.Int("capacity", 256, "initial CachedGBWT capacity (-1 disables caching); with -epoch, sizes the per-worker overflow layer")
+	epoch := flag.Int("epoch", 0, "epoch-published shared cache capacity per GBWT direction (0 = per-batch rebuilds)")
 	schedName := flag.String("sched", "dynamic", "scheduler: dynamic, work-stealing, static")
 	depth := flag.Int("depth", 0, "mapping queue bound in sub-batches (admission control; 0 = 2x threads)")
 	perClient := flag.Int("per-client", 4, "max in-flight requests per client")
@@ -109,6 +110,7 @@ func main() {
 		Threads:       workers,
 		BatchSize:     *batch,
 		CacheCapacity: *capacity,
+		EpochCapacity: *epoch,
 		Scheduler:     kind,
 		Obs:           reg,
 		Slow:          slow,

@@ -52,7 +52,8 @@ func main() {
 	fastqPath := flag.String("fastq", "", "stream directly from these FASTQ reads, extracting seeds on the fly (implies -stream)")
 	threads := flag.Int("threads", 0, "worker threads (0 = all CPUs)")
 	batch := flag.Int("batch", 512, "batch size")
-	capacity := flag.Int("capacity", 256, "initial CachedGBWT capacity (-1 disables caching)")
+	capacity := flag.Int("capacity", 256, "initial CachedGBWT capacity (-1 disables caching); with -epoch, sizes the per-worker overflow layer")
+	epoch := flag.Int("epoch", 0, "epoch-published shared cache capacity per GBWT direction (0 = per-batch rebuilds, the paper's discipline)")
 	schedName := flag.String("sched", "dynamic", "scheduler: dynamic, work-stealing, static")
 	stream := flag.Bool("stream", false, "stream records through the pipeline (bounded memory)")
 	depth := flag.Int("depth", 0, "stream mode: max in-flight batches (0 = 2x threads)")
@@ -163,6 +164,7 @@ func main() {
 		Threads:       *threads,
 		BatchSize:     *batch,
 		CacheCapacity: *capacity,
+		EpochCapacity: *epoch,
 		Scheduler:     kind,
 		Trace:         rec,
 		Obs:           reg,
@@ -272,11 +274,11 @@ func runBatch(f *gbz.File, seedsPath string, w *os.File, opts core.Options) {
 		total += len(exts)
 	}
 	fmt.Fprintf(os.Stderr,
-		"makespan %v: %d reads, %d extensions, scheduler %s, cache hits %d/%d (%.1f%%), %d rehashes, imbalance %.2f\n",
+		"makespan %v: %d reads, %d extensions, scheduler %s, cache hits %d/%d (%.1f%%, %d shared), %d rehashes, imbalance %.2f\n",
 		res.Makespan, len(recs), total, opts.Scheduler,
-		res.Cache.Hits, res.Cache.Accesses,
-		100*float64(res.Cache.Hits)/float64(max64(res.Cache.Accesses, 1)),
-		res.Cache.Rehashes, res.Sched.Imbalance())
+		res.Cache.TotalHits(), res.Cache.Accesses,
+		100*float64(res.Cache.TotalHits())/float64(max64(res.Cache.Accesses, 1)),
+		res.Cache.SharedHits, res.Cache.Rehashes, res.Sched.Imbalance())
 }
 
 // runStream maps the capture file through the streaming pipeline without
@@ -326,11 +328,11 @@ func runPipeline(m *core.Mapper, src pipeline.Source, w *os.File, opts core.Opti
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr,
-		"streamed %d reads in %d batches in %v (%.0f reads/s), scheduler %s, cache hits %d/%d (%.1f%%), %d rehashes, %d steals, imbalance %.2f, batch latency mean %.2fms max %.2fms, ingest mean %.2fms\n",
+		"streamed %d reads in %d batches in %v (%.0f reads/s), scheduler %s, cache hits %d/%d (%.1f%%, %d shared), %d rehashes, %d steals, imbalance %.2f, batch latency mean %.2fms max %.2fms, ingest mean %.2fms\n",
 		st.Reads, st.Batches, st.Makespan, st.Throughput(), opts.Scheduler,
-		st.Cache.Hits, st.Cache.Accesses,
-		100*float64(st.Cache.Hits)/float64(max64(st.Cache.Accesses, 1)),
-		st.Cache.Rehashes, st.Sched.Steals, st.Sched.Imbalance(),
+		st.Cache.TotalHits(), st.Cache.Accesses,
+		100*float64(st.Cache.TotalHits())/float64(max64(st.Cache.Accesses, 1)),
+		st.Cache.SharedHits, st.Cache.Rehashes, st.Sched.Steals, st.Sched.Imbalance(),
 		1000*st.BatchLatency.Mean, 1000*st.BatchLatency.Max, 1000*st.IngestLatency.Mean)
 }
 

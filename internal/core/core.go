@@ -39,8 +39,17 @@ type Options struct {
 	// BatchSize is the scheduler batch size (default 512, as in Giraffe).
 	BatchSize int
 	// CacheCapacity is each worker's initial CachedGBWT capacity; 0 means
-	// the Giraffe default (256), negative disables caching.
+	// the Giraffe default (256), negative disables caching. Under the epoch
+	// discipline (EpochCapacity > 0) this sizes the per-worker private
+	// overflow layer instead — the same §VII-B knob, applied to snapshot
+	// misses only.
 	CacheCapacity int
+	// EpochCapacity, when > 0, turns on the epoch-published shared cache:
+	// a read-only snapshot of up to EpochCapacity hot records per GBWT
+	// direction that all workers query lock-free, republished at batch
+	// boundaries from access-frequency feedback. 0 (the default) keeps the
+	// paper's rebuild-per-worker-per-batch discipline.
+	EpochCapacity int
 	// Scheduler selects the parallel scheduling policy.
 	Scheduler sched.Kind
 	// Trace records per-region spans when non-nil.
@@ -71,6 +80,9 @@ func (o Options) normalize() Options {
 		o.CacheCapacity = gbwt.DefaultCacheCapacity
 	case o.CacheCapacity < 0:
 		o.CacheCapacity = 0
+	}
+	if o.EpochCapacity < 0 {
+		o.EpochCapacity = 0
 	}
 	return o
 }

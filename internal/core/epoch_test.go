@@ -1,0 +1,85 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gbwt"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// TestEpochRunMatchesRebuild: core.Run output under the epoch discipline is
+// identical to the per-batch-rebuild discipline, and the merged cache stats
+// keep the accounting invariant Hits + SharedHits + Misses == Accesses.
+func TestEpochRunMatchesRebuild(t *testing.T) {
+	spec := workload.BYeast().Scaled(0.004)
+	spec.ZipfS = 1.4
+	b, err := workload.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := b.CaptureSeeds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := core.Run(b.GBZ(), recs, core.Options{Threads: 2, BatchSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.NewMapper(b.GBZ(), core.Options{
+		Threads: 2, BatchSize: 8, CacheCapacity: 16, EpochCapacity: 64,
+		Scheduler: sched.WorkStealing,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.EpochEnabled() {
+		t.Fatal("EpochCapacity did not enable the epoch cache")
+	}
+	// Two passes through one mapper: the first seeds the frequency
+	// feedback and publishes epochs at batch boundaries, the second maps
+	// against a warm snapshot.
+	for pass := 0; pass < 2; pass++ {
+		res, err := m.Run(recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.Extensions, base.Extensions) {
+			t.Fatalf("pass %d: epoch-cache extensions differ from rebuild-per-batch", pass)
+		}
+		c := res.Cache
+		if c.Hits+c.SharedHits+c.Misses != c.Accesses {
+			t.Fatalf("pass %d: hits %d + shared %d + misses %d != accesses %d",
+				pass, c.Hits, c.SharedHits, c.Misses, c.Accesses)
+		}
+		if pass == 1 && c.SharedHits == 0 {
+			t.Error("warm pass never hit the shared snapshot")
+		}
+	}
+}
+
+// TestReaderCacheStatsEpochReader locks the aggregation fix: the epoch
+// discipline's readers must contribute their counters through
+// ReaderCacheStats (the old implementation type-asserted *gbwt.CachedGBWT
+// only and silently dropped anything else).
+func TestReaderCacheStatsEpochReader(t *testing.T) {
+	f, _, _ := fixture(t, 0.02)
+	m, err := core.NewMapper(f, core.Options{CacheCapacity: 16, EpochCapacity: 32, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.NewReader(0)
+	for v := gbwt.NodeID(1); v <= 8; v++ {
+		r.Fwd.Record(v)
+		r.Rev.Record(v)
+	}
+	cs := core.ReaderCacheStats(r)
+	if cs.Accesses == 0 {
+		t.Fatal("epoch reader stats dropped by ReaderCacheStats")
+	}
+	if cs.Hits+cs.SharedHits+cs.Misses != cs.Accesses {
+		t.Fatalf("invariant broken: %+v", cs)
+	}
+}

@@ -24,13 +24,28 @@ type mapperMetrics struct {
 	cluster    *obs.Histogram
 	threshold  *obs.Histogram
 	cacheBuild *obs.Histogram
+
+	// Epoch-cache instrumentation: the off-path publication cost and the
+	// read-side hit split (shared snapshot vs private overflow vs decode).
+	cacheBuildShared *obs.Histogram
+	epochPublishes   *obs.Counter
+	epochResident    *obs.Gauge
+	epochShared      *obs.Counter
+	epochPrivate     *obs.Counter
+	epochDecode      *obs.Counter
 }
 
 func newMapperMetrics(reg *obs.Registry) mapperMetrics {
 	return mapperMetrics{
-		cluster:    reg.Histogram(obs.MetricClusterLatency),
-		threshold:  reg.Histogram(obs.MetricThresholdLatency),
-		cacheBuild: reg.Histogram(obs.MetricCacheBuild),
+		cluster:          reg.Histogram(obs.MetricClusterLatency),
+		threshold:        reg.Histogram(obs.MetricThresholdLatency),
+		cacheBuild:       reg.Histogram(obs.MetricCacheBuild),
+		cacheBuildShared: reg.Histogram(obs.MetricCacheBuildShared),
+		epochPublishes:   reg.Counter(obs.MetricEpochPublishes),
+		epochResident:    reg.Gauge(obs.MetricEpochResident),
+		epochShared:      reg.Counter(obs.MetricEpochSharedHits),
+		epochPrivate:     reg.Counter(obs.MetricEpochPrivateHits),
+		epochDecode:      reg.Counter(obs.MetricEpochDecodeMisses),
 	}
 }
 
@@ -51,6 +66,17 @@ type Mapper struct {
 	// the obs registry, or the slow-read reservoir wants per-region
 	// durations.
 	instr bool
+
+	// shared is the epoch-published shared cache (nil unless
+	// Options.EpochCapacity > 0). It is safe for concurrent use: workers
+	// read pinned immutable snapshots; publication happens at batch
+	// boundaries via TryPublishEpoch.
+	shared *gbwt.SharedBiCache
+	// pendingShared[row] holds the duration of an epoch publication won by
+	// that worker at a batch boundary, picked up (and zeroed) by its next
+	// MapBatchUntil so exemplars can attribute the build to the reads that
+	// ran behind it.
+	pendingShared []atomic.Int64
 }
 
 // NewMapper prepares the indexes from a GBZ file: the graph distance index
@@ -85,7 +111,7 @@ func NewMapperFromIndexes(f *gbz.File, dist *distindex.Index, bi *gbwt.Bidirecti
 		return nil, errors.New("core: nil index")
 	}
 	opts = opts.normalize()
-	return &Mapper{
+	m := &Mapper{
 		file:  f,
 		dist:  dist,
 		bi:    bi,
@@ -93,7 +119,63 @@ func NewMapperFromIndexes(f *gbz.File, dist *distindex.Index, bi *gbwt.Bidirecti
 		met:   newMapperMetrics(opts.Obs),
 		slow:  opts.Slow,
 		instr: opts.Trace != nil || opts.Obs != nil || opts.Slow != nil,
-	}, nil
+	}
+	if opts.EpochCapacity > 0 {
+		// Row count sizes the snapshot's per-worker hit-counter rows and
+		// the publication-attribution slots; out-of-range worker indices
+		// clamp, so a pipeline with more workers than Threads stays
+		// correct (it only shares the last row).
+		rows := opts.Threads
+		if rows <= 0 {
+			rows = defaultThreads()
+		}
+		m.shared = gbwt.NewSharedBi(bi, gbwt.EpochConfig{
+			Capacity: opts.EpochCapacity,
+			Workers:  rows,
+		})
+		m.pendingShared = make([]atomic.Int64, rows)
+	}
+	return m, nil
+}
+
+// EpochEnabled reports whether the mapper runs the epoch-published shared
+// cache discipline.
+func (m *Mapper) EpochEnabled() bool { return m.shared != nil }
+
+// sharedRow clamps a worker index onto the shared cache's row range.
+func (m *Mapper) sharedRow(worker int) int {
+	if worker < 0 {
+		return 0
+	}
+	if worker >= len(m.pendingShared) {
+		return len(m.pendingShared) - 1
+	}
+	return worker
+}
+
+// TryPublishEpoch is the batch-boundary hook of the epoch discipline:
+// callers (pipeline workers, the batch scheduler's callback, the serving
+// session) invoke it after finishing a batch, off the record-mapping hot
+// path. It ticks the epoch clock, and — when this call wins the
+// CAS-elected publication — rebuilds both directions' snapshots from the
+// accumulated access-frequency feedback, records the build cost, and
+// leaves the duration for this worker's next batch to attribute in its
+// exemplars. Returns whether this call published. No-op (false) when the
+// epoch cache is off.
+func (m *Mapper) TryPublishEpoch(worker int) bool {
+	if m.shared == nil {
+		return false
+	}
+	d, ok := m.shared.MaybePublish()
+	if !ok {
+		return false
+	}
+	row := m.sharedRow(worker)
+	m.pendingShared[row].Store(int64(d))
+	m.met.cacheBuildShared.Observe(row, d)
+	m.met.epochPublishes.Inc(row)
+	m.met.epochResident.Set(row, int64(m.shared.Resident()))
+	return true
 }
 
 // Options returns the mapper's normalized run options.
@@ -111,10 +193,18 @@ func (m *Mapper) WithoutProbe() *Mapper {
 	return &c
 }
 
-// NewReader builds a fresh per-batch CachedGBWT pair at the configured
-// initial capacity — Giraffe's per-batch cache lifetime, the mechanism
-// behind the paper's most significant tuning parameter (§VII-B).
-func (m *Mapper) NewReader() gbwt.BiReader { return m.bi.NewBiReader(m.opts.CacheCapacity) }
+// NewReader builds worker's per-batch reader pair. Under the default
+// discipline that is a fresh CachedGBWT pair at the configured initial
+// capacity — Giraffe's per-batch cache lifetime, the mechanism behind the
+// paper's most significant tuning parameter (§VII-B). Under the epoch
+// discipline it pins the current shared snapshots and wraps them with a
+// private overflow pair of the same capacity.
+func (m *Mapper) NewReader(worker int) gbwt.BiReader {
+	if m.shared != nil {
+		return m.shared.NewBiReader(m.sharedRow(worker), m.opts.CacheCapacity)
+	}
+	return m.bi.NewBiReader(m.opts.CacheCapacity)
+}
 
 // MapRecord runs the two critical functions (cluster_seeds and
 // process_until_threshold_c) for one record. index is the record's global
@@ -123,17 +213,18 @@ func (m *Mapper) NewReader() gbwt.BiReader { return m.bi.NewBiReader(m.opts.Cach
 //
 //minigiraffe:hot
 func (m *Mapper) MapRecord(worker int, reader gbwt.BiReader, rec *seeds.ReadSeeds, index int) []extend.Extension {
-	return m.mapRecordSlow(worker, reader, rec, index, 0)
+	return m.mapRecordSlow(worker, reader, rec, index, 0, 0)
 }
 
 // mapRecordSlow is MapRecord plus the slow-read exemplar capture:
 // cacheNanos attributes the caller's per-batch CachedGBWT rebuild to each
-// read it covers. The capture is allocation-free (Exemplar is a value; the
-// reservoir preallocates) and skipped entirely when no reservoir is
-// configured.
+// read it covers, sharedNanos an epoch publication the worker performed at
+// the preceding batch boundary. The capture is allocation-free (Exemplar
+// is a value; the reservoir preallocates) and skipped entirely when no
+// reservoir is configured.
 //
 //minigiraffe:hot
-func (m *Mapper) mapRecordSlow(worker int, reader gbwt.BiReader, rec *seeds.ReadSeeds, index int, cacheNanos int64) []extend.Extension {
+func (m *Mapper) mapRecordSlow(worker int, reader gbwt.BiReader, rec *seeds.ReadSeeds, index int, cacheNanos, sharedNanos int64) []extend.Extension {
 	var t0 time.Time
 	var dc, dt time.Duration
 	if m.instr {
@@ -158,14 +249,15 @@ func (m *Mapper) mapRecordSlow(worker int, reader gbwt.BiReader, rec *seeds.Read
 		m.met.threshold.Observe(worker, dt)
 		if m.slow != nil {
 			m.slow.Offer(worker, obs.Exemplar{
-				Read:            rec.Read.Name,
-				Index:           index,
-				Worker:          worker,
-				Seeds:           len(rec.Seeds),
-				ClusterNanos:    int64(dc),
-				ExtendNanos:     int64(dt),
-				TotalNanos:      int64(dc + dt),
-				CacheBuildNanos: cacheNanos,
+				Read:             rec.Read.Name,
+				Index:            index,
+				Worker:           worker,
+				Seeds:            len(rec.Seeds),
+				ClusterNanos:     int64(dc),
+				ExtendNanos:      int64(dt),
+				TotalNanos:       int64(dc + dt),
+				CacheBuildNanos:  cacheNanos,
+				SharedBuildNanos: sharedNanos,
 			})
 		}
 	}
@@ -197,11 +289,16 @@ func (m *Mapper) MapBatchUntil(worker int, recs []seeds.ReadSeeds, base int, out
 	if m.instr {
 		t0 = time.Now()
 	}
-	reader := m.NewReader()
-	var cacheNanos int64
+	reader := m.NewReader(worker)
+	var cacheNanos, sharedNanos int64
+	if m.shared != nil {
+		sharedNanos = m.pendingShared[m.sharedRow(worker)].Swap(0)
+	}
 	if m.instr {
 		// The per-batch CachedGBWT rebuild is Giraffe's cache lifetime —
 		// the cost the §VII-B capacity parameter trades against hit rate.
+		// Under the epoch discipline this times only the private overflow
+		// construction; the shared build is attributed by TryPublishEpoch.
 		d := time.Since(t0)
 		if m.opts.Trace != nil {
 			m.opts.Trace.Record(worker, trace.RegionCacheBuild, t0, d)
@@ -213,17 +310,30 @@ func (m *Mapper) MapBatchUntil(worker int, recs []seeds.ReadSeeds, base int, out
 		if stop != nil && stop.Load() {
 			break
 		}
-		out[j] = m.mapRecordSlow(worker, reader, &recs[j], base+j, cacheNanos)
+		out[j] = m.mapRecordSlow(worker, reader, &recs[j], base+j, cacheNanos, sharedNanos)
 		mapped++
 	}
-	return ReaderCacheStats(reader), mapped
+	cs = ReaderCacheStats(reader)
+	if m.shared != nil {
+		m.met.epochShared.Add(worker, cs.SharedHits)
+		m.met.epochPrivate.Add(worker, cs.Hits)
+		m.met.epochDecode.Add(worker, cs.Misses)
+	}
+	return cs, mapped
 }
 
+// cacheStatser is any reader layer that can drain its cache counters —
+// CachedGBWT and the epoch discipline's EpochReader both qualify.
+type cacheStatser interface{ Stats() gbwt.CacheStats }
+
 // ReaderCacheStats drains the cache counters of both directions of a
-// BiReader (zero when caching is disabled).
+// BiReader (zero when caching is disabled). It works across cache
+// disciplines: any reader exposing Stats contributes, so shared-epoch and
+// private-only stats merge identically — and since CacheStats.Add is
+// commutative, the per-worker aggregation is order-independent.
 func ReaderCacheStats(r gbwt.BiReader) (s gbwt.CacheStats) {
 	for _, rd := range []gbwt.Reader{r.Fwd, r.Rev} {
-		if c, ok := rd.(*gbwt.CachedGBWT); ok {
+		if c, ok := rd.(cacheStatser); ok {
 			s.Add(c.Stats())
 		}
 	}
@@ -262,6 +372,9 @@ func (m *Mapper) Run(records []seeds.ReadSeeds) (*Result, error) {
 		Obs:       opts.Obs,
 	}, len(records), func(worker, lo, hi int) {
 		cacheStats[worker].Add(run.MapBatch(worker, records[lo:hi], lo, res.Extensions[lo:hi]))
+		// Batch boundary: tick the epoch clock (publishes the next shared
+		// snapshot every interval; no-op without the epoch cache).
+		run.TryPublishEpoch(worker)
 	})
 	if err != nil {
 		return nil, err

@@ -26,19 +26,30 @@ type CachedGBWT struct {
 // models.
 type CacheStats struct {
 	Accesses int64
-	Hits     int64
+	Hits     int64 // private-layer hits
 	Misses   int64 // decompressions
 	Rehashes int64
+	// SharedHits counts hits answered by the shared epoch snapshot
+	// (EpochReader); zero when running per-batch private caches only.
+	// Snapshot hits are counted in Accesses but not in Hits, so
+	// Hits+SharedHits+Misses == Accesses regardless of cache discipline.
+	SharedHits int64
 }
 
 // Add accumulates another cache's counters into s (workers drain their
-// per-batch caches into a per-run aggregate).
+// per-batch caches into a per-run aggregate). Addition is commutative, so
+// merging per-worker stats is order-independent whichever worker finishes
+// first.
 func (s *CacheStats) Add(o CacheStats) {
 	s.Accesses += o.Accesses
 	s.Hits += o.Hits
 	s.Misses += o.Misses
 	s.Rehashes += o.Rehashes
+	s.SharedHits += o.SharedHits
 }
+
+// TotalHits returns hits across both layers (private + shared snapshot).
+func (s CacheStats) TotalHits() int64 { return s.Hits + s.SharedHits }
 
 // DefaultCacheCapacity is Giraffe's default initial CachedGBWT capacity.
 const DefaultCacheCapacity = 256

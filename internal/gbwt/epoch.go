@@ -1,0 +1,433 @@
+package gbwt
+
+// Epoch-published shared record cache.
+//
+// The per-batch CachedGBWT rebuild (Giraffe's cache lifetime, §VII-B) is the
+// single biggest attributed cost in slow-read exemplars: every worker
+// re-decodes the same zipf-hot node records every batch. This file replaces
+// that discipline with a two-layer design borrowed from Doppel's phase-split
+// playbook:
+//
+//   - A SharedCache holds an immutable Snapshot of decoded records that
+//     every worker reads lock-free through an atomic.Pointer. Hot records
+//     survive across batches and across workers.
+//   - Each worker keeps a small private CachedGBWT as an overflow layer for
+//     records missing from the snapshot, preserving the paper's capacity
+//     knob (the overflow is still rebuilt per batch).
+//   - Access-frequency feedback flows off the hot path: overflow *misses*
+//     bump lock-free frequency slots; snapshot *hits* bump per-worker
+//     per-slot counters on the snapshot itself. At batch boundaries a single
+//     builder (CAS-elected) ranks residents + candidates by observed
+//     frequency, decodes the winners, and publishes the next epoch.
+//
+// Immutability invariant: once published, a Snapshot's keys/vals are never
+// written again — readers that pinned an old epoch keep a consistent view
+// until they drop it. The per-worker hit counters are the only mutable cells
+// on a published snapshot; they are atomic, advisory (they only steer the
+// next epoch's ranking), and never affect lookup results. Correctness is
+// cache-independent by construction: every layer returns decoded records of
+// the same underlying GBWT, so mapping output is byte-identical whichever
+// layer answers (the differential harness in internal/giraffe locks this).
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultEpochInterval is the number of batch boundaries between epoch
+// publications when EpochConfig.Interval is unset. Small keeps the snapshot
+// fresh while a CAS guard ensures at most one builder runs at a time.
+const DefaultEpochInterval = 2
+
+// EpochConfig sizes a shared epoch cache.
+type EpochConfig struct {
+	// Capacity is the maximum number of hot records retained per direction
+	// in the published snapshot (a top-K bound, not a table size; the open
+	// addressing table is sized to a power of two above it).
+	Capacity int
+	// Workers is the number of per-worker hit-counter rows; out-of-range
+	// worker indices clamp to the last row. ≤0 means 1.
+	Workers int
+	// Interval is the number of batch boundaries between publications;
+	// ≤0 means DefaultEpochInterval.
+	Interval int
+}
+
+func (c EpochConfig) normalize() EpochConfig {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Interval <= 0 {
+		c.Interval = DefaultEpochInterval
+	}
+	return c
+}
+
+// Snapshot is one published epoch: an immutable open-addressing table of
+// decoded records. Lookup is lock-free and allocation-free; the only mutable
+// state is the advisory per-worker hit counters consumed by the next
+// publish.
+type Snapshot struct {
+	epoch int64
+	// keys stores node+1 so the zero value means empty, as CachedGBWT does.
+	keys []NodeID
+	vals []*DecodedRecord
+	used int
+	// hits is rows × len(keys) atomic counters, row-major per worker, so
+	// concurrent workers never contend on one cache line for the same slot.
+	hits []atomic.Int64
+	rows int
+}
+
+// Epoch returns the snapshot's publication number (0 = the empty seed
+// snapshot that exists before the first publish).
+func (s *Snapshot) Epoch() int64 { return s.epoch }
+
+// Len returns the number of resident records.
+func (s *Snapshot) Len() int { return s.used }
+
+// lookup probes the immutable table. The second result is the slot index
+// for hit accounting; it is meaningless when the record is nil.
+//
+//minigiraffe:hot
+func (s *Snapshot) lookup(v NodeID) (*DecodedRecord, int32) {
+	if len(s.keys) == 0 {
+		return nil, 0
+	}
+	key := v + 1
+	mask := uint32(len(s.keys) - 1)
+	i := (uint32(v) * 2654435761) & mask
+	for s.keys[i] != 0 {
+		if s.keys[i] == key {
+			return s.vals[i], int32(i)
+		}
+		i = (i + 1) & mask
+	}
+	return nil, 0
+}
+
+// hit bumps the worker-row counter of a resident slot — one uncontended
+// atomic add; rows keep workers off each other's cache lines.
+//
+//minigiraffe:hot
+func (s *Snapshot) hit(row int, slot int32) {
+	s.hits[row*len(s.keys)+int(slot)].Add(1)
+}
+
+// slotHits sums a slot's hit counters across all worker rows.
+func (s *Snapshot) slotHits(slot int) int64 {
+	var n int64
+	for r := 0; r < s.rows; r++ {
+		n += s.hits[r*len(s.keys)+slot].Load()
+	}
+	return n
+}
+
+// SharedCache is the epoch-published shared record cache of one GBWT
+// direction: the current Snapshot plus the miss-frequency feedback the next
+// epoch is built from.
+type SharedCache struct {
+	g   *GBWT
+	cfg EpochConfig
+
+	cur atomic.Pointer[Snapshot]
+
+	// Feedback slots: a lock-free Misra-Gries-style frequency sketch fed by
+	// overflow misses. slotNode stores node+1 (0 = empty); collisions decay
+	// the incumbent and eventually take the slot over. Races only blur
+	// counts — the sketch is advisory.
+	slotNode  []atomic.Uint64
+	slotCount []atomic.Int64
+
+	building  atomic.Bool
+	publishes atomic.Int64
+}
+
+// NewShared builds a shared epoch cache over g. The initial snapshot is
+// empty: every access overflows into the private layer (and feeds the
+// frequency sketch) until the first publish.
+func NewShared(g *GBWT, cfg EpochConfig) *SharedCache {
+	cfg = cfg.normalize()
+	if cfg.Capacity < 1 {
+		cfg.Capacity = 1
+	}
+	// 4× capacity slots keep the sketch's collision rate low without
+	// tracking exact per-node counts.
+	slots := pow2ceil(4 * cfg.Capacity)
+	c := &SharedCache{
+		g:         g,
+		cfg:       cfg,
+		slotNode:  make([]atomic.Uint64, slots),
+		slotCount: make([]atomic.Int64, slots),
+	}
+	c.cur.Store(&Snapshot{rows: cfg.Workers})
+	return c
+}
+
+// Base returns the underlying GBWT.
+func (c *SharedCache) Base() *GBWT { return c.g }
+
+// Current returns the live snapshot (readers should pin it once per batch
+// via NewReader instead of loading per access).
+func (c *SharedCache) Current() *Snapshot { return c.cur.Load() }
+
+// Publishes returns how many epochs have been published.
+func (c *SharedCache) Publishes() int64 { return c.publishes.Load() }
+
+// Resident returns the record count of the live snapshot.
+func (c *SharedCache) Resident() int { return c.cur.Load().used }
+
+// note feeds one overflow miss into the frequency sketch: lock-free,
+// allocation-free, tolerant of racing writers.
+//
+//minigiraffe:hot
+func (c *SharedCache) note(v NodeID) {
+	mask := uint32(len(c.slotNode) - 1)
+	h := (uint32(v) * 2654435761) & mask
+	key := uint64(v) + 1
+	n := c.slotNode[h].Load()
+	switch {
+	case n == key:
+		c.slotCount[h].Add(1)
+	case n == 0 && c.slotNode[h].CompareAndSwap(0, key):
+		c.slotCount[h].Add(1)
+	default:
+		// Collision: decay the incumbent; once drained, take the slot over.
+		if c.slotCount[h].Add(-1) <= 0 {
+			c.slotNode[h].Store(key)
+			c.slotCount[h].Store(1)
+		}
+	}
+}
+
+// Publish builds and publishes the next epoch from the drained frequency
+// sketch plus the current residents ranked by their observed hits. At most
+// one publisher runs at a time; a concurrent call returns false without
+// blocking. Publish is the builder's entry point — it is deliberately off
+// the mapping hot path (batch boundaries only).
+func (c *SharedCache) Publish() bool {
+	if !c.building.CompareAndSwap(false, true) {
+		return false
+	}
+	defer c.building.Store(false)
+	old := c.cur.Load()
+
+	type cand struct {
+		node  NodeID
+		count int64
+	}
+	cands := make([]cand, 0, len(c.slotNode)+old.used)
+	// Drain the sketch: candidates that missed the current snapshot.
+	for i := range c.slotNode {
+		n := c.slotNode[i].Swap(0)
+		cnt := c.slotCount[i].Swap(0)
+		if n == 0 || cnt <= 0 {
+			continue
+		}
+		cands = append(cands, cand{node: NodeID(n - 1), count: cnt})
+	}
+	// Current residents, ranked by this epoch's hit counters: entries that
+	// kept hitting stay; entries nobody touched age out against fresh
+	// candidates.
+	for i, k := range old.keys {
+		if k == 0 {
+			continue
+		}
+		cands = append(cands, cand{node: k - 1, count: old.slotHits(i)})
+	}
+	// A node can appear as both resident and sketch candidate (a reader
+	// pinned to an older epoch missed it); merge counts deterministically.
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].node != cands[b].node {
+			return cands[a].node < cands[b].node
+		}
+		return cands[a].count > cands[b].count
+	})
+	merged := cands[:0]
+	for _, cd := range cands {
+		if n := len(merged); n > 0 && merged[n-1].node == cd.node {
+			merged[n-1].count += cd.count
+			continue
+		}
+		merged = append(merged, cd)
+	}
+	// Rank by frequency, ties by node id so equal-frequency publishes are
+	// deterministic within a run.
+	sort.Slice(merged, func(a, b int) bool {
+		if merged[a].count != merged[b].count {
+			return merged[a].count > merged[b].count
+		}
+		return merged[a].node < merged[b].node
+	})
+	if len(merged) > c.cfg.Capacity {
+		merged = merged[:c.cfg.Capacity]
+	}
+
+	snap := &Snapshot{epoch: old.epoch + 1, rows: c.cfg.Workers}
+	if len(merged) > 0 {
+		size := pow2ceil(2 * len(merged))
+		snap.keys = make([]NodeID, size)
+		snap.vals = make([]*DecodedRecord, size)
+		snap.hits = make([]atomic.Int64, c.cfg.Workers*size)
+		mask := uint32(size - 1)
+		for _, cd := range merged {
+			rec := c.g.Record(cd.node)
+			if rec == nil {
+				continue // unvisited node noted by a stale sketch entry
+			}
+			i := (uint32(cd.node) * 2654435761) & mask
+			for snap.keys[i] != 0 {
+				i = (i + 1) & mask
+			}
+			snap.keys[i] = cd.node + 1
+			snap.vals[i] = rec
+			snap.used++
+		}
+	}
+	c.cur.Store(snap)
+	c.publishes.Add(1)
+	return true
+}
+
+// EpochReader reads snapshot-first with a private CachedGBWT overflow — the
+// per-worker, per-batch reader of the epoch discipline. Not safe for
+// concurrent use (the overflow layer is private); each worker builds its own
+// per batch, which pins one snapshot for the whole batch.
+type EpochReader struct {
+	c    *SharedCache
+	snap *Snapshot
+	over *CachedGBWT
+	row  int
+
+	sharedHits int64
+}
+
+// NewReader pins the current snapshot and wraps it with a fresh private
+// overflow cache of the given capacity (the §VII-B knob; 0 disables the
+// overflow layer so every snapshot miss decompresses).
+func (c *SharedCache) NewReader(worker, overflowCapacity int) *EpochReader {
+	row := worker
+	if row < 0 {
+		row = 0
+	}
+	if row >= c.cfg.Workers {
+		row = c.cfg.Workers - 1
+	}
+	return &EpochReader{
+		c:    c,
+		snap: c.cur.Load(),
+		over: NewCached(c.g, overflowCapacity),
+		row:  row,
+	}
+}
+
+// Base implements Reader.
+func (r *EpochReader) Base() *GBWT { return r.c.g }
+
+// Snapshot returns the epoch pinned by this reader.
+func (r *EpochReader) Snapshot() *Snapshot { return r.snap }
+
+// Record implements Reader: snapshot hit (lock-free, zero-alloc) → private
+// overflow → decode. Overflow decodes feed the frequency sketch so the next
+// epoch learns what this one was missing.
+//
+//minigiraffe:hot
+func (r *EpochReader) Record(v NodeID) *DecodedRecord {
+	if rec, slot := r.snap.lookup(v); rec != nil {
+		r.sharedHits++
+		r.snap.hit(r.row, slot)
+		return rec
+	}
+	m0 := r.over.stats.Misses
+	rec := r.over.Record(v)
+	if rec != nil && r.over.stats.Misses != m0 {
+		r.c.note(v)
+	}
+	return rec
+}
+
+// Extend advances a search state through the reader.
+func (r *EpochReader) Extend(s SearchState, to NodeID) SearchState {
+	return ExtendWith(r, s, to)
+}
+
+// Find searches for a node path through the reader.
+func (r *EpochReader) Find(path []NodeID) SearchState { return FindWith(r, path) }
+
+// Stats drains the reader's counters: snapshot hits count as accesses (and
+// as SharedHits), the private overflow contributes its usual hit/miss/rehash
+// split.
+func (r *EpochReader) Stats() CacheStats {
+	s := r.over.Stats()
+	s.Accesses += r.sharedHits
+	s.SharedHits = r.sharedHits
+	return s
+}
+
+// SharedBiCache pairs one SharedCache per direction of a bidirectional
+// index and owns the epoch clock: batch boundaries tick it, and every
+// Interval ticks one caller (CAS-elected) publishes both directions.
+type SharedBiCache struct {
+	Fwd, Rev *SharedCache
+
+	interval int64
+	batches  atomic.Int64
+	building atomic.Bool
+}
+
+// NewSharedBi builds shared epoch caches over both directions of b.
+func NewSharedBi(b *Bidirectional, cfg EpochConfig) *SharedBiCache {
+	cfg = cfg.normalize()
+	return &SharedBiCache{
+		Fwd:      NewShared(b.Forward(), cfg),
+		Rev:      NewShared(b.Reverse(), cfg),
+		interval: int64(cfg.Interval),
+	}
+}
+
+// NewBiReader builds the per-worker epoch reader pair, pinning the current
+// snapshots and wrapping them with private overflow caches of the given
+// capacity.
+func (s *SharedBiCache) NewBiReader(worker, overflowCapacity int) BiReader {
+	return BiReader{
+		Fwd: s.Fwd.NewReader(worker, overflowCapacity),
+		Rev: s.Rev.NewReader(worker, overflowCapacity),
+	}
+}
+
+// MaybePublish is the batch-boundary hook: it ticks the epoch clock and,
+// every Interval ticks, publishes the next epoch of both directions in the
+// calling goroutine (off the record-mapping hot path). The build duration is
+// returned to whoever won the publication so the cost can be attributed;
+// everyone else returns false immediately.
+func (s *SharedBiCache) MaybePublish() (time.Duration, bool) {
+	if s.batches.Add(1) < s.interval {
+		return 0, false
+	}
+	if !s.building.CompareAndSwap(false, true) {
+		return 0, false
+	}
+	defer s.building.Store(false)
+	s.batches.Store(0)
+	t0 := time.Now()
+	s.Fwd.Publish()
+	s.Rev.Publish()
+	return time.Since(t0), true
+}
+
+// Publishes returns the forward direction's epoch count (both directions
+// publish together).
+func (s *SharedBiCache) Publishes() int64 { return s.Fwd.Publishes() }
+
+// Resident returns the total records resident across both directions.
+func (s *SharedBiCache) Resident() int { return s.Fwd.Resident() + s.Rev.Resident() }
+
+// pow2ceil rounds n up to the next power of two (minimum 1).
+func pow2ceil(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

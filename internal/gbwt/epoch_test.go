@@ -1,0 +1,354 @@
+package gbwt
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// epochPaths is a larger path set than the diamond fixture so the frequency
+// ranking has something to discriminate: node 1 is on every path, the mid
+// nodes split the haplotypes.
+func epochPaths() [][]NodeID {
+	paths := make([][]NodeID, 0, 16)
+	for i := 0; i < 16; i++ {
+		p := []NodeID{1}
+		if i%2 == 0 {
+			p = append(p, 2)
+		} else {
+			p = append(p, 3)
+		}
+		p = append(p, 4)
+		if i%4 < 2 {
+			p = append(p, 5)
+		} else {
+			p = append(p, 6)
+		}
+		p = append(p, 7, NodeID(8+i%5))
+		paths = append(paths, p)
+	}
+	return paths
+}
+
+// allNodes lists every node id visited by epochPaths.
+func allNodes() []NodeID {
+	return []NodeID{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+}
+
+// TestEpochReaderEquivalence locks the correctness-by-construction claim:
+// whichever layer answers (snapshot, overflow, or raw decode), the record
+// contents are identical to a fresh GBWT decode — across several epochs and
+// feedback states.
+func TestEpochReaderEquivalence(t *testing.T) {
+	g := mustGBWT(t, epochPaths())
+	c := NewShared(g, EpochConfig{Capacity: 4, Workers: 2})
+	for round := 0; round < 5; round++ {
+		r := c.NewReader(round%2, 8)
+		for _, v := range allNodes() {
+			want := g.Record(v)
+			got := r.Record(v)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d node %d: record mismatch", round, v)
+			}
+			// Snapshot hits serve a shared pointer; re-reading must return
+			// the same contents.
+			if again := r.Record(v); !reflect.DeepEqual(again, want) {
+				t.Fatalf("round %d node %d: re-read mismatch", round, v)
+			}
+		}
+		if !c.Publish() {
+			t.Fatalf("round %d: publish refused", round)
+		}
+	}
+	if got := c.Current().Epoch(); got != 5 {
+		t.Errorf("epoch = %d, want 5", got)
+	}
+	if c.Resident() == 0 {
+		t.Error("no residents after 5 epochs of feedback")
+	}
+	if c.Resident() > 4 {
+		t.Errorf("resident %d exceeds capacity 4", c.Resident())
+	}
+}
+
+// TestEpochReaderUnvisitedNode: nodes outside the GBWT return nil through
+// every layer and never poison the snapshot.
+func TestEpochReaderUnvisitedNode(t *testing.T) {
+	g := mustGBWT(t, epochPaths())
+	c := NewShared(g, EpochConfig{Capacity: 4})
+	r := c.NewReader(0, 4)
+	if rec := r.Record(999); rec != nil {
+		t.Fatal("unvisited node returned a record")
+	}
+	c.Publish()
+	for i, k := range c.Current().keys {
+		if k == NodeID(999)+1 {
+			t.Fatalf("unvisited node resident at slot %d", i)
+		}
+	}
+}
+
+// TestSharedCachePublishRanking: the builder keeps the hottest nodes when
+// feedback exceeds capacity, and hit-less residents age out against fresh
+// candidates.
+func TestSharedCachePublishRanking(t *testing.T) {
+	g := mustGBWT(t, epochPaths())
+	c := NewShared(g, EpochConfig{Capacity: 2, Workers: 1})
+	// Feedback: node 1 hottest, node 4 second, node 7 cold.
+	for i := 0; i < 100; i++ {
+		c.note(1)
+	}
+	for i := 0; i < 50; i++ {
+		c.note(4)
+	}
+	c.note(7)
+	if !c.Publish() {
+		t.Fatal("publish refused")
+	}
+	snap := c.Current()
+	if snap.Len() != 2 {
+		t.Fatalf("resident %d, want capacity 2", snap.Len())
+	}
+	for _, v := range []NodeID{1, 4} {
+		if rec, _ := snap.lookup(v); rec == nil {
+			t.Errorf("hot node %d not resident", v)
+		}
+	}
+	if rec, _ := snap.lookup(7); rec != nil {
+		t.Error("cold node 7 resident over hotter candidates")
+	}
+
+	// Next epoch: node 1 keeps hitting through a reader, node 4 goes idle
+	// while nodes 2 and 3 flood the feedback. Node 1 must survive.
+	r := c.NewReader(0, 0)
+	for i := 0; i < 100; i++ {
+		r.Record(1)
+	}
+	for i := 0; i < 60; i++ {
+		c.note(2)
+		c.note(3)
+	}
+	if !c.Publish() {
+		t.Fatal("second publish refused")
+	}
+	snap = c.Current()
+	if rec, _ := snap.lookup(1); rec == nil {
+		t.Error("hit-heavy resident 1 evicted by feedback flood")
+	}
+	if rec, _ := snap.lookup(4); rec != nil {
+		t.Error("idle resident 4 survived over hotter candidates")
+	}
+}
+
+// TestEpochReaderOverflowFeedback: a snapshot miss that decodes through the
+// overflow layer feeds the sketch, so the next epoch adopts the node.
+func TestEpochReaderOverflowFeedback(t *testing.T) {
+	g := mustGBWT(t, epochPaths())
+	c := NewShared(g, EpochConfig{Capacity: 8})
+	r := c.NewReader(0, 4)
+	r.Record(5)
+	r.Record(5) // second access hits the private overflow: no new feedback
+	st := r.Stats()
+	if st.SharedHits != 0 || st.Hits != 1 || st.Misses != 1 || st.Accesses != 2 {
+		t.Fatalf("pre-publish stats = %+v", st)
+	}
+	c.Publish()
+	if rec, _ := c.Current().lookup(5); rec == nil {
+		t.Fatal("missed node not adopted by next epoch")
+	}
+	r2 := c.NewReader(0, 4)
+	r2.Record(5)
+	st2 := r2.Stats()
+	if st2.SharedHits != 1 || st2.Accesses != 1 || st2.Hits != 0 || st2.Misses != 0 {
+		t.Fatalf("post-publish stats = %+v", st2)
+	}
+}
+
+// TestEpochStatsInvariant: Hits+SharedHits+Misses == Accesses under a mixed
+// access pattern, and the merged aggregate is order-independent however the
+// per-worker stats arrive.
+func TestEpochStatsInvariant(t *testing.T) {
+	g := mustGBWT(t, epochPaths())
+	c := NewShared(g, EpochConfig{Capacity: 4, Workers: 3})
+	// Warm the snapshot.
+	w := c.NewReader(0, 8)
+	for _, v := range allNodes() {
+		w.Record(v)
+	}
+	c.Publish()
+
+	rng := rand.New(rand.NewSource(42))
+	nodes := allNodes()
+	parts := make([]CacheStats, 3)
+	for i := range parts {
+		r := c.NewReader(i, 2)
+		for j := 0; j < 200; j++ {
+			r.Record(nodes[rng.Intn(len(nodes))])
+		}
+		parts[i] = r.Stats()
+		if got := parts[i].Hits + parts[i].SharedHits + parts[i].Misses; got != parts[i].Accesses {
+			t.Fatalf("worker %d: hits %d + shared %d + misses %d != accesses %d",
+				i, parts[i].Hits, parts[i].SharedHits, parts[i].Misses, parts[i].Accesses)
+		}
+		if parts[i].SharedHits == 0 {
+			t.Fatalf("worker %d: no shared hits against a warm snapshot", i)
+		}
+	}
+	perms := [][]int{{0, 1, 2}, {2, 1, 0}, {1, 2, 0}, {2, 0, 1}}
+	var want CacheStats
+	for _, i := range perms[0] {
+		want.Add(parts[i])
+	}
+	for _, p := range perms[1:] {
+		var got CacheStats
+		for _, i := range p {
+			got.Add(parts[i])
+		}
+		if got != want {
+			t.Fatalf("order %v: merged stats %+v != %+v", p, got, want)
+		}
+	}
+	if want.TotalHits() != want.Hits+want.SharedHits {
+		t.Fatalf("TotalHits %d != %d + %d", want.TotalHits(), want.Hits, want.SharedHits)
+	}
+}
+
+// TestSnapshotHitZeroAlloc asserts the lock-free snapshot hit path never
+// allocates: the property the hotpath/escapebudget analyzers police
+// statically, verified dynamically here.
+func TestSnapshotHitZeroAlloc(t *testing.T) {
+	g := mustGBWT(t, epochPaths())
+	c := NewShared(g, EpochConfig{Capacity: 4})
+	c.note(1)
+	c.note(4)
+	c.Publish()
+	r := c.NewReader(0, 0) // no overflow layer: every access is snapshot-or-decode
+	if rec, _ := r.snap.lookup(1); rec == nil {
+		t.Fatal("node 1 not resident; cannot measure the hit path")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if r.Record(1) == nil {
+			t.Fatal("hit path returned nil")
+		}
+		r.Record(4)
+	})
+	if allocs != 0 {
+		t.Errorf("snapshot hit path allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestSharedBiCacheInterval: MaybePublish honours the batch interval and
+// publishes both directions together.
+func TestSharedBiCacheInterval(t *testing.T) {
+	paths := epochPaths()
+	fwd := mustGBWT(t, paths)
+	bi, err := FromForward(fwd, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSharedBi(bi, EpochConfig{Capacity: 4, Interval: 3})
+	r := s.NewBiReader(0, 8)
+	for _, v := range allNodes() {
+		r.Fwd.(*EpochReader).Record(v)
+		r.Rev.(*EpochReader).Record(v)
+	}
+	for tick := 1; tick <= 6; tick++ {
+		_, published := s.MaybePublish()
+		if want := tick%3 == 0; published != want {
+			t.Fatalf("tick %d: published = %v, want %v", tick, published, want)
+		}
+	}
+	if s.Publishes() != 2 {
+		t.Fatalf("publishes = %d, want 2", s.Publishes())
+	}
+	if s.Fwd.Resident() == 0 || s.Rev.Resident() == 0 {
+		t.Fatal("a direction has no residents after publication")
+	}
+}
+
+// TestEpochRace is the publish/read stress test: readers hammer snapshot
+// lookups (pinning fresh snapshots every "batch") while a builder
+// republishes concurrently and every goroutine feeds the frequency sketch.
+// Run under -race this exercises the immutability invariant — published
+// tables are never written, the atomic.Pointer swap is the only handoff.
+func TestEpochRace(t *testing.T) {
+	g := mustGBWT(t, epochPaths())
+	c := NewShared(g, EpochConfig{Capacity: 4, Workers: 4})
+	want := make(map[NodeID]*DecodedRecord)
+	for _, v := range allNodes() {
+		want[v] = g.Record(v)
+	}
+	var stopFlag atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(worker)))
+			nodes := allNodes()
+			for !stopFlag.Load() {
+				r := c.NewReader(worker, 2) // fresh batch: pin the live snapshot
+				for j := 0; j < 64; j++ {
+					v := nodes[rng.Intn(len(nodes))]
+					if got := r.Record(v); !reflect.DeepEqual(got, want[v]) {
+						select {
+						case errs <- "record mismatch under concurrent publish":
+						default:
+						}
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			c.Publish()
+		}
+		stopFlag.Store(true)
+	}()
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+	if c.Publishes() != 200 {
+		t.Fatalf("publishes = %d, want 200", c.Publishes())
+	}
+}
+
+// TestPublishExclusion: concurrent Publish calls are CAS-elected — exactly
+// one wins per round, nobody blocks.
+func TestPublishExclusion(t *testing.T) {
+	g := mustGBWT(t, epochPaths())
+	c := NewShared(g, EpochConfig{Capacity: 4})
+	c.note(1)
+	const callers = 8
+	var published atomic.Int64
+	var start, done sync.WaitGroup
+	start.Add(1)
+	for i := 0; i < callers; i++ {
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			start.Wait()
+			if c.Publish() {
+				published.Add(1)
+			}
+		}()
+	}
+	start.Done()
+	done.Wait()
+	if published.Load() < 1 {
+		t.Fatal("no caller published")
+	}
+	if got := c.Publishes(); got != published.Load() {
+		t.Fatalf("publish count %d != winners %d", got, published.Load())
+	}
+}

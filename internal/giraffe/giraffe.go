@@ -40,8 +40,12 @@ type Options struct {
 	// default).
 	BatchSize int
 	// CacheCapacity is each worker's initial CachedGBWT capacity; 0 uses
-	// the Giraffe default (256). Negative disables caching.
+	// the Giraffe default (256). Negative disables caching. Under the epoch
+	// discipline (EpochCapacity > 0) it sizes the private overflow layer.
 	CacheCapacity int
+	// EpochCapacity, when > 0, enables the epoch-published shared cache
+	// (see core.Options.EpochCapacity); 0 keeps per-batch rebuilds.
+	EpochCapacity int
 	// Trace records per-region spans when non-nil.
 	Trace *trace.Recorder
 	// Probe drives the hardware-counter model; only honoured when
@@ -151,7 +155,9 @@ func Map(ix *Indexes, reads []dna.Read, opts Options) (*Result, error) {
 	// core.Options shares giraffe's pre-normalize capacity convention
 	// (0 = default, negative = disabled), so pass the raw value through.
 	mapper, err := core.NewMapperFromIndexes(ix.File, ix.Dist, ix.Bi, core.Options{
+		Threads:       opts.Threads,
 		CacheCapacity: rawCapacity,
+		EpochCapacity: opts.EpochCapacity,
 		Trace:         opts.Trace,
 		Probe:         opts.Probe,
 		Extend:        opts.Extend,
@@ -215,7 +221,7 @@ func Map(ix *Indexes, reads []dna.Read, opts Options) (*Result, error) {
 	}
 
 	start := time.Now()
-	runVGScheduler(len(reads), opts, mapper.NewReader, processRead)
+	runVGScheduler(len(reads), opts, mapper.NewReader, processRead, mapper.TryPublishEpoch)
 	res.Makespan = time.Since(start)
 	if firstErr != nil {
 		return nil, firstErr
@@ -269,15 +275,20 @@ func postprocess(read *dna.Read, exts []extend.Extension) Alignment {
 // runVGScheduler reproduces VG's batch scheduler (§IV-A): the main thread
 // slices reads into batches and hands them to worker goroutines; when every
 // worker is busy (the dispatch channel would block), the main thread
-// processes the batch itself. Every batch is processed with a fresh
-// CachedGBWT from newReader, matching Giraffe's per-batch cache lifetime.
-func runVGScheduler(n int, opts Options, newReader func() gbwt.BiReader, fn func(worker, index int, reader gbwt.BiReader)) {
+// processes the batch itself. Every batch is processed with a fresh reader
+// from newReader (a per-batch CachedGBWT, or a pinned epoch snapshot plus
+// overflow), matching Giraffe's per-batch cache lifetime; endBatch runs at
+// each batch boundary (the epoch publication point).
+func runVGScheduler(n int, opts Options, newReader func(worker int) gbwt.BiReader, fn func(worker, index int, reader gbwt.BiReader), endBatch func(worker int) bool) {
 	type batch struct{ start, end int }
 	workers := opts.Threads - 1
 	runBatch := func(worker int, b batch) {
-		reader := newReader()
+		reader := newReader(worker)
 		for i := b.start; i < b.end; i++ {
 			fn(worker, i, reader)
+		}
+		if endBatch != nil {
+			endBatch(worker)
 		}
 	}
 	// One queue slot per worker models VG's busy-worker tracking: a send

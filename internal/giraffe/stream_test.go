@@ -2,6 +2,7 @@ package giraffe
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"path/filepath"
 	"reflect"
@@ -73,14 +74,23 @@ func TestExtractSourceMatchesCapture(t *testing.T) {
 }
 
 // TestDifferentialCSV is the differential harness of the PR: the same
-// workload mapped three ways — (a) the batch core.Mapper, (b) the pipeline
+// workload mapped five ways — (a) the batch core.Mapper, (b) the pipeline
 // over a captured-seed file, (c) the pipeline over the streaming
-// ExtractSource with no capture file on disk — must produce byte-identical
-// CSV output, on both synthetic workloads.
+// ExtractSource with no capture file on disk, (d) the pipeline under the
+// epoch-published shared cache, and (e) the serving pipeline.Session under
+// the epoch cache — must produce byte-identical CSV output, on uniform and
+// zipf-skewed workloads. Legs (d) and (e) are the lock on the epoch
+// discipline: hot records answered from a shared snapshot built
+// concurrently with mapping must not change a single output byte, on
+// either the batch or the serve path.
 func TestDifferentialCSV(t *testing.T) {
+	zipf := workload.BYeast().Scaled(0.004)
+	zipf.Name = "B-yeast-zipf"
+	zipf.ZipfS = 1.4
 	specs := []workload.Spec{
 		workload.AHuman().Scaled(0.04),
 		workload.BYeast().Scaled(0.004),
+		zipf,
 	}
 	for _, spec := range specs {
 		t.Run(spec.Name, func(t *testing.T) {
@@ -136,11 +146,82 @@ func TestDifferentialCSV(t *testing.T) {
 				t.Fatal(err)
 			}
 
+			// (d) Pipeline under the epoch-published shared cache: a tiny
+			// private overflow (16) forces most traffic through the shared
+			// snapshot, and BatchSize 8 over 3 workers republishes many
+			// times mid-run.
+			epochM, err := core.NewMapper(b.GBZ(), core.Options{
+				Threads: 3, CacheCapacity: 16, EpochCapacity: 64,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			epochSrc, err := seeds.Open(capPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer epochSrc.Close()
+			var epochCSV bytes.Buffer
+			if _, err := pipeline.RunToCSV(epochM, epochSrc, &epochCSV, pipeline.Options{
+				Workers: 3, BatchSize: 8, Scheduler: sched.WorkStealing,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if !epochM.EpochEnabled() {
+				t.Fatal("epoch cache not enabled on the epoch leg")
+			}
+
+			// (e) Serving path: pipeline.Session over the same epoch mapper
+			// configuration. Submit returns results in request order, so
+			// the CSV assembles identically.
+			servM, err := core.NewMapper(b.GBZ(), core.Options{
+				Threads: 3, CacheCapacity: 16, EpochCapacity: 64,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sess, err := pipeline.NewSession(servM, pipeline.Options{
+				Workers: 3, BatchSize: 8, Depth: 64, Scheduler: sched.Dynamic,
+			}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sess.Close()
+			// Two requests over the same records: the first seeds the
+			// frequency feedback, the second maps against a warm snapshot —
+			// both must be byte-identical to the batch output, and the
+			// second proves the snapshot actually serves across requests.
+			if _, err := sess.Submit(context.Background(), recs); err != nil {
+				t.Fatal(err)
+			}
+			exts, err := sess.Submit(context.Background(), recs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var serveCSV bytes.Buffer
+			if err := core.WriteCSVHeader(&serveCSV); err != nil {
+				t.Fatal(err)
+			}
+			for i := range recs {
+				if err := core.WriteCSVRecord(&serveCSV, &recs[i], exts[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if cs := sess.CacheStats(); cs.SharedHits == 0 {
+				t.Error("serve leg never hit the shared snapshot across two warm requests")
+			}
+
 			if !bytes.Equal(batchCSV.Bytes(), fileCSV.Bytes()) {
 				t.Error("capture-file pipeline CSV differs from batch CSV")
 			}
 			if !bytes.Equal(batchCSV.Bytes(), streamCSV.Bytes()) {
 				t.Error("fastq-stream pipeline CSV differs from batch CSV")
+			}
+			if !bytes.Equal(batchCSV.Bytes(), epochCSV.Bytes()) {
+				t.Error("epoch-cache pipeline CSV differs from batch CSV")
+			}
+			if !bytes.Equal(batchCSV.Bytes(), serveCSV.Bytes()) {
+				t.Error("epoch-cache serve (Session) CSV differs from batch CSV")
 			}
 			if st.Reads != len(recs) {
 				t.Errorf("streamed %d of %d reads", st.Reads, len(recs))

@@ -25,8 +25,14 @@ type Exemplar struct {
 	TotalNanos   int64 `json:"total_ns"`
 	// CacheBuildNanos attributes the batch's per-batch CachedGBWT rebuild
 	// (§VII-B) to the read: a "slow" read in a batch with an expensive
-	// rebuild is a cache-capacity problem, not a kernel problem.
+	// rebuild is a cache-capacity problem, not a kernel problem. Under the
+	// epoch discipline it covers only the private overflow construction.
 	CacheBuildNanos int64 `json:"cache_build_ns"`
+	// SharedBuildNanos attributes a shared-epoch publication this worker
+	// performed at the preceding batch boundary to the reads of the batch
+	// that follows it; zero when the epoch cache is off or another worker
+	// won the publication.
+	SharedBuildNanos int64 `json:"cache_build_shared_ns,omitempty"`
 }
 
 // slowShard is one worker's reservoir: a min-heap of its K slowest reads in

@@ -28,10 +28,25 @@ const (
 	MetricSchedStealShare     = "sched_steal_share_milli"
 
 	// Mapper kernels (internal/core): the paper's two critical functions
-	// plus the per-batch CachedGBWT rebuild (§VII-B).
+	// plus the per-batch CachedGBWT rebuild (§VII-B). Under the epoch
+	// discipline MetricCacheBuild covers only the (small) private overflow
+	// construction; the shared-epoch build cost lands in
+	// MetricCacheBuildShared so the attribution split is visible in
+	// obsdiff.
 	MetricClusterLatency   = "mapper_cluster_seeds_seconds"
 	MetricThresholdLatency = "mapper_process_until_threshold_c_seconds"
 	MetricCacheBuild       = "mapper_cache_build_seconds"
+
+	// Epoch-published shared cache (internal/gbwt.SharedBiCache via
+	// internal/core): publication count and build latency of the off-path
+	// builder, resident record population of the live snapshots, and the
+	// shared-vs-private hit split on the read side.
+	MetricCacheBuildShared  = "mapper_cache_build_shared_seconds"
+	MetricEpochPublishes    = "mapper_epoch_publishes_total"
+	MetricEpochResident     = "mapper_epoch_resident_records"
+	MetricEpochSharedHits   = "mapper_epoch_shared_hits_total"
+	MetricEpochPrivateHits  = "mapper_epoch_private_hits_total"
+	MetricEpochDecodeMisses = "mapper_epoch_decode_misses_total"
 
 	// Streaming seed extraction (internal/giraffe.ExtractSource).
 	MetricExtractReads      = "extract_reads_total"

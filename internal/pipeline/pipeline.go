@@ -290,6 +290,9 @@ func Run(m *core.Mapper, src Source, emit Emitter, opts Options) (*Stats, error)
 				}
 				t0 := time.Now()
 				cacheStats[worker].Add(m.MapBatch(worker, b.recs, b.base, b.exts))
+				// Batch boundary: tick the shared-cache epoch clock (no-op
+				// unless the mapper runs the epoch discipline).
+				m.TryPublishEpoch(worker)
 				d := time.Since(t0)
 				b.mapSecs = d.Seconds()
 				if rec != nil {

@@ -28,6 +28,15 @@ type BatchMapper interface {
 	MapBatchUntil(worker int, recs []seeds.ReadSeeds, base int, out [][]extend.Extension, stop *atomic.Bool) (gbwt.CacheStats, int)
 }
 
+// EpochPublisher is the optional batch-boundary hook of the epoch-published
+// shared cache: a Session probes its BatchMapper for it once at
+// construction and, when present, ticks it after every mapped sub-batch.
+// *core.Mapper satisfies it (a no-op unless the epoch cache is enabled);
+// test fakes that only implement BatchMapper are unaffected.
+type EpochPublisher interface {
+	TryPublishEpoch(worker int) bool
+}
+
 // Session is the reusable submit API over the streaming pipeline's worker
 // pool: where Run drains one source and exits, a Session keeps the pool and
 // the loaded substrate hot and maps request after request — the serving
@@ -44,6 +53,7 @@ type BatchMapper interface {
 // record boundary (core.Mapper.MapBatchUntil).
 type Session struct {
 	m    BatchMapper
+	ep   EpochPublisher // non-nil when m also publishes epochs
 	opts Options
 	cq   *claimQueue[*sjob]
 	wg   sync.WaitGroup
@@ -120,6 +130,9 @@ func NewSession(m BatchMapper, opts Options, reg *obs.Registry) (*Session, error
 		hService:      reg.Histogram(obs.MetricServeServiceLatency),
 		hQueueWait:    reg.Histogram(obs.MetricServeQueueWait),
 		hMap:          reg.Histogram(obs.MetricStageMap),
+	}
+	if ep, ok := m.(EpochPublisher); ok {
+		s.ep = ep
 	}
 	for w := 0; w < opts.Workers; w++ {
 		s.wg.Add(1)
@@ -224,6 +237,12 @@ func (s *Session) worker(w int) {
 		} else {
 			t0 := time.Now()
 			cs, n := s.m.MapBatchUntil(w, j.recs, j.base, j.out, &j.req.stop)
+			// Sub-batch boundary: tick the shared-cache epoch clock so the
+			// serving path republishes on the same cadence as the batch
+			// pipeline (no-op when the mapper has no epoch cache).
+			if s.ep != nil {
+				s.ep.TryPublishEpoch(w)
+			}
 			j.req.mapped.Add(int64(n))
 			s.pipeReads.Add(w, int64(n))
 			s.pipeBatches.Inc(w)

@@ -59,6 +59,13 @@ type Spec struct {
 	FragmentLen int
 	// Seed makes generation deterministic.
 	Seed int64
+	// ZipfS, when > 0, skews read start positions along each haplotype with
+	// a zipf law of exponent s (P(start=p) ∝ (1+p)^-s): the hot-prefix
+	// access pattern of real pangenomes, where a few node records absorb
+	// most GBWT lookups. 0 (the default) keeps the uniform sampler on a
+	// byte-identical code path. Values in (0,1] clamp to 1.01 (rand.Zipf
+	// requires s > 1, as in cmd/loadgen's client mix).
+	ZipfS float64
 	// MemGB is the modelled memory requirement on the paper's full-size
 	// data, used by the machine models' OOM check.
 	MemGB float64
@@ -243,7 +250,7 @@ func Generate(spec Spec) (*Bundle, error) {
 			if maxStart < 1 {
 				return nil, errors.New("workload: haplotype shorter than fragment")
 			}
-			start := rng.Intn(maxStart)
+			start := b.sampleStart(rng, maxStart)
 			r1 := b.makeRead(rng, fmt.Sprintf("%s.%d/1", spec.Name, f), hap, start, spec.ReadLen, false, f, 0)
 			// Second end: sequenced from the other side of the fragment.
 			r2start := start + spec.FragmentLen - spec.ReadLen
@@ -258,9 +265,26 @@ func Generate(spec Spec) (*Bundle, error) {
 func (b *Bundle) sampleRead(rng *rand.Rand, name string, frag, end, readLen, _ int) dna.Read {
 	hap := rng.Intn(len(b.HapSeqs))
 	maxStart := len(b.HapSeqs[hap]) - readLen
-	start := rng.Intn(maxStart)
+	start := b.sampleStart(rng, maxStart)
 	rev := rng.Intn(2) == 1
 	return b.makeRead(rng, name, hap, start, readLen, rev, frag, end)
+}
+
+// sampleStart draws a read (or fragment) start position in [0, maxStart).
+// With ZipfS unset this is exactly the historical uniform draw — one
+// rng.Intn call, so ZipfS == 0 workloads stay byte-identical to those
+// generated before the knob existed. With ZipfS > 0 the draw is zipf over
+// positions: low coordinates dominate, concentrating seed node accesses on
+// the haplotype prefix the way hot regions dominate real pangenomes.
+func (b *Bundle) sampleStart(rng *rand.Rand, maxStart int) int {
+	if b.Spec.ZipfS <= 0 {
+		return rng.Intn(maxStart)
+	}
+	s := b.Spec.ZipfS
+	if s <= 1 {
+		s = 1.01 // rand.Zipf requires s > 1
+	}
+	return int(rand.NewZipf(rng, s, 1, uint64(maxStart-1)).Uint64())
 }
 
 // makeRead cuts a read from haplotype hap at start, optionally

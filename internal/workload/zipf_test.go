@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/fastq"
+	"repro/internal/seeds"
+)
+
+// Reference SHA-256 of the B-yeast (scale 0.01) FASTQ and captured-seeds
+// outputs as generated before the ZipfS knob existed. ZipfS == 0 must keep
+// the uniform sampler on the identical code path — same rng draw sequence,
+// same bytes — so adding the knob can never perturb existing workloads,
+// baselines, or the differential harness's fixtures.
+const (
+	uniformFASTQSHA = "092be2f24b8e8f846873e0f70974a5fe3bd690150720b22e01f838fe2b8bcf3d"
+	uniformSeedsSHA = "0a521364d4505c6e64da142af77d9bb8e96949e6982138b3ec92404f87c154a8"
+)
+
+func TestZipfZeroByteIdenticalToUniform(t *testing.T) {
+	spec := BYeast().Scaled(0.01)
+	spec.ZipfS = 0
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	fq := filepath.Join(dir, "r.fq")
+	if err := fastq.WriteFile(fq, b.Reads); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := b.CaptureSeeds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(dir, "r.bin")
+	if err := seeds.WriteFile(bin, recs); err != nil {
+		t.Fatal(err)
+	}
+	for path, want := range map[string]string{fq: uniformFASTQSHA, bin: uniformSeedsSHA} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fmt.Sprintf("%x", sha256.Sum256(data)); got != want {
+			t.Errorf("%s: sha256 %s, want %s (ZipfS=0 output drifted from the historical uniform bytes)", filepath.Base(path), got, want)
+		}
+	}
+}
+
+// TestSampleStartZipfDistribution checks the sampler against the requested
+// law directly: with exponent s, P(start = k) ∝ (1+k)^-s over [0, maxStart).
+// The seed is fixed, so the empirical counts are deterministic and the
+// tolerances can be tight without flaking.
+func TestSampleStartZipfDistribution(t *testing.T) {
+	const (
+		maxStart = 1000
+		draws    = 300000
+		s        = 1.4
+	)
+	b := &Bundle{Spec: Spec{ZipfS: s}}
+	rng := rand.New(rand.NewSource(7))
+	counts := make([]int, maxStart)
+	for i := 0; i < draws; i++ {
+		k := b.sampleStart(rng, maxStart)
+		if k < 0 || k >= maxStart {
+			t.Fatalf("draw %d out of range [0,%d)", k, maxStart)
+		}
+		counts[k]++
+	}
+
+	// Exact normalizer of the target pmf.
+	var z float64
+	for k := 0; k < maxStart; k++ {
+		z += math.Pow(float64(1+k), -s)
+	}
+	// Head mass points: within 5% relative error of the target pmf.
+	for k := 0; k < 5; k++ {
+		want := float64(draws) * math.Pow(float64(1+k), -s) / z
+		got := float64(counts[k])
+		if relErr := math.Abs(got-want) / want; relErr > 0.05 {
+			t.Errorf("P(%d): got %.0f draws, want %.0f (rel err %.3f > 0.05)", k, got, want, relErr)
+		}
+	}
+	// Least-squares slope of log(count) vs log(1+k) over the first 50
+	// positions must recover the exponent: the "skew within tolerance"
+	// check of the knob's contract.
+	var sx, sy, sxx, sxy float64
+	n := 0
+	for k := 0; k < 50; k++ {
+		if counts[k] == 0 {
+			continue
+		}
+		x := math.Log(float64(1 + k))
+		y := math.Log(float64(counts[k]))
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		n++
+	}
+	slope := (float64(n)*sxy - sx*sy) / (float64(n)*sxx - sx*sx)
+	if math.Abs(slope+s) > 0.1 {
+		t.Errorf("rank-frequency slope %.3f, want %.3f ± 0.1", slope, -s)
+	}
+}
+
+// TestSampleStartUniformDistribution: the ZipfS == 0 sampler is the plain
+// uniform draw (flat across deciles).
+func TestSampleStartUniformDistribution(t *testing.T) {
+	const (
+		maxStart = 1000
+		draws    = 100000
+	)
+	b := &Bundle{Spec: Spec{ZipfS: 0}}
+	rng := rand.New(rand.NewSource(7))
+	var deciles [10]int
+	for i := 0; i < draws; i++ {
+		deciles[b.sampleStart(rng, maxStart)*10/maxStart]++
+	}
+	for d, c := range deciles {
+		if math.Abs(float64(c)-draws/10) > draws/10*0.05 {
+			t.Errorf("decile %d: %d draws, want ~%d ± 5%%", d, c, draws/10)
+		}
+	}
+}
+
+// hotNodeShare generates the spec, captures seeds, and returns the share of
+// all seed node accesses absorbed by the hottest 32 nodes — a fixed-size
+// hot set, the quantity an epoch cache of that capacity could serve. (A
+// relative cut like "top 10% of touched nodes" is not monotone in s: steep
+// skew shrinks the touched set itself.)
+func hotNodeShare(t *testing.T, zipfS float64) float64 {
+	t.Helper()
+	spec := BYeast().Scaled(0.02)
+	spec.ZipfS = zipfS
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := b.CaptureSeeds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq := make(map[uint32]int)
+	total := 0
+	for i := range recs {
+		for _, sd := range recs[i].Seeds {
+			freq[uint32(sd.Pos.Node)]++
+			total++
+		}
+	}
+	if total == 0 {
+		t.Fatal("workload produced no seeds")
+	}
+	counts := make([]int, 0, len(freq))
+	for _, c := range freq {
+		counts = append(counts, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	top := 32
+	if top > len(counts) {
+		top = len(counts)
+	}
+	hot := 0
+	for _, c := range counts[:top] {
+		hot += c
+	}
+	return float64(hot) / float64(total)
+}
+
+// TestZipfSeedNodeSkew ties the knob to its purpose: the generated *seed
+// node accesses* (what the GBWT cache actually sees) concentrate with s,
+// strictly beyond the uniform baseline and monotonically in s.
+func TestZipfSeedNodeSkew(t *testing.T) {
+	uniform := hotNodeShare(t, 0)
+	mild := hotNodeShare(t, 1.4)
+	steep := hotNodeShare(t, 2.5)
+	t.Logf("top-32 node-access share: uniform %.3f, zipf1.4 %.3f, zipf2.5 %.3f", uniform, mild, steep)
+	if mild < uniform+0.05 {
+		t.Errorf("zipf 1.4 top-32 share %.3f not clearly above uniform %.3f", mild, uniform)
+	}
+	if steep <= mild {
+		t.Errorf("skew not monotone in s: zipf2.5 %.3f <= zipf1.4 %.3f", steep, mild)
+	}
+}
