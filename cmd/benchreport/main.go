@@ -54,7 +54,7 @@ func main() {
 	if *seriesPath != "" {
 		reg = obs.NewRegistry(suiteShards(*threads))
 		var err error
-		series, err = obs.StartSeries(reg, nil, *seriesPath, *seriesEvery, 0)
+		series, err = obs.StartSeries(reg, nil, nil, *seriesPath, *seriesEvery, 0)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -11,7 +11,9 @@
 // manifest is written, and the process exits 0.
 //
 // Endpoints: POST /map, GET /healthz, /stats, /metrics (Prometheus),
-// /slow (slowest-read exemplars). The usual observability flags (-series,
+// /slow (slowest-read exemplars), /traces (tail-sampled request traces:
+// every non-2xx request plus the top-K slowest 2xx, as admit / queue_wait /
+// map_subbatch / emit span trees). The usual observability flags (-series,
 // -slow, -manifest, -debug-addr) behave as in minigiraffe, so cmd/obsdiff
 // can diff serving runs against each other.
 //
@@ -69,6 +71,9 @@ func main() {
 	seriesPath := flag.String("series", "", "archive a delta-encoded metric time-series here (flight recorder)")
 	seriesEvery := flag.Duration("series-interval", obs.DefaultSeriesInterval, "series self-scrape interval")
 	slowK := flag.Int("slow", 0, "retain the K slowest reads as exemplars (served at /slow, archived in the manifest)")
+	traceK := flag.Int("trace-k", 32, "tail-sample the K slowest 2xx requests per worker shard (0 disables request tracing)")
+	traceErrCap := flag.Int("trace-errors", 256, "per-shard retention cap for non-2xx request traces")
+	reqTracePath := flag.String("req-traces", "", "write sampled request traces as a Perfetto/Chrome trace file here on shutdown")
 	debugAddr := flag.String("debug-addr", "", "serve pprof/expvar/progress on this extra address")
 	progressEvery := flag.Duration("progress-interval", time.Second, "debug endpoint: /progress sampling interval")
 	flag.Parse()
@@ -92,6 +97,10 @@ func main() {
 	var slow *obs.SlowReads
 	if *slowK > 0 {
 		slow = obs.NewSlowReads(workers, *slowK)
+	}
+	var tracer *obs.ReqTracer
+	if *traceK > 0 {
+		tracer = obs.NewReqTracer(workers, *traceK, *traceErrCap, reg)
 	}
 	man := obs.NewManifest("giraffed")
 	man.AddFlagSet(flag.CommandLine)
@@ -135,6 +144,7 @@ func main() {
 		Extract:         func(read *dna.Read) (seeds.ReadSeeds, error) { return giraffe.Preprocess(ix.MinIx, read) },
 		Reg:             reg,
 		Slow:            slow,
+		Traces:          tracer,
 		PerClient:       *perClient,
 		MaxReads:        *maxReads,
 		DefaultDeadline: *defaultDeadline,
@@ -147,7 +157,7 @@ func main() {
 
 	var series *obs.SeriesRecorder
 	if *seriesPath != "" {
-		series, err = obs.StartSeries(reg, slow, *seriesPath, *seriesEvery, 0)
+		series, err = obs.StartSeries(reg, slow, tracer, *seriesPath, *seriesEvery, 0)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -200,6 +210,20 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	if *reqTracePath != "" && tracer != nil {
+		tf, err := os.Create(*reqTracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := obs.WritePerfettoRequests(tf, tracer.Snapshot()); err != nil {
+			tf.Close()
+			log.Fatal(err)
+		}
+		if err := tf.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("sampled request traces written to %s", *reqTracePath)
+	}
 	snap := reg.Snapshot()
 	log.Printf("drained: %d requests, %d ok, %d reads mapped, %d queue rejects, %d client rejects, %d deadline expiries",
 		snap.Counters[obs.MetricServeHTTPRequests], snap.Counters[obs.MetricServeHTTPOK],
@@ -215,6 +239,10 @@ func main() {
 			man.Notes["series"] = filepath.Base(*seriesPath)
 		}
 		man.AddSlowReads(slow)
+		man.AddReqTraces(tracer)
+		if *reqTracePath != "" && tracer != nil {
+			man.AddResult(*reqTracePath)
+		}
 		man.Finish(reg)
 		if err := man.Write(*manifest); err != nil {
 			log.Fatal(err)

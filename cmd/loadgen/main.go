@@ -44,6 +44,7 @@ import (
 	"repro/internal/fastq"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -69,6 +70,7 @@ func main() {
 	assertMin429 := flag.Int64("assert-min-429", -1, "fail unless at least this many 429 rejections")
 	assertMinTimeout := flag.Int64("assert-min-timeout", -1, "fail unless at least this many deadline timeouts (504 or client-side)")
 	assertMaxP99 := flag.Duration("assert-max-p99", 0, "fail when the 2xx p99 service latency exceeds this (0 = no bound)")
+	assertMaxQueueP99 := flag.Duration("assert-max-queue-p99", 0, "fail when the server-attributed queue-wait p99 exceeds this (0 = no bound)")
 	flag.Parse()
 	if *fastqPath == "" || *rps <= 0 || *batch <= 0 || *clients <= 0 {
 		flag.Usage()
@@ -88,7 +90,7 @@ func main() {
 	man.AddFlagSet(flag.CommandLine)
 	var series *obs.SeriesRecorder
 	if *seriesPath != "" {
-		series, err = obs.StartSeries(reg, nil, *seriesPath, *seriesEvery, 0)
+		series, err = obs.StartSeries(reg, nil, nil, *seriesPath, *seriesEvery, 0)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -141,21 +143,31 @@ func main() {
 	log.Printf("open loop: %d requests over %v (%s @ %.1f rps, %d reads each, %d clients)",
 		len(arrivals), *duration, *shape, *rps, *batch, *clients)
 
+	// Every request carries a traceparent header with a generator-owned
+	// trace ID, so the server's tail-sampled /traces can be joined back to
+	// this run (and only this run) afterwards.
+	idBase := uint64(time.Now().UnixNano()) | 1
+	ownIDs := make(map[trace.ID]bool, len(arrivals))
 	start := time.Now()
 	var wg sync.WaitGroup
 	next := 0
+	seq := uint64(0)
 	for _, at := range arrivals {
 		if d := time.Until(start.Add(at)); d > 0 {
 			time.Sleep(d)
 		}
+		seq++
+		id := trace.ID{Hi: idBase, Lo: seq}
+		ownIDs[id] = true
 		wg.Add(1)
-		go g.fire(&wg, nextClient(), next)
+		go g.fire(&wg, nextClient(), next, id)
 		next += *batch
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
 	rep := g.buildReport(*shape, *rps, elapsed)
+	rep.Server = serverDecomp(g.client, *url, ownIDs)
 	if series != nil {
 		if err := series.Stop(); err != nil {
 			log.Fatal(err)
@@ -207,6 +219,17 @@ func main() {
 		log.Printf("ASSERT FAILED: p99 = %.1fms, want <= %v", rep.P99Ms, *assertMaxP99)
 		failed = true
 	}
+	if *assertMaxQueueP99 > 0 {
+		switch {
+		case rep.Server == nil:
+			log.Printf("ASSERT FAILED: -assert-max-queue-p99 set but the server exposed no queue-wait attribution")
+			failed = true
+		case rep.Server.QueueWaitP99Ms > float64(*assertMaxQueueP99)/float64(time.Millisecond):
+			log.Printf("ASSERT FAILED: server queue-wait p99 = %.1fms (%s), want <= %v",
+				rep.Server.QueueWaitP99Ms, rep.Server.QueueWaitSource, *assertMaxQueueP99)
+			failed = true
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
@@ -229,7 +252,7 @@ type generator struct {
 }
 
 // fire sends one request (called on its own goroutine: open loop).
-func (g *generator) fire(wg *sync.WaitGroup, client string, offset int) {
+func (g *generator) fire(wg *sync.WaitGroup, client string, offset int, id trace.ID) {
 	defer wg.Done()
 	g.sent.Inc(0)
 	body := g.body(offset)
@@ -240,6 +263,7 @@ func (g *generator) fire(wg *sync.WaitGroup, client string, offset int) {
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set("X-Client", client)
+	req.Header.Set(trace.TraceparentHeader, trace.Traceparent(id))
 	if g.deadline > 0 {
 		req.Header.Set("X-Deadline-Ms", fmt.Sprint(int64(g.deadline/time.Millisecond)))
 	}
@@ -319,6 +343,161 @@ type Report struct {
 	P99Ms          float64          `json:"p99_ms"`
 	P999Ms         float64          `json:"p999_ms"`
 	MaxMs          float64          `json:"max_ms"`
+	// Server is the server-attributed latency decomposition, read back from
+	// the tail-sampled /traces (nil when the server samples no traces for
+	// this run): where sampled requests' time went — queue wait vs map
+	// service — per status class.
+	Server *ServerDecomp `json:"server,omitempty"`
+}
+
+// ServerDecomp splits sampled requests' server-side time into queue wait
+// (sub-batches parked in the session claim queue) and map service (kernel
+// time on workers), per status class. Sampling is tail-based — every non-2xx
+// plus the slowest 2xx — so the 2xx rows describe the latency tail, not the
+// mean request.
+type ServerDecomp struct {
+	TracesSampled int `json:"traces_sampled"`
+	// QueueWaitP99Ms is the gate the -assert-max-queue-p99 flag checks:
+	// p99 of per-request queue wait over this run's sampled traces, falling
+	// back to the server's serve_queue_wait_seconds histogram p99 (per
+	// sub-batch, whole server lifetime) when no traces matched.
+	QueueWaitP99Ms  float64                `json:"queue_wait_p99_ms"`
+	QueueWaitSource string                 `json:"queue_wait_source"`
+	ByClass         map[string]ClassDecomp `json:"by_class,omitempty"`
+}
+
+// ClassDecomp is one status class's decomposition over sampled traces.
+type ClassDecomp struct {
+	Traces          int     `json:"traces"`
+	QueueWaitMeanMs float64 `json:"queue_wait_mean_ms"`
+	QueueWaitP99Ms  float64 `json:"queue_wait_p99_ms"`
+	MapMeanMs       float64 `json:"map_mean_ms"`
+	MapP99Ms        float64 `json:"map_p99_ms"`
+}
+
+// classKey buckets a status the same way the server's trace summary does.
+func classKey(status int) string {
+	switch {
+	case status >= 200 && status < 300:
+		return "2xx"
+	case status == 429:
+		return "429"
+	case status == 504:
+		return "504"
+	default:
+		return "other"
+	}
+}
+
+// serverDecomp reads the server's sampled traces and keeps the ones this run
+// generated (matched by trace ID), decomposing each into queue-wait and
+// map-service time from its spans. Best-effort: a server without /traces
+// (older build, tracing disabled) yields nil rather than an error — except
+// that the histogram fallback still reports a queue-wait p99 when the
+// endpoint exists but sampled none of ours.
+func serverDecomp(c *http.Client, url string, own map[trace.ID]bool) *ServerDecomp {
+	resp, err := c.Get(url + "/traces")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var snap obs.ReqTraceSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil
+	}
+
+	type perClass struct{ queue, mapped []float64 }
+	classes := make(map[string]*perClass)
+	var allQueue []float64
+	matched := 0
+	for _, tr := range snap.Traces {
+		if !own[tr.TraceID] {
+			continue
+		}
+		matched++
+		var qw, ms float64
+		for _, sp := range tr.Spans {
+			switch sp.Name {
+			case obs.SpanQueueWait:
+				qw += float64(sp.DurNanos) / 1e6
+			case obs.SpanMapSubbatch:
+				ms += float64(sp.DurNanos) / 1e6
+			}
+		}
+		key := classKey(tr.Status)
+		pc := classes[key]
+		if pc == nil {
+			pc = &perClass{}
+			classes[key] = pc
+		}
+		pc.queue = append(pc.queue, qw)
+		pc.mapped = append(pc.mapped, ms)
+		allQueue = append(allQueue, qw)
+	}
+
+	d := &ServerDecomp{TracesSampled: matched, ByClass: make(map[string]ClassDecomp)}
+	if matched > 0 {
+		d.QueueWaitSource = "traces"
+		d.QueueWaitP99Ms = quantileMs(allQueue, 0.99)
+		for key, pc := range classes {
+			d.ByClass[key] = ClassDecomp{
+				Traces:          len(pc.queue),
+				QueueWaitMeanMs: meanMs(pc.queue),
+				QueueWaitP99Ms:  quantileMs(pc.queue, 0.99),
+				MapMeanMs:       meanMs(pc.mapped),
+				MapP99Ms:        quantileMs(pc.mapped, 0.99),
+			}
+		}
+		return d
+	}
+	// Nothing of ours sampled (all-fast 2xx runs lose the reservoir race to
+	// other phases): fall back to the server's queue-wait histogram so the
+	// CI gate still has a signal. Per sub-batch and lifetime-wide, hence the
+	// explicit source marker.
+	statsResp, err := c.Get(url + "/stats")
+	if err != nil {
+		return nil
+	}
+	defer statsResp.Body.Close()
+	var stats struct {
+		Metrics *obs.Snapshot `json:"metrics"`
+	}
+	if err := json.NewDecoder(statsResp.Body).Decode(&stats); err != nil || stats.Metrics == nil {
+		return nil
+	}
+	h, ok := stats.Metrics.Histograms[obs.MetricServeQueueWait]
+	if !ok {
+		return nil
+	}
+	d.QueueWaitSource = "histogram"
+	d.QueueWaitP99Ms = h.P99 * 1e3
+	return d
+}
+
+// meanMs averages a millisecond sample set (0 when empty).
+func meanMs(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return obs.SanitizeFloat(sum / float64(len(xs)))
+}
+
+// quantileMs is the nearest-rank quantile of a millisecond sample set.
+func quantileMs(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	i := int(p * float64(len(sorted)-1))
+	return obs.SanitizeFloat(sorted[i])
 }
 
 func (g *generator) buildReport(shape string, rps float64, elapsed time.Duration) *Report {

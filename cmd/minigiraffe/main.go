@@ -122,7 +122,7 @@ func main() {
 	var series *obs.SeriesRecorder
 	if *seriesPath != "" {
 		var err error
-		series, err = obs.StartSeries(reg, slow, *seriesPath, *seriesEvery, 0)
+		series, err = obs.StartSeries(reg, slow, nil, *seriesPath, *seriesEvery, 0)
 		if err != nil {
 			log.Fatal(err)
 		}

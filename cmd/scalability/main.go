@@ -41,7 +41,7 @@ func main() {
 		}
 		reg = obs.NewRegistry(n + 2)
 		var err error
-		series, err = obs.StartSeries(reg, nil, *seriesPath, *seriesEvery, 0)
+		series, err = obs.StartSeries(reg, nil, nil, *seriesPath, *seriesEvery, 0)
 		if err != nil {
 			log.Fatal(err)
 		}

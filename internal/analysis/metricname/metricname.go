@@ -88,6 +88,13 @@ func nameArg(pass *analysis.Pass, call *ast.CallExpr) (int, string) {
 		case "Begin", "Record":
 			return 1, "trace region"
 		}
+	case obj.Name() == "ReqTrace" && strings.HasSuffix(obj.Pkg().Path(), "internal/obs"):
+		// Request-span names feed the same aggregations (Perfetto tracks,
+		// /traces, loadgen's decomposition) — the catalogue lives in the
+		// Span* constants of internal/obs/reqtrace.go.
+		if fn.Name() == "AddSpan" {
+			return 0, "request span"
+		}
 	}
 	return -1, ""
 }

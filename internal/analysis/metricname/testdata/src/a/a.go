@@ -1,5 +1,5 @@
-// Fixture for the metricname analyzer: metric and trace-region names must be
-// compile-time constants.
+// Fixture for the metricname analyzer: metric, trace-region, and request-span
+// names must be compile-time constants.
 package a
 
 import (
@@ -42,6 +42,13 @@ func traceRegions(r *trace.Recorder, worker int, stage string) {
 	r.Record(worker, stage, time.Now(), time.Millisecond) // want `trace region name must be a string literal or named constant`
 	end2 := r.Begin(worker, "region_"+stage)              // want `trace region name must be a string literal or named constant`
 	end2()
+}
+
+func requestSpans(rt *obs.ReqTrace, worker int, stage string) {
+	rt.AddSpan(obs.SpanAdmit, worker, time.Now(), time.Millisecond)
+	rt.AddSpan("fixed_span", worker, time.Now(), time.Millisecond)
+	rt.AddSpan("span_"+stage, worker, time.Now(), time.Millisecond)   // want `request span name must be a string literal or named constant`
+	rt.AddSpan(fmt.Sprintf("span_%d", worker), worker, time.Now(), 0) // want `request span name must be a string literal or named constant`
 }
 
 func suppressed(reg *obs.Registry, name string) {

@@ -213,7 +213,7 @@ func (m *Mapper) NewReader(worker int) gbwt.BiReader {
 //
 //minigiraffe:hot
 func (m *Mapper) MapRecord(worker int, reader gbwt.BiReader, rec *seeds.ReadSeeds, index int) []extend.Extension {
-	return m.mapRecordSlow(worker, reader, rec, index, 0, 0)
+	return m.mapRecordSlow(worker, reader, rec, index, 0, 0, nil)
 }
 
 // mapRecordSlow is MapRecord plus the slow-read exemplar capture:
@@ -221,10 +221,13 @@ func (m *Mapper) MapRecord(worker int, reader gbwt.BiReader, rec *seeds.ReadSeed
 // read it covers, sharedNanos an epoch publication the worker performed at
 // the preceding batch boundary. The capture is allocation-free (Exemplar
 // is a value; the reservoir preallocates) and skipped entirely when no
-// reservoir is configured.
+// reservoir is configured. sb, when non-nil, is the serving path's
+// per-sub-batch request attribution: the record's kernel nanos accumulate
+// into it (plain adds — the sub-batch is owned by this worker until the
+// batch returns) and its trace ID tags the exemplar.
 //
 //minigiraffe:hot
-func (m *Mapper) mapRecordSlow(worker int, reader gbwt.BiReader, rec *seeds.ReadSeeds, index int, cacheNanos, sharedNanos int64) []extend.Extension {
+func (m *Mapper) mapRecordSlow(worker int, reader gbwt.BiReader, rec *seeds.ReadSeeds, index int, cacheNanos, sharedNanos int64, sb *obs.SubBatch) []extend.Extension {
 	var t0 time.Time
 	var dc, dt time.Duration
 	if m.instr {
@@ -247,8 +250,12 @@ func (m *Mapper) mapRecordSlow(worker int, reader gbwt.BiReader, rec *seeds.Read
 			m.opts.Trace.Record(worker, trace.RegionThresholdC, t0, dt)
 		}
 		m.met.threshold.Observe(worker, dt)
+		if sb != nil {
+			sb.ClusterNanos += int64(dc)
+			sb.ExtendNanos += int64(dt)
+		}
 		if m.slow != nil {
-			m.slow.Offer(worker, obs.Exemplar{
+			ex := obs.Exemplar{
 				Read:             rec.Read.Name,
 				Index:            index,
 				Worker:           worker,
@@ -258,7 +265,11 @@ func (m *Mapper) mapRecordSlow(worker int, reader gbwt.BiReader, rec *seeds.Read
 				TotalNanos:       int64(dc + dt),
 				CacheBuildNanos:  cacheNanos,
 				SharedBuildNanos: sharedNanos,
-			})
+			}
+			if sb != nil {
+				ex.Trace = sb.Trace
+			}
+			m.slow.Offer(worker, ex)
 		}
 	}
 	return exts
@@ -270,7 +281,7 @@ func (m *Mapper) mapRecordSlow(worker int, reader gbwt.BiReader, rec *seeds.Read
 //
 //minigiraffe:hot
 func (m *Mapper) MapBatch(worker int, recs []seeds.ReadSeeds, base int, out [][]extend.Extension) gbwt.CacheStats {
-	cs, _ := m.MapBatchUntil(worker, recs, base, out, nil)
+	cs, _ := m.MapBatchUntil(worker, recs, base, out, nil, nil)
 	return cs
 }
 
@@ -281,10 +292,13 @@ func (m *Mapper) MapBatch(worker int, recs []seeds.ReadSeeds, base int, out [][]
 // deadline that fires while a batch is on a worker stops the mapper at the
 // next record boundary instead of running the batch to completion. A nil
 // stop never cancels, so the batch pipeline pays only a nil check per
-// record.
+// record. sb, when non-nil, receives the batch's request attribution: the
+// cache-build and per-record kernel nanos accumulate into it and its trace
+// ID tags every slow-read exemplar the batch produces (the serving path's
+// map_subbatch span decomposition).
 //
 //minigiraffe:hot
-func (m *Mapper) MapBatchUntil(worker int, recs []seeds.ReadSeeds, base int, out [][]extend.Extension, stop *atomic.Bool) (cs gbwt.CacheStats, mapped int) {
+func (m *Mapper) MapBatchUntil(worker int, recs []seeds.ReadSeeds, base int, out [][]extend.Extension, stop *atomic.Bool, sb *obs.SubBatch) (cs gbwt.CacheStats, mapped int) {
 	var t0 time.Time
 	if m.instr {
 		t0 = time.Now()
@@ -305,12 +319,15 @@ func (m *Mapper) MapBatchUntil(worker int, recs []seeds.ReadSeeds, base int, out
 		}
 		m.met.cacheBuild.Observe(worker, d)
 		cacheNanos = int64(d)
+		if sb != nil {
+			sb.CacheBuildNanos += int64(d)
+		}
 	}
 	for j := range recs {
 		if stop != nil && stop.Load() {
 			break
 		}
-		out[j] = m.mapRecordSlow(worker, reader, &recs[j], base+j, cacheNanos, sharedNanos)
+		out[j] = m.mapRecordSlow(worker, reader, &recs[j], base+j, cacheNanos, sharedNanos, sb)
 		mapped++
 	}
 	cs = ReaderCacheStats(reader)

@@ -1,0 +1,69 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/extend"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// TestMapBatchUntilSubBatchAttribution pins the serving path's kernel
+// fold-in: a SubBatch passed into MapBatchUntil accumulates the batch's
+// cluster/extend/cache-build nanos (so the request's map_subbatch span can
+// be decomposed) and its trace ID tags every slow-read exemplar the batch
+// offers, while a nil SubBatch leaves exemplars unattributed.
+func TestMapBatchUntilSubBatchAttribution(t *testing.T) {
+	f, recs, _ := fixture(t, 0.05)
+	slow := obs.NewSlowReads(1, len(recs))
+	m, err := core.NewMapper(f, core.Options{Slow: slow})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	id := trace.ID{Hi: 7, Lo: 7}
+	sb := &obs.SubBatch{Trace: id}
+	out := make([][]extend.Extension, len(recs))
+	_, mapped := m.MapBatchUntil(0, recs, 0, out, nil, sb)
+	if mapped != len(recs) {
+		t.Fatalf("mapped %d of %d", mapped, len(recs))
+	}
+	if sb.ClusterNanos <= 0 || sb.ExtendNanos <= 0 {
+		t.Fatalf("kernel nanos not folded in: cluster=%d extend=%d", sb.ClusterNanos, sb.ExtendNanos)
+	}
+	if sb.CacheBuildNanos < 0 {
+		t.Fatalf("cache-build nanos negative: %d", sb.CacheBuildNanos)
+	}
+	exemplars := slow.Top()
+	if len(exemplars) == 0 {
+		t.Fatal("no exemplars captured")
+	}
+	// The per-exemplar kernel nanos must sum to no more than the batch
+	// totals (the reservoir holds every read at k=len(recs)).
+	var exCluster, exExtend int64
+	for _, ex := range exemplars {
+		if ex.Trace != id {
+			t.Fatalf("exemplar %q carries trace %v, want %v", ex.Read, ex.Trace, id)
+		}
+		exCluster += ex.ClusterNanos
+		exExtend += ex.ExtendNanos
+	}
+	if exCluster > sb.ClusterNanos || exExtend > sb.ExtendNanos {
+		t.Fatalf("exemplar nanos exceed batch totals: %d/%d cluster, %d/%d extend",
+			exCluster, sb.ClusterNanos, exExtend, sb.ExtendNanos)
+	}
+
+	// Untraced path: exemplars stay unattributed.
+	slow2 := obs.NewSlowReads(1, len(recs))
+	m2, err := core.NewMapper(f, core.Options{Slow: slow2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.MapBatchUntil(0, recs, 0, out, nil, nil)
+	for _, ex := range slow2.Top() {
+		if !ex.Trace.IsZero() {
+			t.Fatalf("untraced batch produced attributed exemplar %+v", ex)
+		}
+	}
+}

@@ -25,7 +25,7 @@ func TestMapBatchUntil(t *testing.T) {
 
 	t.Run("nil stop maps all", func(t *testing.T) {
 		out := make([][]extend.Extension, len(recs))
-		_, mapped := m.MapBatchUntil(0, recs, 0, out, nil)
+		_, mapped := m.MapBatchUntil(0, recs, 0, out, nil, nil)
 		if mapped != len(recs) {
 			t.Fatalf("mapped %d of %d", mapped, len(recs))
 		}
@@ -40,7 +40,7 @@ func TestMapBatchUntil(t *testing.T) {
 		var stop atomic.Bool
 		stop.Store(true)
 		out := make([][]extend.Extension, len(recs))
-		_, mapped := m.MapBatchUntil(0, recs, 0, out, &stop)
+		_, mapped := m.MapBatchUntil(0, recs, 0, out, &stop, nil)
 		if mapped != 0 {
 			t.Fatalf("mapped %d records under a pre-set stop", mapped)
 		}
@@ -64,9 +64,9 @@ func TestMapBatchUntil(t *testing.T) {
 		var stop atomic.Bool
 		out := make([][]extend.Extension, len(recs))
 		half := len(recs) / 2
-		_, mappedA := m.MapBatchUntil(0, recs[:half], 0, out[:half], &stop)
+		_, mappedA := m.MapBatchUntil(0, recs[:half], 0, out[:half], &stop, nil)
 		stop.Store(true)
-		_, mappedB := m.MapBatchUntil(0, recs[half:], half, out[half:], &stop)
+		_, mappedB := m.MapBatchUntil(0, recs[half:], half, out[half:], &stop, nil)
 		if mappedA != half || mappedB != 0 {
 			t.Fatalf("mapped %d+%d, want %d+0", mappedA, mappedB, half)
 		}

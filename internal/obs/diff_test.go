@@ -144,7 +144,7 @@ func TestLoadRunResolvesSeries(t *testing.T) {
 	dir := t.TempDir()
 	reg := NewRegistry(1)
 	reg.Counter(MetricPipelineReads).Add(0, 10)
-	rec, err := StartSeries(reg, nil, filepath.Join(dir, "run.series"), time.Hour, 0)
+	rec, err := StartSeries(reg, nil, nil, filepath.Join(dir, "run.series"), time.Hour, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/trace"
 )
 
 // Exemplar is one captured slow read: enough context to explain a
@@ -33,6 +35,10 @@ type Exemplar struct {
 	// that follows it; zero when the epoch cache is off or another worker
 	// won the publication.
 	SharedBuildNanos int64 `json:"cache_build_shared_ns,omitempty"`
+	// Trace is the owning request's trace ID when the read was mapped by a
+	// serving Session (zero, rendered "", in batch mode), joining a /slow
+	// entry to its request's span tree in /traces.
+	Trace trace.ID `json:"trace_id"`
 }
 
 // slowShard is one worker's reservoir: a min-heap of its K slowest reads in

@@ -38,6 +38,10 @@ type Manifest struct {
 	// first), so a tail-latency regression flagged by obsdiff comes with the
 	// reads that caused it.
 	SlowReads []Exemplar `json:"slow_reads,omitempty"`
+	// ReqTraces summarises the request-trace tail sampler's run: retained
+	// counts, status mix, and the slowest sampled request's trace ID — the
+	// pointer into the full /traces or Perfetto artifact.
+	ReqTraces *ReqTraceSummary `json:"req_traces,omitempty"`
 }
 
 // WorkloadFile identifies one input by content: runs over different inputs
@@ -106,6 +110,12 @@ func (m *Manifest) AddResult(path string) {
 // reservoir: no section).
 func (m *Manifest) AddSlowReads(s *SlowReads) {
 	m.SlowReads = s.Top()
+}
+
+// AddReqTraces archives the request-trace sampler's summary (nil tracer: no
+// section).
+func (m *Manifest) AddReqTraces(t *ReqTracer) {
+	m.ReqTraces = t.Summary()
 }
 
 // Finish stamps the end time and attaches the registry's final metric

@@ -68,6 +68,15 @@ const (
 	MetricServeServiceLatency = "serve_service_seconds"
 	MetricServeQueueWait      = "serve_queue_wait_seconds"
 
+	// Request-trace tail sampler (internal/obs/reqtrace.go): retained vs
+	// lost traces. sampled counts every retention (2xx reservoir entries and
+	// kept errors), errors the error-class subset, dropped the non-2xx traces
+	// lost to the per-shard/run caps — nonzero dropped means the error cap is
+	// undersized for the workload's failure rate.
+	MetricServeTraceSampled = "serve_trace_sampled_total"
+	MetricServeTraceErrors  = "serve_trace_errors_kept_total"
+	MetricServeTraceDropped = "serve_trace_dropped_total"
+
 	// Serving front end (internal/serve): HTTP-level admission and outcome
 	// mix. Client rejects are per-client in-flight bound violations (the
 	// queue rejects above are the shared-queue bound); deadline expiries

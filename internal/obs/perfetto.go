@@ -71,3 +71,51 @@ func WritePerfettoTrace(w io.Writer, rec *trace.Recorder) error {
 	enc.SetIndent("", " ")
 	return enc.Encode(out)
 }
+
+// perfettoReqPid files request tracks under their own process so the worker
+// timeline (pid 1) and the request view of the same run load side by side.
+const perfettoReqPid = 2
+
+// WritePerfettoRequests converts sampled request traces to Chrome
+// trace-event JSON: one named thread ("req <trace-id> <status>") per sampled
+// request, one complete event per span. map_subbatch events carry the worker
+// attribution and kernel decomposition in args, so clicking a slow span in
+// ui.perfetto.dev shows where its time went. Snapshot order is deterministic,
+// so the same snapshot always produces the same bytes.
+func WritePerfettoRequests(w io.Writer, snap ReqTraceSnapshot) error {
+	out := perfettoTrace{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
+	for tid, tr := range snap.Traces {
+		out.TraceEvents = append(out.TraceEvents, traceEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			Pid:  perfettoReqPid,
+			Tid:  tid,
+			Args: map[string]any{"name": fmt.Sprintf("req %s %d", tr.TraceID, tr.Status)},
+		})
+		for _, sp := range tr.Spans {
+			ev := traceEvent{
+				Name: sp.Name,
+				Cat:  "request",
+				Ph:   "X",
+				Ts:   float64(sp.StartNanos) / 1e3,
+				Dur:  float64(sp.DurNanos) / 1e3,
+				Pid:  perfettoReqPid,
+				Tid:  tid,
+			}
+			args := map[string]any{"worker": sp.Worker}
+			if sp.Canceled {
+				args["canceled"] = true
+			}
+			if sp.Name == SpanMapSubbatch {
+				args["cluster_ns"] = sp.ClusterNanos
+				args["extend_ns"] = sp.ExtendNanos
+				args["cache_build_ns"] = sp.CacheBuildNanos
+			}
+			ev.Args = args
+			out.TraceEvents = append(out.TraceEvents, ev)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}

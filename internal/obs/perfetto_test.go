@@ -113,6 +113,82 @@ func TestWritePerfettoTraceShape(t *testing.T) {
 	}
 }
 
+func TestWritePerfettoRequestsShape(t *testing.T) {
+	snap := ReqTraceSnapshot{
+		K: 2,
+		Traces: []SampledTrace{
+			{
+				TraceID: trace.ID{Hi: 0xabc, Lo: 0x123},
+				Status:  504,
+				Spans: []ReqSpan{
+					{Name: SpanAdmit, Worker: -1, StartNanos: 1000, DurNanos: 500},
+					{Name: SpanQueueWait, Worker: 0, StartNanos: 1500, DurNanos: 2000},
+					{Name: SpanMapSubbatch, Worker: 0, StartNanos: 3500, DurNanos: 4000,
+						ClusterNanos: 100, ExtendNanos: 200, CacheBuildNanos: 50, Canceled: true},
+					{Name: SpanCancel, Worker: 1, StartNanos: 8000, DurNanos: 0, Canceled: true},
+				},
+			},
+			{
+				TraceID: trace.ID{Hi: 1, Lo: 2},
+				Status:  200,
+				Spans: []ReqSpan{
+					{Name: SpanAdmit, Worker: -1, StartNanos: 0, DurNanos: 10},
+					{Name: SpanEmit, Worker: -1, StartNanos: 20, DurNanos: 5},
+				},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WritePerfettoRequests(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("request export is not valid JSON: %v", err)
+	}
+	meta, complete := 0, 0
+	for _, e := range out.TraceEvents {
+		if e.Pid != perfettoReqPid {
+			t.Errorf("event pid = %d, want %d", e.Pid, perfettoReqPid)
+		}
+		switch e.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+		}
+	}
+	if meta != 2 || complete != 6 {
+		t.Fatalf("events = %d meta + %d complete, want 2 + 6", meta, complete)
+	}
+	// Track name carries the trace ID and status so a 504 track is greppable.
+	if want := "req " + snap.Traces[0].TraceID.String() + " 504"; out.TraceEvents[0].Args["name"] != want {
+		t.Errorf("track name = %v, want %q", out.TraceEvents[0].Args["name"], want)
+	}
+	// The map_subbatch span exposes its kernel decomposition in args.
+	m := out.TraceEvents[3]
+	if m.Name != SpanMapSubbatch || m.Args["cluster_ns"] != float64(100) ||
+		m.Args["extend_ns"] != float64(200) || m.Args["canceled"] != true {
+		t.Errorf("map span args = %+v", m)
+	}
+
+	var again bytes.Buffer
+	if err := WritePerfettoRequests(&again, snap); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("two request exports of the same snapshot differ")
+	}
+}
+
 func TestWritePerfettoTraceNilRecorder(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WritePerfettoTrace(&buf, nil); err != nil {

@@ -1,0 +1,273 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func tid(n uint64) trace.ID { return trace.ID{Hi: 1, Lo: n} }
+
+// durs lists the sampled 2xx durations (nanos), ascending.
+func sampledDurs(t *testing.T, snap ReqTraceSnapshot) []int64 {
+	t.Helper()
+	var out []int64
+	for _, tr := range snap.Traces {
+		if tr.Status >= 200 && tr.Status < 300 {
+			out = append(out, tr.DurNanos)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func TestReqTracerTopKByLatency(t *testing.T) {
+	tr := NewReqTracer(1, 3, 4, nil)
+	for i, dur := range []int64{10, 40, 20, 30, 5, 35} {
+		rt := tr.Start(tid(uint64(i+1)), "c")
+		tr.finishDur(rt, 200, dur)
+	}
+	got := sampledDurs(t, tr.Snapshot())
+	want := []int64{30, 35, 40}
+	if len(got) != len(want) {
+		t.Fatalf("sampled %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sampled %v, want %v", got, want)
+		}
+	}
+}
+
+func TestReqTracerRetainsAllErrors(t *testing.T) {
+	reg := NewRegistry(2)
+	tr := NewReqTracer(2, 1, 8, reg)
+	statuses := []int{429, 504, 500, 429, 503, 400, 504, 429}
+	ids := make(map[trace.ID]int)
+	for i, st := range statuses {
+		id := tid(uint64(i + 1))
+		ids[id] = st
+		rt := tr.Start(id, "c")
+		tr.finishDur(rt, st, int64(i))
+	}
+	snap := tr.Snapshot()
+	if len(snap.Traces) != len(statuses) {
+		t.Fatalf("retained %d traces, want all %d errors", len(snap.Traces), len(statuses))
+	}
+	for _, s := range snap.Traces {
+		if want, ok := ids[s.TraceID]; !ok || s.Status != want {
+			t.Fatalf("trace %v status %d, want %d", s.TraceID, s.Status, want)
+		}
+	}
+	if snap.Dropped != 0 {
+		t.Fatalf("Dropped = %d, want 0", snap.Dropped)
+	}
+	if got := reg.Counter(MetricServeTraceErrors).Value(); got != int64(len(statuses)) {
+		t.Fatalf("%s = %d, want %d", MetricServeTraceErrors, got, len(statuses))
+	}
+}
+
+func TestReqTracerErrorCapDropsVisibly(t *testing.T) {
+	tr := NewReqTracer(1, 1, 2, nil)
+	for i := 0; i < 5; i++ {
+		rt := tr.Start(tid(uint64(i+1)), "c")
+		tr.finishDur(rt, 429, 1)
+	}
+	snap := tr.Snapshot()
+	if len(snap.Traces) != 2 {
+		t.Fatalf("retained %d error traces, want cap 2", len(snap.Traces))
+	}
+	if snap.Dropped != 3 {
+		t.Fatalf("Dropped = %d, want 3", snap.Dropped)
+	}
+}
+
+func TestReqTracerRotateFoldsIntoRun(t *testing.T) {
+	tr := NewReqTracer(1, 2, 4, nil)
+	a := tr.Start(tid(1), "c")
+	tr.finishDur(a, 200, 100)
+	e := tr.Start(tid(2), "c")
+	tr.finishDur(e, 504, 50)
+	tr.Rotate()
+	// New window: a faster 2xx must still be sampled (floor reset), and the
+	// rotated traces must still appear in the snapshot.
+	b := tr.Start(tid(3), "c")
+	tr.finishDur(b, 200, 60)
+	snap := tr.Snapshot()
+	if len(snap.Traces) != 3 {
+		t.Fatalf("snapshot has %d traces after rotate, want 3", len(snap.Traces))
+	}
+	seen := map[trace.ID]bool{}
+	for _, s := range snap.Traces {
+		seen[s.TraceID] = true
+	}
+	for _, id := range []trace.ID{tid(1), tid(2), tid(3)} {
+		if !seen[id] {
+			t.Fatalf("trace %v missing after rotate; snapshot %+v", id, snap.Traces)
+		}
+	}
+}
+
+func TestReqTracerSpansAndSummary(t *testing.T) {
+	tr := NewReqTracer(1, 4, 4, nil)
+	rt := tr.Start(tid(7), "alice")
+	rt.SetReads(9)
+	now := tr.Epoch().Add(time.Millisecond)
+	rt.AddSpan(SpanAdmit, -1, now, 10*time.Microsecond)
+	rt.AddSpan(SpanQueueWait, 3, now, 20*time.Microsecond)
+	rt.AddMapSpan(3, now, 30*time.Microsecond, &SubBatch{
+		Trace:           tid(7),
+		ClusterNanos:    11,
+		ExtendNanos:     22,
+		CacheBuildNanos: 33,
+	}, true)
+	rt.AddSpan(SpanEmit, -1, now, 5*time.Microsecond)
+	tr.finishDur(rt, 504, int64(2*time.Millisecond))
+
+	snap := tr.Snapshot()
+	if len(snap.Traces) != 1 {
+		t.Fatalf("snapshot has %d traces, want 1", len(snap.Traces))
+	}
+	s := snap.Traces[0]
+	if s.Client != "alice" || s.Reads != 9 || s.Status != 504 {
+		t.Fatalf("trace header = %+v", s)
+	}
+	wantNames := []string{SpanAdmit, SpanQueueWait, SpanMapSubbatch, SpanEmit}
+	if len(s.Spans) != len(wantNames) {
+		t.Fatalf("spans %+v, want %d", s.Spans, len(wantNames))
+	}
+	for i, name := range wantNames {
+		if s.Spans[i].Name != name {
+			t.Fatalf("span[%d] = %q, want %q", i, s.Spans[i].Name, name)
+		}
+	}
+	m := s.Spans[2]
+	if m.ClusterNanos != 11 || m.ExtendNanos != 22 || m.CacheBuildNanos != 33 || !m.Canceled {
+		t.Fatalf("map span kernel fields = %+v", m)
+	}
+
+	sum := tr.Summary()
+	if sum.Sampled != 1 || sum.Errors != 1 || sum.ByStatus["504"] != 1 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.SlowestID != tid(7) || sum.SlowestMs != 2 {
+		t.Fatalf("summary slowest = %v %.3fms", sum.SlowestID, sum.SlowestMs)
+	}
+}
+
+func TestReqTracerNilSafe(t *testing.T) {
+	var tr *ReqTracer
+	rt := tr.Start(tid(1), "c")
+	if rt != nil {
+		t.Fatal("nil tracer returned a trace")
+	}
+	rt.SetClient("x")
+	rt.SetReads(1)
+	rt.AddSpan(SpanAdmit, -1, time.Time{}, 0)
+	rt.AddMapSpan(0, time.Time{}, 0, nil, false)
+	tr.Finish(rt, 200)
+	tr.Rotate()
+	if snap := tr.Snapshot(); len(snap.Traces) != 0 {
+		t.Fatal("nil tracer snapshot non-empty")
+	}
+	if tr.Summary() != nil {
+		t.Fatal("nil tracer summary non-nil")
+	}
+	if tr.K() != 0 || rt.ID() != (trace.ID{}) {
+		t.Fatal("nil accessors")
+	}
+}
+
+// TestReqTracerNotSampledPathZeroAlloc locks the tentpole's fast-path
+// guarantee: once the reservoir floor is set and the free list warm, a full
+// Start → AddSpan×4 → Finish(2xx) cycle that loses the tail race allocates
+// nothing.
+func TestReqTracerNotSampledPathZeroAlloc(t *testing.T) {
+	tr := NewReqTracer(1, 1, 1, nil)
+	// Fill the k=1 reservoir with an unbeatably slow request so the floor
+	// gate rejects everything the measured loop finishes.
+	warm := tr.Start(tid(1), "w")
+	tr.finishDur(warm, 200, int64(time.Hour))
+
+	id := tid(2)
+	epoch := tr.Epoch()
+	allocs := testing.AllocsPerRun(1000, func() {
+		rt := tr.Start(id, "client")
+		rt.SetReads(64)
+		rt.AddSpan(SpanAdmit, -1, epoch, time.Microsecond)
+		rt.AddSpan(SpanQueueWait, 0, epoch, time.Microsecond)
+		rt.AddMapSpan(0, epoch, time.Microsecond, &SubBatch{Trace: id}, false)
+		rt.AddSpan(SpanEmit, -1, epoch, time.Microsecond)
+		tr.Finish(rt, 200)
+	})
+	if allocs != 0 {
+		t.Fatalf("not-sampled request path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestReqTracerStress exercises concurrent finishers against scrapes and
+// rotations; run under -race this is the sampler's publication-safety proof.
+func TestReqTracerStress(t *testing.T) {
+	tr := NewReqTracer(4, 8, 16, NewRegistry(4))
+	const workers = 8
+	const perWorker = 300
+	var wg, scraper sync.WaitGroup
+	stop := make(chan struct{})
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := tr.Snapshot()
+			for _, s := range snap.Traces {
+				_ = s.Spans
+			}
+			tr.Rotate()
+			_ = tr.Summary()
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				id := trace.ID{Hi: uint64(w + 1), Lo: uint64(i + 1)}
+				rt := tr.Start(id, "c")
+				rt.AddSpan(SpanAdmit, -1, time.Now(), time.Microsecond)
+				var inner sync.WaitGroup
+				inner.Add(1)
+				go func() {
+					defer inner.Done()
+					rt.AddSpan(SpanQueueWait, w, time.Now(), time.Microsecond)
+					rt.AddMapSpan(w, time.Now(), time.Microsecond, &SubBatch{Trace: id}, false)
+				}()
+				inner.Wait()
+				switch i % 4 {
+				case 0:
+					tr.finishDur(rt, 429, int64(i))
+				case 1:
+					tr.finishDur(rt, 504, int64(i))
+				default:
+					tr.finishDur(rt, 200, int64(i*w))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	scraper.Wait()
+	snap := tr.Snapshot()
+	if len(snap.Traces) == 0 {
+		t.Fatal("stress run retained no traces")
+	}
+}

@@ -152,6 +152,7 @@ func (h *Histogram) raw() rawHist {
 type SeriesRecorder struct {
 	reg      *Registry
 	slow     *SlowReads
+	traces   *ReqTracer
 	path     string
 	interval time.Duration
 	max      int
@@ -171,10 +172,11 @@ type SeriesRecorder struct {
 
 // StartSeries opens path, writes the header, takes an immediate baseline
 // sample, and starts the scrape loop. interval ≤0 defaults to
-// DefaultSeriesInterval, maxSamples ≤0 to DefaultSeriesMaxSamples. slow may
-// be nil; when present its window is rotated once per tick. Stop flushes the
-// final sample and closes the file.
-func StartSeries(reg *Registry, slow *SlowReads, path string, interval time.Duration, maxSamples int) (*SeriesRecorder, error) {
+// DefaultSeriesInterval, maxSamples ≤0 to DefaultSeriesMaxSamples. slow and
+// traces may be nil; when present their windows are rotated once per tick, so
+// exemplar and request-trace windows line up with series samples. Stop
+// flushes the final sample and closes the file.
+func StartSeries(reg *Registry, slow *SlowReads, traces *ReqTracer, path string, interval time.Duration, maxSamples int) (*SeriesRecorder, error) {
 	if reg == nil {
 		return nil, errors.New("obs: series recording needs a registry")
 	}
@@ -194,6 +196,7 @@ func StartSeries(reg *Registry, slow *SlowReads, path string, interval time.Dura
 	s := &SeriesRecorder{
 		reg:      reg,
 		slow:     slow,
+		traces:   traces,
 		path:     path,
 		interval: interval,
 		max:      maxSamples,
@@ -241,6 +244,7 @@ func (s *SeriesRecorder) loop() {
 func (s *SeriesRecorder) sampleNow(now time.Time) {
 	sm := s.reg.rawScrape(now)
 	s.slow.Rotate()
+	s.traces.Rotate()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.err != nil {

@@ -13,7 +13,7 @@ import (
 func startTestSeries(t *testing.T, reg *Registry, slow *SlowReads, maxSamples int) (*SeriesRecorder, string) {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), "run.series")
-	s, err := StartSeries(reg, slow, path, time.Hour, maxSamples)
+	s, err := StartSeries(reg, slow, nil, path, time.Hour, maxSamples)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +213,7 @@ func TestSeriesRejectsGarbage(t *testing.T) {
 }
 
 func TestStartSeriesNilRegistry(t *testing.T) {
-	if _, err := StartSeries(nil, nil, filepath.Join(t.TempDir(), "x.series"), 0, 0); err == nil {
+	if _, err := StartSeries(nil, nil, nil, filepath.Join(t.TempDir(), "x.series"), 0, 0); err == nil {
 		t.Error("nil registry accepted")
 	}
 	var s *SeriesRecorder

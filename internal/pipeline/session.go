@@ -25,7 +25,7 @@ var (
 // batch kernel of core.Mapper, abstracted so tests can substitute a
 // controllable fake. *core.Mapper satisfies it.
 type BatchMapper interface {
-	MapBatchUntil(worker int, recs []seeds.ReadSeeds, base int, out [][]extend.Extension, stop *atomic.Bool) (gbwt.CacheStats, int)
+	MapBatchUntil(worker int, recs []seeds.ReadSeeds, base int, out [][]extend.Extension, stop *atomic.Bool, sb *obs.SubBatch) (gbwt.CacheStats, int)
 }
 
 // EpochPublisher is the optional batch-boundary hook of the epoch-published
@@ -89,6 +89,10 @@ type sjob struct {
 	out  [][]extend.Extension // disjoint window into the request's results
 	base int                  // global read index of recs[0]
 	enq  time.Time
+	// tr is the request's trace (nil when the caller is untraced); sb is
+	// this sub-batch's kernel attribution, passed into MapBatchUntil.
+	tr *obs.ReqTrace
+	sb obs.SubBatch
 }
 
 // srequest is the shared completion state of one Submit.
@@ -152,6 +156,15 @@ func (s *Session) Options() Options { return s.opts }
 // one stops at the next record boundary, both visible in the
 // serve_canceled_* counters.
 func (s *Session) Submit(ctx context.Context, recs []seeds.ReadSeeds) ([][]extend.Extension, error) {
+	return s.SubmitTraced(ctx, recs, nil)
+}
+
+// SubmitTraced is Submit with request-trace attribution: every sub-batch the
+// request spawns records queue_wait and map_subbatch spans (cancel markers
+// for skipped ones) into rt, worker-attributed and carrying the kernel nanos
+// MapBatchUntil accumulates, and the request's trace ID rides into the
+// slow-read exemplars. A nil rt is exactly Submit.
+func (s *Session) SubmitTraced(ctx context.Context, recs []seeds.ReadSeeds, rt *obs.ReqTrace) ([][]extend.Extension, error) {
 	if s.closed.Load() {
 		return nil, ErrSessionClosed
 	}
@@ -174,9 +187,14 @@ func (s *Session) Submit(ctx context.Context, recs []seeds.ReadSeeds) ([][]exten
 		if hi > len(recs) {
 			hi = len(recs)
 		}
-		jobs = append(jobs, &sjob{
+		j := &sjob{
 			req: req, recs: recs[lo:hi], out: out[lo:hi], base: base + lo, enq: now,
-		})
+		}
+		if rt != nil {
+			j.tr = rt
+			j.sb.Trace = rt.ID()
+		}
+		jobs = append(jobs, j)
 	}
 	// The stop flag, not ctx itself, is what workers poll: one atomic load
 	// per record instead of a mutex-guarded ctx.Err.
@@ -230,13 +248,19 @@ func (s *Session) worker(w int) {
 		if stolen {
 			s.steals.Inc(w)
 		}
-		s.hQueueWait.Observe(w, time.Since(j.enq))
+		// The queue-wait span and the serve_queue_wait_seconds histogram see
+		// the same duration value, so sampled traces and the metric agree
+		// exactly on where queueing time went.
+		qw := time.Since(j.enq)
+		s.hQueueWait.Observe(w, qw)
+		j.tr.AddSpan(obs.SpanQueueWait, w, j.enq, qw)
 		if j.req.stop.Load() {
 			s.canceled.Inc(w)
 			s.canceledReads.Add(w, int64(len(j.recs)))
+			j.tr.AddSpan(obs.SpanCancel, w, j.enq.Add(qw), 0)
 		} else {
 			t0 := time.Now()
-			cs, n := s.m.MapBatchUntil(w, j.recs, j.base, j.out, &j.req.stop)
+			cs, n := s.m.MapBatchUntil(w, j.recs, j.base, j.out, &j.req.stop, jobSubBatch(j))
 			// Sub-batch boundary: tick the shared-cache epoch clock so the
 			// serving path republishes on the same cadence as the batch
 			// pipeline (no-op when the mapper has no epoch cache).
@@ -246,8 +270,11 @@ func (s *Session) worker(w int) {
 			j.req.mapped.Add(int64(n))
 			s.pipeReads.Add(w, int64(n))
 			s.pipeBatches.Inc(w)
-			s.hMap.Observe(w, time.Since(t0))
-			if n < len(j.recs) {
+			dMap := time.Since(t0)
+			s.hMap.Observe(w, dMap)
+			partial := n < len(j.recs)
+			j.tr.AddMapSpan(w, t0, dMap, jobSubBatch(j), partial)
+			if partial {
 				s.canceled.Inc(w)
 				s.canceledReads.Add(w, int64(len(j.recs)-n))
 			}
@@ -259,6 +286,15 @@ func (s *Session) worker(w int) {
 			close(j.req.done)
 		}
 	}
+}
+
+// jobSubBatch returns the job's kernel-attribution slot, nil for untraced
+// requests so the mapper keeps its nil fast path.
+func jobSubBatch(j *sjob) *obs.SubBatch {
+	if j.tr == nil {
+		return nil
+	}
+	return &j.sb
 }
 
 // Close drains the session: new Submits fail with ErrSessionClosed,

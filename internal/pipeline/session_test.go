@@ -30,7 +30,7 @@ type fakeMapper struct {
 	mapped atomic.Int64
 }
 
-func (f *fakeMapper) MapBatchUntil(worker int, recs []seeds.ReadSeeds, base int, out [][]extend.Extension, stop *atomic.Bool) (gbwt.CacheStats, int) {
+func (f *fakeMapper) MapBatchUntil(worker int, recs []seeds.ReadSeeds, base int, out [][]extend.Extension, stop *atomic.Bool, sb *obs.SubBatch) (gbwt.CacheStats, int) {
 	if f.gate != nil {
 		<-f.gate
 	}

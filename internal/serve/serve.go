@@ -31,6 +31,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/seeds"
+	"repro/internal/trace"
 )
 
 // Config assembles a Server. Session and Extract are required.
@@ -45,6 +46,11 @@ type Config struct {
 	Reg *obs.Registry
 	// Slow, when non-nil, is served at /slow.
 	Slow *obs.SlowReads
+	// Traces, when non-nil, tail-samples request lifecycle traces: every
+	// /map request gets a span tree (admit, queue_wait, map_subbatch, emit),
+	// the sampler keeps all non-2xx plus the top-K slowest 2xx, and the
+	// retained traces are served at /traces.
+	Traces *obs.ReqTracer
 	// PerClient caps each client's in-flight requests; ≤0 means 4.
 	PerClient int
 	// MaxReads caps the reads per request; ≤0 means 4096.
@@ -88,6 +94,11 @@ type Server struct {
 	mu      sync.Mutex
 	clients map[string]int // in-flight requests per client id
 
+	// traceBase seeds server-generated trace IDs (requests arriving without
+	// a traceparent header): Hi is fixed non-zero per process, Lo counts.
+	traceBase uint64
+	traceSeq  atomic.Uint64
+
 	// Metric handles (nil-safe when cfg.Reg is nil). HTTP handlers run on
 	// net/http's goroutines, not pipeline workers, so they round-robin over
 	// the registry shards instead of claiming one.
@@ -111,10 +122,11 @@ func New(cfg Config) (*Server, error) {
 	}
 	cfg = cfg.normalize()
 	s := &Server{
-		cfg:     cfg,
-		mux:     http.NewServeMux(),
-		start:   time.Now(),
-		clients: make(map[string]int),
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		start:     time.Now(),
+		clients:   make(map[string]int),
+		traceBase: uint64(time.Now().UnixNano()),
 
 		httpRequests:  cfg.Reg.Counter(obs.MetricServeHTTPRequests),
 		httpOK:        cfg.Reg.Counter(obs.MetricServeHTTPOK),
@@ -129,6 +141,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /slow", s.handleSlow)
+	s.mux.HandleFunc("GET /traces", s.handleTraces)
 	return s, nil
 }
 
@@ -163,6 +176,10 @@ type WireRead struct {
 
 // MapResponse is the POST /map success body.
 type MapResponse struct {
+	// TraceID echoes the request's trace identity (the traceparent header's
+	// trace-id field, or the server-generated one), so a client can join its
+	// own latency observation to the server's /traces span tree.
+	TraceID    trace.ID     `json:"trace_id"`
 	Client     string       `json:"client"`
 	Reads      int          `json:"reads"`
 	Extensions int          `json:"extensions"`
@@ -204,13 +221,40 @@ func (s *Server) shard() int {
 	return int(s.rr.Add(1)) % n
 }
 
+// handleMap owns the request's trace lifecycle: resolve the trace identity
+// (propagated traceparent header, or a server-generated ID), open the trace,
+// run the request, and hand the final status to the tail sampler — exactly
+// one Finish per Start, whatever path serveMap exits through.
 func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	sh := s.shard()
 	s.httpRequests.Inc(sh)
+	id, ok := trace.ParseTraceparent(r.Header.Get(trace.TraceparentHeader))
+	if !ok {
+		id = trace.ID{Hi: s.traceBase, Lo: s.traceSeq.Add(1)}
+	}
+	w.Header().Set(trace.TraceparentHeader, trace.Traceparent(id))
+	rt := s.cfg.Traces.Start(id, "")
+	status := s.serveMap(w, r, sh, id, rt)
+	s.cfg.Traces.Finish(rt, status)
+}
+
+// serveMap runs one mapping request and returns the HTTP status it wrote.
+// The admit span covers everything up to session submission (parse, client
+// and queue admission, seed extraction) and is recorded exactly once on
+// every exit path; the emit span covers response construction.
+func (s *Server) serveMap(w http.ResponseWriter, r *http.Request, sh int, id trace.ID, rt *obs.ReqTrace) int {
+	admitStart := time.Now()
+	admitDone := false
+	endAdmit := func() {
+		if !admitDone {
+			admitDone = true
+			rt.AddSpan(obs.SpanAdmit, -1, admitStart, time.Since(admitStart))
+		}
+	}
+	defer endAdmit()
 	if s.draining.Load() {
 		s.drainRejects.Inc(sh)
-		s.reject(w, http.StatusServiceUnavailable, "draining")
-		return
+		return s.reject(w, http.StatusServiceUnavailable, "draining")
 	}
 	var req MapRequest
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
@@ -219,8 +263,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		s.badRequests.Inc(sh)
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("parsing request: %w", err))
-		return
+		return s.fail(w, http.StatusBadRequest, fmt.Errorf("parsing request: %w", err))
 	}
 	client := req.Client
 	if h := r.Header.Get("X-Client"); h != "" {
@@ -229,24 +272,23 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	if client == "" {
 		client = "anon"
 	}
+	rt.SetClient(client)
+	rt.SetReads(len(req.Reads))
 	if len(req.Reads) == 0 {
 		s.badRequests.Inc(sh)
-		s.fail(w, http.StatusBadRequest, errors.New("no reads"))
-		return
+		return s.fail(w, http.StatusBadRequest, errors.New("no reads"))
 	}
 	if len(req.Reads) > s.cfg.MaxReads {
 		s.badRequests.Inc(sh)
-		s.fail(w, http.StatusRequestEntityTooLarge,
+		return s.fail(w, http.StatusRequestEntityTooLarge,
 			fmt.Errorf("%d reads exceeds the %d-read request cap", len(req.Reads), s.cfg.MaxReads))
-		return
 	}
 
 	// Per-client admission: the first bound a greedy client hits.
 	if !s.admitClient(client) {
 		s.clientRejects.Inc(sh)
-		s.reject(w, http.StatusTooManyRequests,
+		return s.reject(w, http.StatusTooManyRequests,
 			fmt.Sprintf("client %q has %d requests in flight", client, s.cfg.PerClient))
-		return
 	}
 	defer s.releaseClient(client)
 
@@ -256,8 +298,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		v, err := strconv.ParseInt(h, 10, 64)
 		if err != nil {
 			s.badRequests.Inc(sh)
-			s.fail(w, http.StatusBadRequest, fmt.Errorf("X-Deadline-Ms: %w", err))
-			return
+			return s.fail(w, http.StatusBadRequest, fmt.Errorf("X-Deadline-Ms: %w", err))
 		}
 		dms = v
 	}
@@ -279,41 +320,38 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		seq, err := dna.Parse(wr.Seq)
 		if err != nil {
 			s.badRequests.Inc(sh)
-			s.fail(w, http.StatusBadRequest, fmt.Errorf("read %q: %w", wr.Name, err))
-			return
+			return s.fail(w, http.StatusBadRequest, fmt.Errorf("read %q: %w", wr.Name, err))
 		}
 		rec, err := s.cfg.Extract(&dna.Read{Name: wr.Name, Seq: seq, Fragment: -1})
 		if err != nil {
 			s.badRequests.Inc(sh)
-			s.fail(w, http.StatusBadRequest, fmt.Errorf("read %q: %w", wr.Name, err))
-			return
+			return s.fail(w, http.StatusBadRequest, fmt.Errorf("read %q: %w", wr.Name, err))
 		}
 		recs[i] = rec
 	}
 	s.hExtract.Observe(sh, time.Since(t0))
 
-	exts, err := s.cfg.Session.Submit(ctx, recs)
+	endAdmit()
+	exts, err := s.cfg.Session.SubmitTraced(ctx, recs, rt)
 	switch {
 	case err == nil:
 	case errors.Is(err, pipeline.ErrQueueFull):
-		s.reject(w, http.StatusTooManyRequests, "mapping queue full")
-		return
+		return s.reject(w, http.StatusTooManyRequests, "mapping queue full")
 	case errors.Is(err, pipeline.ErrSessionClosed):
 		s.drainRejects.Inc(sh)
-		s.reject(w, http.StatusServiceUnavailable, "draining")
-		return
+		return s.reject(w, http.StatusServiceUnavailable, "draining")
 	case errors.Is(err, context.DeadlineExceeded):
 		s.deadlineHits.Inc(sh)
-		s.fail(w, http.StatusGatewayTimeout, fmt.Errorf("deadline %v exceeded", deadline))
-		return
+		return s.fail(w, http.StatusGatewayTimeout, fmt.Errorf("deadline %v exceeded", deadline))
 	default:
 		// context.Canceled: the client went away; the response is best
 		// effort.
-		s.fail(w, http.StatusServiceUnavailable, err)
-		return
+		return s.fail(w, http.StatusServiceUnavailable, err)
 	}
 
+	emitStart := time.Now()
 	resp := MapResponse{
+		TraceID:   id,
 		Client:    client,
 		Reads:     len(recs),
 		ServiceMs: float64(time.Since(t0)) / float64(time.Millisecond),
@@ -341,6 +379,8 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	}
 	s.httpOK.Inc(sh)
 	s.writeJSON(w, http.StatusOK, resp)
+	rt.AddSpan(obs.SpanEmit, -1, emitStart, time.Since(emitStart))
+	return http.StatusOK
 }
 
 // admitClient reserves an in-flight slot for the client, false when the
@@ -410,15 +450,41 @@ func (s *Server) handleSlow(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, payload)
 }
 
-// reject answers an admission or drain rejection, with Retry-After so
-// well-behaved clients back off.
-func (s *Server) reject(w http.ResponseWriter, status int, msg string) {
-	w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
-	s.writeJSON(w, status, errorBody{Error: msg})
+// handleTraces serves the tail sampler's retained traces, each cross-linked
+// to the slow-read exemplars its sub-batches produced (matched by trace ID
+// over the reservoir's window and run views), so one payload answers both
+// "where did this request's time go" and "which reads made it slow".
+func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	snap := s.cfg.Traces.Snapshot()
+	if s.cfg.Slow != nil && len(snap.Traces) > 0 {
+		byID := make(map[trace.ID][]obs.Exemplar)
+		seen := make(map[int]bool) // Top duplicates Window entries; Index is unique per read
+		for _, ex := range append(s.cfg.Slow.Top(), s.cfg.Slow.Window()...) {
+			if ex.Trace.IsZero() || seen[ex.Index] {
+				continue
+			}
+			seen[ex.Index] = true
+			byID[ex.Trace] = append(byID[ex.Trace], ex)
+		}
+		for i := range snap.Traces {
+			snap.Traces[i].SlowReads = byID[snap.Traces[i].TraceID]
+		}
+	}
+	s.writeJSON(w, http.StatusOK, snap)
 }
 
-func (s *Server) fail(w http.ResponseWriter, status int, err error) {
+// reject answers an admission or drain rejection, with Retry-After so
+// well-behaved clients back off. Returns the status so serveMap exits can
+// report what they wrote.
+func (s *Server) reject(w http.ResponseWriter, status int, msg string) int {
+	w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+	s.writeJSON(w, status, errorBody{Error: msg})
+	return status
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, err error) int {
 	s.writeJSON(w, status, errorBody{Error: err.Error()})
+	return status
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {

@@ -27,9 +27,12 @@ import (
 type fakeMapper struct {
 	delay time.Duration
 	gate  chan struct{}
+	// slow, when set, receives one exemplar per mapped record carrying the
+	// sub-batch's trace ID, mimicking core.Mapper's slow-read attribution.
+	slow *obs.SlowReads
 }
 
-func (f *fakeMapper) MapBatchUntil(worker int, recs []seeds.ReadSeeds, base int, out [][]extend.Extension, stop *atomic.Bool) (gbwt.CacheStats, int) {
+func (f *fakeMapper) MapBatchUntil(worker int, recs []seeds.ReadSeeds, base int, out [][]extend.Extension, stop *atomic.Bool, sb *obs.SubBatch) (gbwt.CacheStats, int) {
 	if f.gate != nil {
 		<-f.gate
 	}
@@ -42,6 +45,12 @@ func (f *fakeMapper) MapBatchUntil(worker int, recs []seeds.ReadSeeds, base int,
 			time.Sleep(f.delay)
 		}
 		out[j] = []extend.Extension{{StartPos: vgraph.Position{Node: vgraph.NodeID(base + j)}, Score: 7}}
+		if f.slow != nil && sb != nil {
+			f.slow.Offer(worker, obs.Exemplar{
+				Read: recs[j].Read.Name, Index: base + j, Worker: worker,
+				TotalNanos: int64(base + j + 1), Trace: sb.Trace,
+			})
+		}
 		mapped++
 	}
 	return gbwt.CacheStats{}, mapped

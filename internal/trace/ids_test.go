@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestIDStringAndTraceparentRoundTrip(t *testing.T) {
+	for _, id := range []ID{
+		{Hi: 1, Lo: 2},
+		{Hi: 0x4bf92f3577b34da6, Lo: 0xa3ce929d0e0e4736},
+		{Hi: 0, Lo: 0xdeadbeef},
+		{Hi: ^uint64(0), Lo: ^uint64(0)},
+	} {
+		h := Traceparent(id)
+		if len(h) != 55 {
+			t.Fatalf("Traceparent(%v) = %q, want 55 bytes", id, h)
+		}
+		got, ok := ParseTraceparent(h)
+		if !ok || got != id {
+			t.Fatalf("ParseTraceparent(%q) = %v, %v; want %v, true", h, got, ok, id)
+		}
+		if want := h[3:35]; id.String() != want {
+			t.Fatalf("ID.String() = %q, want header trace-id field %q", id.String(), want)
+		}
+	}
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	for _, h := range []string{
+		"",
+		"00",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736", // no span id
+		"00-4bf92f3577b34da6a3ce929d0e0e473X-00f067aa0ba902b7-01",       // bad hex
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",       // all-zero id
+		"00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",       // bad separator
+		"0-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",        // short version
+		"00-4bf92f3577b34da6a3ce929d0e0e4736--00f067aa0ba902b7-01-junk", // shifted fields
+	} {
+		if id, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted as %v", h, id)
+		}
+	}
+	// Future versions and trailing extensions are accepted (per spec the
+	// trace-id field position is fixed).
+	if _, ok := ParseTraceparent("cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra"); !ok {
+		t.Error("ParseTraceparent rejected a future-version header")
+	}
+}
+
+func TestIDJSON(t *testing.T) {
+	id := ID{Hi: 0xabc, Lo: 0x123}
+	b, err := json.Marshal(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `"` + id.String() + `"`; string(b) != want {
+		t.Fatalf("Marshal = %s, want %s", b, want)
+	}
+	var back ID
+	if err := json.Unmarshal(b, &back); err != nil || back != id {
+		t.Fatalf("Unmarshal(%s) = %v, %v", b, back, err)
+	}
+	z, err := json.Marshal(ID{})
+	if err != nil || string(z) != `""` {
+		t.Fatalf("Marshal(zero) = %s, %v; want \"\"", z, err)
+	}
+	var zb ID
+	if err := json.Unmarshal([]byte(`""`), &zb); err != nil || !zb.IsZero() {
+		t.Fatalf("Unmarshal(\"\") = %v, %v; want zero", zb, err)
+	}
+	if err := json.Unmarshal([]byte(`"xyz"`), &zb); err == nil {
+		t.Error("Unmarshal accepted a malformed ID")
+	}
+}

@@ -14,15 +14,21 @@
 #                during extraction/mapping and cancels in-flight work.
 #                Asserts >= 1 expiry (504 or client-side timeout).
 #
+# Every request carries a loadgen-generated traceparent; after the deadline
+# phase the tail sampler must be holding at least one 504 trace with a
+# cancellation marker (fetched from /traces), and the drained server must
+# have written its Perfetto request-track dump.
+#
 # Finally SIGTERM: the server must drain, write its run manifest, and exit
-# 0. All artifacts (loadgen reports, giraffed manifest + series) land in
-# $SMOKE_DIR for CI upload.
+# 0. All artifacts (loadgen reports, giraffed manifest + series + traces)
+# land in $SMOKE_DIR for CI upload.
 set -eu
 
 GO="${GO:-go}"
 SMOKE_DIR="${SMOKE_DIR:-serve-smoke}"
 ADDR="${ADDR:-localhost:8766}"
 P99_BOUND="${P99_BOUND:-5s}"
+QUEUE_P99_BOUND="${QUEUE_P99_BOUND:-5s}"
 
 mkdir -p "$SMOKE_DIR"
 echo "== building binaries"
@@ -37,7 +43,8 @@ echo "== booting giraffed on $ADDR (batch 64, queue depth 4)"
     -threads 2 -batch 64 -depth 4 -per-client 64 \
     -manifest "$SMOKE_DIR/giraffed-manifest.json" \
     -series "$SMOKE_DIR/giraffed.series" -series-interval 500ms \
-    -slow 8 >"$SMOKE_DIR/giraffed.log" 2>&1 &
+    -slow 8 -trace-k 16 -req-traces "$SMOKE_DIR/giraffed-reqtrace.json" \
+    >"$SMOKE_DIR/giraffed.log" 2>&1 &
 SRV_PID=$!
 trap 'kill "$SRV_PID" 2>/dev/null || true' EXIT
 
@@ -47,7 +54,8 @@ echo "== phase 1: steady traffic (expect 2xx, bounded p99)"
     -clients 4 -deadline 10s \
     -report "$SMOKE_DIR/loadgen-steady.json" \
     -manifest "$SMOKE_DIR/loadgen-steady-manifest.json" \
-    -assert-min-2xx 1 -assert-max-p99 "$P99_BOUND"
+    -assert-min-2xx 1 -assert-max-p99 "$P99_BOUND" \
+    -assert-max-queue-p99 "$QUEUE_P99_BOUND"
 
 echo "== phase 2: oversized bursts (expect 429 queue rejections)"
 # 512 reads / 64-read sub-batches = 8 queue slots per request, but the
@@ -63,6 +71,20 @@ echo "== phase 3: 1ms deadlines (expect deadline expiries)"
     -deadline 1ms -report "$SMOKE_DIR/loadgen-deadline.json" \
     -assert-min-timeout 1
 
+echo "== tail-sampled traces (expect >= 1 retained 504 with cancellation)"
+curl -s "http://$ADDR/traces" > "$SMOKE_DIR/traces.json"
+if ! grep -q '"status":504' "$SMOKE_DIR/traces.json"; then
+    echo "FAIL: no 504 trace retained after the deadline phase (tail sampler must keep every non-2xx)"
+    exit 1
+fi
+# A deadline either stops a kernel mid-sub-batch (canceled map span) or
+# skips queued sub-batches outright (cancel span) — either marker will do.
+if ! grep -q '"canceled":true' "$SMOKE_DIR/traces.json" \
+   && ! grep -q '"name":"cancel"' "$SMOKE_DIR/traces.json"; then
+    echo "FAIL: sampled 504 traces show no cancellation marker"
+    exit 1
+fi
+
 echo "== graceful drain (SIGTERM, expect exit 0 + manifest)"
 kill -TERM "$SRV_PID"
 rc=0
@@ -76,6 +98,15 @@ fi
 if [ ! -s "$SMOKE_DIR/giraffed-manifest.json" ]; then
     echo "FAIL: giraffed did not write its run manifest on drain"
     cat "$SMOKE_DIR/giraffed.log"
+    exit 1
+fi
+if [ ! -s "$SMOKE_DIR/giraffed-reqtrace.json" ]; then
+    echo "FAIL: giraffed did not write its Perfetto request-trace dump on drain"
+    cat "$SMOKE_DIR/giraffed.log"
+    exit 1
+fi
+if ! grep -q ' 504"' "$SMOKE_DIR/giraffed-reqtrace.json"; then
+    echo "FAIL: Perfetto dump has no 504 request track"
     exit 1
 fi
 
