@@ -35,6 +35,8 @@ func main() {
 	manifest := flag.String("manifest", "", "run manifest JSON path (default <outdir>/run-manifest.json; \"off\" disables)")
 	seriesPath := flag.String("series", "", "archive a delta-encoded metric time-series here (flight recorder; enables the metrics registry)")
 	seriesEvery := flag.Duration("series-interval", obs.DefaultSeriesInterval, "series self-scrape interval")
+	profileDir := flag.String("profile", "", "continuous profiling: rotate labeled CPU/heap profile segments into this directory")
+	profileEvery := flag.Duration("profile-interval", obs.DefaultProfileInterval, "profile segment rotation interval")
 	flag.Parse()
 
 	if err := os.MkdirAll(*outdir, 0o755); err != nil {
@@ -55,6 +57,14 @@ func main() {
 		reg = obs.NewRegistry(suiteShards(*threads))
 		var err error
 		series, err = obs.StartSeries(reg, nil, nil, *seriesPath, *seriesEvery, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	var profiles *obs.ProfileRecorder
+	if *profileDir != "" {
+		var err error
+		profiles, err = obs.StartProfiles(*profileDir, *profileEvery)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -159,6 +169,11 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	if profiles != nil {
+		if err := profiles.Stop(); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if manifestPath != "" {
 		entries, err := os.ReadDir(*outdir)
 		if err != nil {
@@ -172,6 +187,9 @@ func main() {
 		if *seriesPath != "" {
 			man.AddResult(*seriesPath)
 			man.Notes["series"] = filepath.Base(*seriesPath)
+		}
+		if *profileDir != "" {
+			man.Notes["profiles"] = filepath.Base(*profileDir)
 		}
 		man.Finish(reg)
 		if err := man.Write(manifestPath); err != nil {

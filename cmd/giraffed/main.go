@@ -76,6 +76,8 @@ func main() {
 	reqTracePath := flag.String("req-traces", "", "write sampled request traces as a Perfetto/Chrome trace file here on shutdown")
 	debugAddr := flag.String("debug-addr", "", "serve pprof/expvar/progress on this extra address")
 	progressEvery := flag.Duration("progress-interval", time.Second, "debug endpoint: /progress sampling interval")
+	profileDir := flag.String("profile", "", "continuous profiling: rotate labeled CPU/heap profile segments into this directory")
+	profileEvery := flag.Duration("profile-interval", obs.DefaultProfileInterval, "profile segment rotation interval")
 	flag.Parse()
 	if *gbzPath == "" {
 		flag.Usage()
@@ -170,6 +172,14 @@ func main() {
 		}
 		log.Printf("debug endpoint on http://%s/", dbg.Addr())
 	}
+	var profiles *obs.ProfileRecorder
+	if *profileDir != "" {
+		profiles, err = obs.StartProfiles(*profileDir, *profileEvery)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("profiling into %s (rotating every %v)", *profileDir, *profileEvery)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -210,6 +220,11 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	if profiles != nil {
+		if err := profiles.Stop(); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if *reqTracePath != "" && tracer != nil {
 		tf, err := os.Create(*reqTracePath)
 		if err != nil {
@@ -237,6 +252,9 @@ func main() {
 			// obsdiff resolves the archive by basename next to the manifest.
 			man.AddResult(*seriesPath)
 			man.Notes["series"] = filepath.Base(*seriesPath)
+		}
+		if *profileDir != "" {
+			man.Notes["profiles"] = filepath.Base(*profileDir)
 		}
 		man.AddSlowReads(slow)
 		man.AddReqTraces(tracer)

@@ -70,6 +70,8 @@ func main() {
 	slowK := flag.Int("slow", 0, "retain the K slowest reads as exemplars (served at /slow, archived in the manifest)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile here")
 	memprofile := flag.String("memprofile", "", "write a heap profile here")
+	profileDir := flag.String("profile", "", "continuous profiling: rotate labeled CPU/heap profile segments into this directory (cannot be combined with -cpuprofile)")
+	profileEvery := flag.Duration("profile-interval", obs.DefaultProfileInterval, "profile segment rotation interval")
 	flag.Parse()
 	if *gbzPath == "" || (*seedsPath == "") == (*fastqPath == "") {
 		flag.Usage()
@@ -89,6 +91,14 @@ func main() {
 			log.Fatal(err)
 		}
 		defer pprof.StopCPUProfile()
+	}
+	var profiles *obs.ProfileRecorder
+	if *profileDir != "" {
+		var err error
+		profiles, err = obs.StartProfiles(*profileDir, *profileEvery)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	// Observability is default-off: the registry exists only when asked for,
@@ -186,6 +196,13 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	if profiles != nil {
+		// Same discipline as the series: a capture that failed mid-run fails
+		// the run, instead of committing a silently truncated profile.
+		if err := profiles.Stop(); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	if *memprofile != "" {
 		pf, err := os.Create(*memprofile)
@@ -245,6 +262,9 @@ func main() {
 		if *seriesPath != "" {
 			// obsdiff resolves the archive by basename next to the manifest.
 			man.Notes["series"] = filepath.Base(*seriesPath)
+		}
+		if *profileDir != "" {
+			man.Notes["profiles"] = filepath.Base(*profileDir)
 		}
 		man.AddSlowReads(slow)
 		man.Finish(reg)

@@ -4,6 +4,7 @@ package a
 
 import (
 	"fmt"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/obs"
@@ -53,4 +54,21 @@ func requestSpans(rt *obs.ReqTrace, worker int, stage string) {
 
 func suppressed(reg *obs.Registry, name string) {
 	reg.Counter(name).Inc(0) //vetgiraffe:ignore metricname fixture exercises the suppression path
+}
+
+const localLabelKey = "stage"
+
+func pprofLabelKeys(class string) {
+	_ = pprof.Labels(obs.LabelStage, "map", obs.LabelRequestClass, class)
+	_ = pprof.Labels(localLabelKey, "emit")
+	_ = pprof.Labels("stage", "map")                          // want `pprof label key must be a named constant`
+	_ = pprof.Labels(obs.LabelStage+"x", "ingest")            // want `pprof label key must be a named constant`
+	_ = pprof.Labels(obs.LabelWorker, "0", "ad_hoc_key", "v") // want `pprof label key must be a named constant`
+}
+
+func runtimeSeries(reg *obs.Registry) {
+	reg.Gauge(obs.MetricRuntimeGoroutines).Set(0, 1)
+	reg.Counter(localMetric).Inc(0)
+	reg.Gauge("runtime_goroutines").Set(0, 1)          // want `runtime_\* metric name must be a named constant`
+	reg.Counter("runtime_" + "gc_cycles_total").Inc(0) // want `runtime_\* metric name must be a named constant`
 }

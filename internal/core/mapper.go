@@ -381,6 +381,11 @@ func (m *Mapper) Run(records []seeds.ReadSeeds) (*Result, error) {
 	res := &Result{Extensions: make([][]extend.Extension, len(records))}
 	cacheStats := make([]gbwt.CacheStats, threads)
 
+	// pprof labels at batch granularity: the claim callback re-labels its
+	// goroutine per claimed batch (scheduler workers are reused across
+	// batches), never per record, so -profile captures split by worker with
+	// the map hot path untouched.
+	labels := obs.NewProfLabels(obs.ClassBatch, threads)
 	start := time.Now()
 	stats, err := sched.RunBatches(sched.Config{
 		Kind:      opts.Scheduler,
@@ -388,6 +393,7 @@ func (m *Mapper) Run(records []seeds.ReadSeeds) (*Result, error) {
 		BatchSize: opts.BatchSize,
 		Obs:       opts.Obs,
 	}, len(records), func(worker, lo, hi int) {
+		labels.ApplyMap(worker)
 		cacheStats[worker].Add(run.MapBatch(worker, records[lo:hi], lo, res.Extensions[lo:hi]))
 		// Batch boundary: tick the epoch clock (publishes the next shared
 		// snapshot every interval; no-op without the epoch cache).

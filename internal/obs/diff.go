@@ -144,6 +144,12 @@ type DiffReport struct {
 	Throughput []DiffRow
 	// Latency rows compare histogram p99s; Base/Cand are seconds.
 	Latency []DiffRow
+	// Gauges compare final gauge levels (absolute values, not rates) —
+	// informational, never gated: levels like queue depth or the runtime_*
+	// telemetry (heap live/goal, GC pause p99) are workload-shaped, so the
+	// report shows the drift and a human judges it. Gauges present in both
+	// runs align here rather than landing in Added/Removed.
+	Gauges []DiffRow
 	// Added and Removed list metrics present in only one run — reported, not
 	// failed, so instrumentation changes don't block CI.
 	Added, Removed []string
@@ -216,6 +222,25 @@ func Diff(base, cand *RunData, opts DiffOptions) *DiffReport {
 	// samples, dodging warm-up and drain), informational.
 	if row, ok := steadyRate(base, cand); ok {
 		r.Throughput = append(r.Throughput, row)
+	}
+
+	// Gauge levels (runtime_* telemetry and pipeline levels), informational.
+	for _, name := range unionNames(bm.Gauges, cm.Gauges) {
+		bv, bok := bm.Gauges[name]
+		cv, cok := cm.Gauges[name]
+		switch {
+		case bok && !cok:
+			r.Removed = append(r.Removed, name)
+			continue
+		case cok && !bok:
+			r.Added = append(r.Added, name)
+			continue
+		}
+		row := DiffRow{Name: name, Base: float64(bv), Cand: float64(cv)}
+		if bv != 0 {
+			row.Delta = SanitizeFloat(row.Cand/row.Base - 1)
+		}
+		r.Gauges = append(r.Gauges, row)
 	}
 
 	// Tail latency per histogram.
@@ -349,6 +374,14 @@ func (r *DiffReport) WriteMarkdown(w io.Writer) error {
 	for _, row := range r.Latency {
 		fmt.Fprintf(w, "| %s | %s | %s | %+.1f%% | %s |\n",
 			row.Name, fmtSeconds(row.Base), fmtSeconds(row.Cand), row.Delta*100, rowVerdict(row))
+	}
+
+	if len(r.Gauges) > 0 {
+		fmt.Fprintf(w, "\n## Gauge levels (final values, informational)\n\n| metric | baseline | candidate | delta |\n|---|---:|---:|---:|\n")
+		for _, row := range r.Gauges {
+			fmt.Fprintf(w, "| %s | %.0f | %.0f | %+.1f%% |\n",
+				row.Name, row.Base, row.Cand, row.Delta*100)
+		}
 	}
 
 	if len(r.Added) > 0 {

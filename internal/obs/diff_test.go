@@ -140,6 +140,57 @@ func TestDiffAddedRemovedMetrics(t *testing.T) {
 	}
 }
 
+// TestDiffGaugeAlignment: gauges present in both runs align into the
+// informational Gauges section and never gate; one-sided gauges still land in
+// Added/Removed. This is what lets the runtime_* telemetry ride the diff
+// without a baseline refresh tripping the added/removed lists.
+func TestDiffGaugeAlignment(t *testing.T) {
+	base := loadRun(t, writeRun(t, 1, &Snapshot{
+		Gauges: map[string]int64{
+			MetricRuntimeGoroutines: 10,
+			MetricRuntimeHeapLive:   1 << 20,
+			"gone_gauge":            3,
+		},
+	}))
+	cand := loadRun(t, writeRun(t, 1, &Snapshot{
+		Gauges: map[string]int64{
+			MetricRuntimeGoroutines: 200, // 20x worse — still informational
+			MetricRuntimeHeapLive:   2 << 20,
+			"fresh_gauge":           4,
+		},
+	}))
+	r := Diff(base, cand, DiffOptions{})
+	if r.Regressed() {
+		t.Error("gauge movement gated the diff; gauges are informational")
+	}
+	if len(r.Gauges) != 2 {
+		t.Fatalf("aligned %d gauges, want 2: %+v", len(r.Gauges), r.Gauges)
+	}
+	byName := map[string]DiffRow{}
+	for _, row := range r.Gauges {
+		byName[row.Name] = row
+	}
+	g := byName[MetricRuntimeGoroutines]
+	if g.Base != 10 || g.Cand != 200 || g.Delta != 19 {
+		t.Errorf("goroutines row = %+v, want base 10 cand 200 delta 19", g)
+	}
+	if strings.Join(r.Added, ",") != "fresh_gauge" {
+		t.Errorf("Added = %v, want [fresh_gauge]", r.Added)
+	}
+	if strings.Join(r.Removed, ",") != "gone_gauge" {
+		t.Errorf("Removed = %v, want [gone_gauge]", r.Removed)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "## Gauge levels") || !strings.Contains(out, MetricRuntimeGoroutines) {
+		t.Errorf("report missing gauge section:\n%s", out)
+	}
+}
+
 func TestLoadRunResolvesSeries(t *testing.T) {
 	dir := t.TempDir()
 	reg := NewRegistry(1)

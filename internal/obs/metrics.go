@@ -89,6 +89,24 @@ const (
 	MetricServeBadRequests   = "serve_bad_requests_total"
 	MetricServeExtract       = "serve_extract_seconds"
 
+	// Runtime telemetry (internal/obs/runtime.go): the Go runtime's own
+	// behavior, sampled from runtime/metrics on every flight-recorder tick
+	// so GC and scheduler health archive and diff like any pipeline metric.
+	// Counters advance by deltas of the runtime's cumulative totals; the
+	// p99 gauges are run-level quantiles of the runtime's own histograms,
+	// in integer microseconds. runtime_* series names must be named
+	// constants declared here (the metricname analyzer enforces the
+	// stricter rule for this prefix, keeping the runtime catalogue in one
+	// place).
+	MetricRuntimeGoroutines  = "runtime_goroutines"
+	MetricRuntimeHeapLive    = "runtime_heap_live_bytes"
+	MetricRuntimeHeapGoal    = "runtime_heap_goal_bytes"
+	MetricRuntimeGCCycles    = "runtime_gc_cycles_total"
+	MetricRuntimeGCCPU       = "runtime_gc_cpu_micros_total"
+	MetricRuntimeHeapAllocs  = "runtime_heap_alloc_bytes_total"
+	MetricRuntimeGCPauseP99  = "runtime_gc_pause_p99_micros"
+	MetricRuntimeSchedLatP99 = "runtime_sched_latency_p99_micros"
+
 	// Load generator (cmd/loadgen): the client-side view of the same
 	// traffic, so a serving run and the loadgen run that drove it can be
 	// diffed pairwise with cmd/obsdiff.

@@ -1,0 +1,298 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// profdiff: align two CPU profiles by function symbol and report flat-time
+// regressions. All comparisons run on each function's *share* of its own
+// run's total CPU time, not raw nanoseconds — two captures rarely run for
+// the same duration or on the same machine, but "mapper went from 30% of
+// the run to 45%" survives both. cmd/profdiff fronts this next to obsdiff
+// in `make perfdiff` and CI: obsdiff answers whether the run got slower,
+// profdiff answers which function is to blame.
+
+// LoadCPUProfiles loads a CPU profile from a file, or merges every
+// cpu-*.pb.gz segment under a directory (the layout ProfileRecorder
+// writes) into the whole-run profile.
+func LoadCPUProfiles(path string) (*Profile, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	files := []string{path}
+	if fi.IsDir() {
+		files, err = filepath.Glob(filepath.Join(path, "cpu-*.pb.gz"))
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			return nil, fmt.Errorf("profdiff: no cpu-*.pb.gz segments under %s", path)
+		}
+		sort.Strings(files)
+	}
+	profiles := make([]*Profile, 0, len(files))
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		p, err := ParsePProf(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", f, err)
+		}
+		profiles = append(profiles, p)
+	}
+	return MergePProf(profiles)
+}
+
+// cpuValueIndex picks the sample-value column holding CPU time: the
+// {cpu, nanoseconds} dimension of a runtime CPU profile, falling back to
+// the last column (pprof convention for the default).
+func cpuValueIndex(p *Profile) int {
+	for i, vt := range p.SampleTypes {
+		if vt.Type == "cpu" {
+			return i
+		}
+	}
+	return len(p.SampleTypes) - 1
+}
+
+// profIndex aggregates one profile by function symbol.
+type profIndex struct {
+	total int64            // total CPU nanos
+	flat  map[string]int64 // leaf-frame time per function
+	cum   map[string]int64 // time with the function anywhere on stack
+	stage map[string]map[string]int64
+}
+
+func indexProfile(p *Profile) *profIndex {
+	ix := &profIndex{
+		flat:  map[string]int64{},
+		cum:   map[string]int64{},
+		stage: map[string]map[string]int64{},
+	}
+	vi := cpuValueIndex(p)
+	if vi < 0 {
+		return ix
+	}
+	seen := map[string]bool{}
+	for _, s := range p.Samples {
+		if vi >= len(s.Values) {
+			continue
+		}
+		v := s.Values[vi]
+		ix.total += v
+		if len(s.Stack) == 0 {
+			continue
+		}
+		leaf := s.Stack[0].Func
+		ix.flat[leaf] += v
+		stage := ""
+		for _, l := range s.Labels {
+			if l.Key == LabelStage && l.Str != "" {
+				stage = l.Str
+				break
+			}
+		}
+		byStage := ix.stage[leaf]
+		if byStage == nil {
+			byStage = map[string]int64{}
+			ix.stage[leaf] = byStage
+		}
+		byStage[stage] += v
+		// Cumulative time counts each function once per sample even when
+		// recursion puts it on the stack several times.
+		for k := range seen {
+			delete(seen, k)
+		}
+		for _, f := range s.Stack {
+			if !seen[f.Func] {
+				seen[f.Func] = true
+				ix.cum[f.Func] += v
+			}
+		}
+	}
+	return ix
+}
+
+// ProfDiffOptions are the gate thresholds; zero values take defaults.
+type ProfDiffOptions struct {
+	// ShareRise is the flat-share increase (in absolute share points)
+	// that fails the gate. Default 0.04: a function must absorb 4 more
+	// points of the run's CPU than it did in the baseline.
+	ShareRise float64
+	// MinShare exempts functions that stay small: the gate only fires if
+	// the candidate share is at least this. Default 0.05.
+	MinShare float64
+	// Top bounds the rows in the report (failed rows always appear).
+	// Default 20.
+	Top int
+}
+
+func (o ProfDiffOptions) withDefaults() ProfDiffOptions {
+	if o.ShareRise == 0 {
+		o.ShareRise = 0.04
+	}
+	if o.MinShare == 0 {
+		o.MinShare = 0.05
+	}
+	if o.Top == 0 {
+		o.Top = 20
+	}
+	return o
+}
+
+// ProfDiffRow is one function's alignment across the two profiles. Shares
+// are fractions of each run's total CPU time.
+type ProfDiffRow struct {
+	Name                 string
+	BaseShare, CandShare float64 // flat share
+	BaseCum, CandCum     float64 // cumulative share
+	Failed               bool
+	Stages               string // candidate flat time by stage label
+}
+
+// ProfDiffReport is the verdict of aligning two CPU profiles.
+type ProfDiffReport struct {
+	Opts                       ProfDiffOptions
+	BaseTotal, CandTotal       time.Duration
+	BaseDuration, CandDuration time.Duration
+	Rows                       []ProfDiffRow
+}
+
+// DiffProfiles aligns two CPU profiles by function symbol.
+func DiffProfiles(base, cand *Profile, opts ProfDiffOptions) *ProfDiffReport {
+	opts = opts.withDefaults()
+	bix, cix := indexProfile(base), indexProfile(cand)
+	r := &ProfDiffReport{
+		Opts:         opts,
+		BaseTotal:    time.Duration(bix.total),
+		CandTotal:    time.Duration(cix.total),
+		BaseDuration: time.Duration(base.DurationNanos),
+		CandDuration: time.Duration(cand.DurationNanos),
+	}
+
+	names := map[string]bool{}
+	for n := range bix.flat {
+		names[n] = true
+	}
+	for n := range cix.flat {
+		names[n] = true
+	}
+	for name := range names {
+		row := ProfDiffRow{Name: name}
+		if bix.total > 0 {
+			row.BaseShare = float64(bix.flat[name]) / float64(bix.total)
+			row.BaseCum = float64(bix.cum[name]) / float64(bix.total)
+		}
+		if cix.total > 0 {
+			row.CandShare = float64(cix.flat[name]) / float64(cix.total)
+			row.CandCum = float64(cix.cum[name]) / float64(cix.total)
+		}
+		// A function absent from the baseline gates like any other: its
+		// baseline share is simply zero, so brand-new hot code cannot hide
+		// behind an added/removed exemption the way renamed metrics can.
+		row.Failed = row.CandShare-row.BaseShare >= opts.ShareRise &&
+			row.CandShare >= opts.MinShare
+		row.Stages = stageSummary(cix, name)
+		r.Rows = append(r.Rows, row)
+	}
+	sort.Slice(r.Rows, func(i, j int) bool {
+		di := r.Rows[i].CandShare - r.Rows[i].BaseShare
+		dj := r.Rows[j].CandShare - r.Rows[j].BaseShare
+		if di != dj {
+			return di > dj
+		}
+		return r.Rows[i].Name < r.Rows[j].Name
+	})
+	return r
+}
+
+// stageSummary formats a function's candidate flat time split by the stage
+// label, largest first, e.g. "map 82%, emit 18%".
+func stageSummary(ix *profIndex, name string) string {
+	byStage := ix.stage[name]
+	flat := ix.flat[name]
+	if len(byStage) == 0 || flat == 0 {
+		return ""
+	}
+	type sv struct {
+		stage string
+		v     int64
+	}
+	parts := make([]sv, 0, len(byStage))
+	for s, v := range byStage {
+		parts = append(parts, sv{s, v})
+	}
+	sort.Slice(parts, func(i, j int) bool {
+		if parts[i].v != parts[j].v {
+			return parts[i].v > parts[j].v
+		}
+		return parts[i].stage < parts[j].stage
+	})
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ", "
+		}
+		stage := p.stage
+		if stage == "" {
+			stage = "(unlabeled)"
+		}
+		out += fmt.Sprintf("%s %.0f%%", stage, 100*float64(p.v)/float64(flat))
+	}
+	return out
+}
+
+// Regressed reports whether any function tripped the gate.
+func (r *ProfDiffReport) Regressed() bool {
+	for _, row := range r.Rows {
+		if row.Failed {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteMarkdown renders the report: run totals, then the top functions by
+// flat-share movement (every failed row included regardless of rank).
+func (r *ProfDiffReport) WriteMarkdown(w io.Writer) error {
+	fmt.Fprintf(w, "# CPU profile diff\n\n")
+	fmt.Fprintf(w, "Baseline: %v CPU over %v wall. Candidate: %v CPU over %v wall.\n",
+		r.BaseTotal.Round(time.Millisecond), r.BaseDuration.Round(time.Millisecond),
+		r.CandTotal.Round(time.Millisecond), r.CandDuration.Round(time.Millisecond))
+	fmt.Fprintf(w, "Shares are fractions of each run's own CPU total; the gate fails a function whose flat share rose ≥%.1f points to at least %.1f%%.\n",
+		100*r.Opts.ShareRise, 100*r.Opts.MinShare)
+	fmt.Fprintf(w, "\n## Flat time by function\n\n")
+	fmt.Fprintf(w, "| function | base flat | cand flat | Δshare | cand cum | stages | verdict |\n")
+	fmt.Fprintf(w, "|---|---:|---:|---:|---:|---|---|\n")
+	shown := 0
+	for _, row := range r.Rows {
+		if shown >= r.Opts.Top && !row.Failed {
+			continue
+		}
+		shown++
+		verdict := "ok"
+		if row.Failed {
+			verdict = "**FAIL**"
+		}
+		fmt.Fprintf(w, "| %s | %.1f%% | %.1f%% | %+.1fpt | %.1f%% | %s | %s |\n",
+			row.Name, 100*row.BaseShare, 100*row.CandShare,
+			100*(row.CandShare-row.BaseShare), 100*row.CandCum, row.Stages, verdict)
+	}
+	if len(r.Rows) > shown {
+		fmt.Fprintf(w, "\n(%d more functions below the top-%d cut.)\n", len(r.Rows)-shown, r.Opts.Top)
+	}
+	if r.Regressed() {
+		fmt.Fprintf(w, "\n**Verdict: REGRESSED.**\n")
+	} else {
+		fmt.Fprintf(w, "\nVerdict: within thresholds.\n")
+	}
+	return nil
+}

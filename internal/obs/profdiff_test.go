@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// flatProfile builds a single-frame-per-sample CPU profile from a
+// function→nanos map, optionally tagging everything with a stage label.
+func flatProfile(flat map[string]int64, stages map[string]string) *Profile {
+	p := &Profile{
+		SampleTypes:   []ValueType{{Type: "samples", Unit: "count"}, {Type: "cpu", Unit: "nanoseconds"}},
+		PeriodType:    ValueType{Type: "cpu", Unit: "nanoseconds"},
+		Period:        10_000_000,
+		DurationNanos: 1_000_000_000,
+	}
+	// Deterministic order so encoded fixtures are stable.
+	names := make([]string, 0, len(flat))
+	for n := range flat {
+		names = append(names, n)
+	}
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	for _, name := range names {
+		s := &Sample{
+			Stack: []Frame{
+				{Func: name, File: "repro/hot.go", Line: 10, StartLine: 5},
+				{Func: "main", File: "repro/main.go", Line: 20, StartLine: 15},
+			},
+			Values: []int64{1, flat[name]},
+		}
+		if st, ok := stages[name]; ok {
+			s.Labels = []Label{{Key: LabelStage, Str: st}}
+		}
+		p.Samples = append(p.Samples, s)
+	}
+	return p
+}
+
+// TestProfDiffSlowdownTrips is the acceptance fixture: a deliberate hot spot
+// new in the candidate must trip the gate, with no added/removed exemption.
+func TestProfDiffSlowdownTrips(t *testing.T) {
+	base := flatProfile(map[string]int64{"mapper": 600, "emit": 400},
+		map[string]string{"mapper": StageMap, "emit": StageEmit})
+	cand := flatProfile(map[string]int64{"mapper": 600, "emit": 400, "slowHot": 1000},
+		map[string]string{"mapper": StageMap, "emit": StageEmit, "slowHot": StageMap})
+
+	r := DiffProfiles(base, cand, ProfDiffOptions{})
+	if !r.Regressed() {
+		t.Fatal("deliberate slowdown did not trip the gate")
+	}
+	var hot *ProfDiffRow
+	for i := range r.Rows {
+		if r.Rows[i].Name == "slowHot" {
+			hot = &r.Rows[i]
+		}
+	}
+	if hot == nil {
+		t.Fatal("slowHot missing from report")
+	}
+	if !hot.Failed {
+		t.Errorf("slowHot not failed: %+v", *hot)
+	}
+	if hot.BaseShare != 0 {
+		t.Errorf("slowHot base share = %v, want 0 (absent from baseline)", hot.BaseShare)
+	}
+	if hot.CandShare != 0.5 {
+		t.Errorf("slowHot cand share = %v, want 0.5", hot.CandShare)
+	}
+	if hot.Stages != "map 100%" {
+		t.Errorf("slowHot stages = %q, want %q", hot.Stages, "map 100%")
+	}
+	// The report is sorted by share movement: the regression leads.
+	if r.Rows[0].Name != "slowHot" {
+		t.Errorf("first row is %s, want slowHot", r.Rows[0].Name)
+	}
+	// mapper fell from 60% to 30% — a share *drop* must not fail.
+	for _, row := range r.Rows {
+		if row.Name != "slowHot" && row.Failed {
+			t.Errorf("%s failed the gate without regressing: %+v", row.Name, row)
+		}
+	}
+
+	var md strings.Builder
+	if err := r.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	out := md.String()
+	for _, want := range []string{"slowHot", "**FAIL**", "**Verdict: REGRESSED.**", "map 100%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestProfDiffScaleInvariant: the same workload captured 3× longer moves no
+// shares, so the gate stays quiet — the cross-machine robustness property.
+func TestProfDiffScaleInvariant(t *testing.T) {
+	base := flatProfile(map[string]int64{"mapper": 600, "emit": 400}, nil)
+	cand := flatProfile(map[string]int64{"mapper": 1800, "emit": 1200}, nil)
+	r := DiffProfiles(base, cand, ProfDiffOptions{})
+	if r.Regressed() {
+		t.Fatalf("scaled-only profile regressed: %+v", r.Rows)
+	}
+	var md strings.Builder
+	if err := r.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "Verdict: within thresholds.") {
+		t.Errorf("markdown missing clean verdict:\n%s", md.String())
+	}
+}
+
+// TestProfDiffMinShareExempt: a rise that stays under MinShare is noise, not
+// a regression.
+func TestProfDiffMinShareExempt(t *testing.T) {
+	base := flatProfile(map[string]int64{"mapper": 1000}, nil)
+	cand := flatProfile(map[string]int64{"mapper": 955, "tiny": 45}, nil)
+	// tiny rose 0% → 4.5%: past the default ShareRise but under MinShare 0.05.
+	if r := DiffProfiles(base, cand, ProfDiffOptions{}); r.Regressed() {
+		t.Fatalf("sub-MinShare rise regressed: %+v", r.Rows)
+	}
+	// Tightening MinShare fires it.
+	if r := DiffProfiles(base, cand, ProfDiffOptions{MinShare: 0.02}); !r.Regressed() {
+		t.Fatal("rise past a tightened MinShare did not trip")
+	}
+}
+
+// TestLoadCPUProfilesDir merges a ProfileRecorder-style directory: cpu-*
+// segments sum, heap-* files are ignored.
+func TestLoadCPUProfilesDir(t *testing.T) {
+	dir := t.TempDir()
+	seg := flatProfile(map[string]int64{"mapper": 500}, map[string]string{"mapper": StageMap})
+	data, err := seg.EncodePProf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"cpu-0000.pb.gz", "cpu-0001.pb.gz"} {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A heap profile in the directory must not be swept into the CPU merge.
+	if err := os.WriteFile(filepath.Join(dir, "heap-0000.pb.gz"), []byte("not a profile"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	merged, err := LoadCPUProfiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := indexProfile(merged)
+	if ix.flat["mapper"] != 1000 {
+		t.Errorf("merged mapper flat = %d, want 1000 (two 500ns segments)", ix.flat["mapper"])
+	}
+
+	// Single-file mode still works.
+	single, err := LoadCPUProfiles(filepath.Join(dir, "cpu-0000.pb.gz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := indexProfile(single).flat["mapper"]; got != 500 {
+		t.Errorf("single-file mapper flat = %d, want 500", got)
+	}
+
+	// An empty directory is an explicit error, not an empty profile.
+	if _, err := LoadCPUProfiles(t.TempDir()); err == nil {
+		t.Error("loading an empty directory succeeded")
+	}
+}

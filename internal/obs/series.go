@@ -21,12 +21,13 @@ import (
 //
 // On-disk format (all integers varint; `s` = zig-zag signed, `u` = unsigned):
 //
-//	header:  "MGSR" | version u8 (=1) | s start-unix-nanos | s nominal-interval-nanos
+//	header:  "MGSR" | version u8 (=2) | s start-unix-nanos | s nominal-interval-nanos
 //	sample:  'S' | s dt-nanos (since previous sample; first since start)
 //	         | u #counters | #counters x (nameRef, s delta)
 //	         | u #gauges   | #gauges   x (nameRef, s absolute-value)
 //	         | u #hists    | #hists    x (nameRef, s d-count, s d-sum-nanos,
 //	                                      u #buckets, #buckets x (u bit, s d-count))
+//	         | u #extra    | #extra    x (kind u8, u byte-length, payload)   [v2+]
 //	nameRef: u id; id 0 declares a new name (u byte-length + bytes) and
 //	         assigns it the next id (1-based, per metric kind).
 //
@@ -35,12 +36,21 @@ import (
 // sample timestamps are explicit, so retention compaction (dropping every
 // other sample once the cap is hit) never loses the ability to reconstruct
 // exact absolute values at every retained point.
+//
+// The v2 trailing extra-section list is the forward-compat hook: each extra
+// section is a (kind byte, length, payload) triple, so a reader that does
+// not know a future metric kind skips its payload by length and keeps
+// decoding — an unknown kind is not a torn file (Truncated stays false).
+// v2 writers currently always emit zero extra sections; v1 files (no extra
+// list) still load.
 
 // seriesMagic opens every series file.
 const seriesMagic = "MGSR"
 
-// seriesVersion is the current format version.
-const seriesVersion = 1
+// seriesVersion is the current format version. v2 added the per-sample
+// extra-section list (and the runtime_* telemetry rode along in the ordinary
+// kinds); v1 files remain loadable.
+const seriesVersion = 2
 
 // Default self-scrape cadence and retention. At the default interval the cap
 // covers ~17 minutes at full resolution; each compaction halves resolution
@@ -153,6 +163,7 @@ type SeriesRecorder struct {
 	reg      *Registry
 	slow     *SlowReads
 	traces   *ReqTracer
+	runtime  *runtimeSampler
 	path     string
 	interval time.Duration
 	max      int
@@ -174,8 +185,11 @@ type SeriesRecorder struct {
 // sample, and starts the scrape loop. interval ≤0 defaults to
 // DefaultSeriesInterval, maxSamples ≤0 to DefaultSeriesMaxSamples. slow and
 // traces may be nil; when present their windows are rotated once per tick, so
-// exemplar and request-trace windows line up with series samples. Stop
-// flushes the final sample and closes the file.
+// exemplar and request-trace windows line up with series samples. Every tick
+// also samples the Go runtime's own metrics into the registry as runtime_*
+// series (GC cycles/CPU/pauses, heap live and goal, goroutines, scheduler
+// latency), so the archive regresses runtime behavior cross-run exactly like
+// the pipeline's metrics. Stop flushes the final sample and closes the file.
 func StartSeries(reg *Registry, slow *SlowReads, traces *ReqTracer, path string, interval time.Duration, maxSamples int) (*SeriesRecorder, error) {
 	if reg == nil {
 		return nil, errors.New("obs: series recording needs a registry")
@@ -197,6 +211,7 @@ func StartSeries(reg *Registry, slow *SlowReads, traces *ReqTracer, path string,
 		reg:      reg,
 		slow:     slow,
 		traces:   traces,
+		runtime:  newRuntimeSampler(reg),
 		path:     path,
 		interval: interval,
 		max:      maxSamples,
@@ -242,6 +257,9 @@ func (s *SeriesRecorder) loop() {
 // sampleNow takes one scrape at time now and persists it. Split from the
 // loop so tests can drive deterministic timelines.
 func (s *SeriesRecorder) sampleNow(now time.Time) {
+	// Refresh the runtime_* gauges and counters first so this scrape (and
+	// the manifest snapshot taken after Stop's final sample) sees them.
+	s.runtime.sample()
 	sm := s.reg.rawScrape(now)
 	s.slow.Rotate()
 	s.traces.Rotate()
@@ -492,6 +510,13 @@ func (e *seriesEnc) sample(sm rawSample) error {
 		}
 	}
 
+	// v2 extra-section list: always present, currently always empty. Future
+	// metric kinds append (kind, length, payload) triples here; old readers
+	// skip by length.
+	if err := e.uvarint(0); err != nil {
+		return err
+	}
+
 	e.prevT = sm.t
 	e.prev = sm
 	return nil
@@ -568,8 +593,9 @@ func ReadSeries(r io.Reader) (*Series, error) {
 	if string(magic[:len(seriesMagic)]) != seriesMagic {
 		return nil, fmt.Errorf("bad magic %q", magic[:len(seriesMagic)])
 	}
-	if magic[len(seriesMagic)] != seriesVersion {
-		return nil, fmt.Errorf("unsupported series version %d", magic[len(seriesMagic)])
+	version := magic[len(seriesMagic)]
+	if version < 1 || version > seriesVersion {
+		return nil, fmt.Errorf("unsupported series version %d", version)
 	}
 	startNs, err := binary.ReadVarint(br)
 	if err != nil {
@@ -584,7 +610,7 @@ func ReadSeries(r io.Reader) (*Series, error) {
 		Interval: time.Duration(intervalNs),
 	}
 
-	dec := &seriesDec{r: br}
+	dec := &seriesDec{r: br, version: version}
 	t := s.Start
 	counters := make(map[string]int64)
 	gauges := make(map[string]int64)
@@ -662,8 +688,9 @@ type histSampleDelta struct {
 
 // seriesDec decodes sample records, maintaining the per-kind dictionaries.
 type seriesDec struct {
-	r    *bufio.Reader
-	dict [numKinds][]string
+	r       *bufio.Reader
+	version byte
+	dict    [numKinds][]string
 }
 
 // name resolves a nameRef, learning new names.
@@ -772,5 +799,48 @@ func (d *seriesDec) sample() (dt int64, counters, gauges map[string]int64, hists
 		}
 		hists[name] = hd
 	}
+	if d.version >= 2 {
+		if err := d.skipExtraSections(); err != nil {
+			return 0, nil, nil, nil, err
+		}
+	}
 	return dt, counters, gauges, hists, nil
+}
+
+// skipExtraSections consumes the v2 trailing extra-section list. Sections
+// with a metric kind this reader does not know are skipped by their length —
+// forward compatibility, not corruption, so the caller's Truncated logic
+// never fires on them (a genuinely torn payload still surfaces as
+// io.ErrUnexpectedEOF).
+func (d *seriesDec) skipExtraSections() error {
+	n, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		if _, err := d.r.ReadByte(); err != nil { // kind byte (no known kinds yet)
+			return noteEOF(err)
+		}
+		size, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return noteEOF(err)
+		}
+		if size > 1<<24 {
+			return fmt.Errorf("extra section of %d bytes too large", size)
+		}
+		if _, err := io.CopyN(io.Discard, d.r, int64(size)); err != nil {
+			return noteEOF(err)
+		}
+	}
+	return nil
+}
+
+// noteEOF maps a clean io.EOF inside a record to io.ErrUnexpectedEOF so the
+// torn-tail detection in ReadSeries treats it as a truncation, matching how
+// binary.ReadUvarint already reports mid-record ends.
+func noteEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
 }

@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"runtime"
 	"testing"
 	"time"
 )
@@ -222,6 +223,99 @@ func TestStartSeriesNilRegistry(t *testing.T) {
 	}
 	if s.Path() != "" {
 		t.Error("nil recorder Path")
+	}
+}
+
+// TestSeriesRuntimeTelemetry: every series tick samples the Go runtime into
+// runtime_* series, so GC behavior archives next to the pipeline's metrics.
+func TestSeriesRuntimeTelemetry(t *testing.T) {
+	reg := NewRegistry(1)
+	s, path := startTestSeries(t, reg, nil, 0)
+	// Force a GC cycle between ticks so the cumulative counters have a delta
+	// to report.
+	runtime.GC()
+	s.sampleNow(s.start.Add(time.Second))
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := LoadSeries(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := got.Samples[len(got.Samples)-1]
+	if v := last.Gauges[MetricRuntimeGoroutines]; v <= 0 {
+		t.Errorf("%s = %d, want > 0", MetricRuntimeGoroutines, v)
+	}
+	if v := last.Gauges[MetricRuntimeHeapLive]; v <= 0 {
+		t.Errorf("%s = %d, want > 0", MetricRuntimeHeapLive, v)
+	}
+	if v := last.Gauges[MetricRuntimeHeapGoal]; v <= 0 {
+		t.Errorf("%s = %d, want > 0", MetricRuntimeHeapGoal, v)
+	}
+	if v := last.Counters[MetricRuntimeGCCycles]; v < 1 {
+		t.Errorf("%s = %d, want >= 1 after runtime.GC()", MetricRuntimeGCCycles, v)
+	}
+	if v := last.Counters[MetricRuntimeHeapAllocs]; v <= 0 {
+		t.Errorf("%s = %d, want > 0", MetricRuntimeHeapAllocs, v)
+	}
+}
+
+// TestSeriesUnknownExtraSectionSkipped: a reader must skip extra sections of
+// a kind it does not know (a future writer's addition) by length, without
+// flagging the series truncated — that is the whole point of the v2
+// length-prefixed trailer. A tear *inside* such a section still flags.
+func TestSeriesUnknownExtraSectionSkipped(t *testing.T) {
+	reg := NewRegistry(1)
+	c := reg.Counter(MetricPipelineReads)
+	s, path := startTestSeries(t, reg, nil, 0)
+	c.Add(0, 7)
+	s.sampleNow(s.start.Add(time.Second))
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The final bytes of a clean series are the last sample's extra-section
+	// list: a single 0 (uvarint count) from the current writer.
+	if data[len(data)-1] != 0 {
+		t.Fatalf("final byte = %#x, want 0 (empty extra-section list)", data[len(data)-1])
+	}
+	// Rewrite it as one section of an unknown kind: count=1, kind=0xAB,
+	// length=3, payload "xyz".
+	crafted := append(append([]byte{}, data[:len(data)-1]...), 0x01, 0xAB, 0x03, 'x', 'y', 'z')
+	future := filepath.Join(t.TempDir(), "future.series")
+	if err := os.WriteFile(future, crafted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSeries(future)
+	if err != nil {
+		t.Fatalf("series with unknown extra section must load: %v", err)
+	}
+	if got.Truncated {
+		t.Error("unknown extra-section kind flagged Truncated; must be skipped by length")
+	}
+	if len(got.Samples) != 3 {
+		t.Fatalf("loaded %d samples, want 3", len(got.Samples))
+	}
+	if v := got.Samples[1].Counters[MetricPipelineReads]; v != 7 {
+		t.Errorf("sample reads = %d, want 7 (payload skip misaligned the decoder?)", v)
+	}
+
+	// Tearing inside the unknown section is a torn tail, not a clean skip.
+	torn := filepath.Join(t.TempDir(), "torn.series")
+	if err := os.WriteFile(torn, crafted[:len(crafted)-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = LoadSeries(torn)
+	if err != nil {
+		t.Fatalf("series torn inside an extra section must still load: %v", err)
+	}
+	if !got.Truncated {
+		t.Error("tear inside an extra section not flagged Truncated")
 	}
 }
 

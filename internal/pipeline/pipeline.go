@@ -206,6 +206,10 @@ func Run(m *core.Mapper, src Source, emit Emitter, opts Options) (*Stats, error)
 	hBatch := reg.Histogram(obs.MetricBatchLatency)
 	mClaims := reg.Counter(obs.MetricSchedClaims)
 	mSteals := reg.Counter(obs.MetricSchedSteals)
+	// pprof label contexts, prebuilt once per run: stage goroutines label
+	// themselves at batch boundaries (never per record) so a -profile
+	// capture decomposes by stage and worker at zero cost to the hot path.
+	labels := obs.NewProfLabels(obs.ClassBatch, opts.Workers)
 
 	st := &Stats{Sched: sched.Stats{Processed: make([]int64, opts.Workers)}}
 	cacheStats := make([]gbwt.CacheStats, opts.Workers)
@@ -236,6 +240,7 @@ func Run(m *core.Mapper, src Source, emit Emitter, opts Options) (*Stats, error)
 	// in-flight window is full, which is what bounds memory.
 	go func() {
 		defer cq.close()
+		labels.ApplyIngest()
 		seq, base := 0, 0
 		for {
 			t0 := time.Now()
@@ -278,6 +283,7 @@ func Run(m *core.Mapper, src Source, emit Emitter, opts Options) (*Stats, error)
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
+			labels.ApplyMap(worker)
 			for {
 				b, stolen, ok := cq.pop(worker)
 				if !ok {
@@ -316,6 +322,10 @@ func Run(m *core.Mapper, src Source, emit Emitter, opts Options) (*Stats, error)
 	// Emit (in the caller's goroutine): reorder completed batches back into
 	// ingest order and write them out. Out-of-order completions wait in
 	// `pending`, which the in-flight bound keeps small.
+	// Emit runs on the caller's goroutine, so its label is cleared on the way
+	// out rather than left to leak into whatever the caller does next.
+	labels.ApplyEmit()
+	defer labels.Clear()
 	next := 0
 	pending := make(map[int]*batch)
 	for b := range done {

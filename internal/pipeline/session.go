@@ -64,6 +64,11 @@ type Session struct {
 	mu    sync.Mutex
 	cache gbwt.CacheStats
 
+	// labels carry the serving-class pprof labels the pool workers wear, so
+	// a -profile capture splits map time between the serving path and batch
+	// runs.
+	labels *obs.ProfLabels
+
 	// Metric handles are nil-safe no-ops when reg is nil.
 	submitShard   int
 	qDepth        *obs.Gauge
@@ -138,6 +143,7 @@ func NewSession(m BatchMapper, opts Options, reg *obs.Registry) (*Session, error
 	if ep, ok := m.(EpochPublisher); ok {
 		s.ep = ep
 	}
+	s.labels = obs.NewProfLabels(obs.ClassServe, opts.Workers)
 	for w := 0; w < opts.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker(w)
@@ -238,6 +244,7 @@ func (s *Session) SubmitTraced(ctx context.Context, recs []seeds.ReadSeeds, rt *
 // dead), account, signal completion.
 func (s *Session) worker(w int) {
 	defer s.wg.Done()
+	s.labels.ApplyMap(w)
 	for {
 		j, stolen, ok := s.cq.pop(w)
 		if !ok {

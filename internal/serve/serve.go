@@ -110,6 +110,11 @@ type Server struct {
 	drainRejects  *obs.Counter
 	badRequests   *obs.Counter
 	hExtract      *obs.Histogram
+
+	// labels are the serving-class pprof labels the extraction stage wears
+	// while preprocessing on the handler goroutine, so -profile captures
+	// attribute seed extraction separately from mapping.
+	labels *obs.ProfLabels
 }
 
 // New validates cfg and builds the server.
@@ -135,6 +140,7 @@ func New(cfg Config) (*Server, error) {
 		drainRejects:  cfg.Reg.Counter(obs.MetricServeDrainRejects),
 		badRequests:   cfg.Reg.Counter(obs.MetricServeBadRequests),
 		hExtract:      cfg.Reg.Histogram(obs.MetricServeExtract),
+		labels:        obs.NewProfLabels(obs.ClassServe, 1),
 	}
 	s.mux.HandleFunc("POST /map", s.handleMap)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -315,6 +321,10 @@ func (s *Server) serveMap(w http.ResponseWriter, r *http.Request, sh int, id tra
 	// goroutine: it is cheap relative to mapping and keeps the session's
 	// workers on kernel work only.
 	t0 := time.Now()
+	s.labels.ApplyExtract()
+	// Cleared explicitly right after the loop; the defer covers the
+	// bad-request early returns inside it (Clear is idempotent).
+	defer s.labels.Clear()
 	recs := make([]seeds.ReadSeeds, len(req.Reads))
 	for i, wr := range req.Reads {
 		seq, err := dna.Parse(wr.Seq)
@@ -330,6 +340,9 @@ func (s *Server) serveMap(w http.ResponseWriter, r *http.Request, sh int, id tra
 		recs[i] = rec
 	}
 	s.hExtract.Observe(sh, time.Since(t0))
+	// The handler goroutine belongs to net/http's pool: clear the stage
+	// label so it doesn't bleed into response encoding or the next request.
+	s.labels.Clear()
 
 	endAdmit()
 	exts, err := s.cfg.Session.SubmitTraced(ctx, recs, rt)
